@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Ablation (beyond the paper's figures): decompose the DD benefit by
+ * noise channel.  Shows where the helps/hurts crossover of Fig. 5
+ * comes from: DD refocuses OU dephasing and crosstalk, cannot touch
+ * T1 / white dephasing, and *pays* gate errors.
+ */
+
+#include "bench_common.hh"
+
+#include "transpile/decompose.hh"
+
+using namespace adapt;
+
+namespace
+{
+
+void
+runExperiment()
+{
+    banner("Ablation: noise channels", "DD benefit by channel "
+                                       "(idle q0 on ibmq_london, 8 us)");
+    struct Config
+    {
+        const char *label;
+        NoiseFlags flags;
+    };
+    NoiseFlags ou = NoiseFlags::none();
+    ou.ouDephasing = true;
+    NoiseFlags xt = NoiseFlags::none();
+    xt.crosstalk = true;
+    NoiseFlags t1 = NoiseFlags::none();
+    t1.t1Damping = true;
+    NoiseFlags white = NoiseFlags::none();
+    white.whiteDephasing = true;
+    NoiseFlags gates = NoiseFlags::none();
+    gates.gateErrors = true;
+    NoiseFlags refocusable = ou;
+    refocusable.crosstalk = true;
+    const Config configs[] = {
+        {"ou-dephasing only", ou},
+        {"crosstalk only", xt},
+        {"t1 only", t1},
+        {"white-dephasing only", white},
+        {"gate-errors only", gates},
+        {"ou + crosstalk", refocusable},
+        {"all channels", NoiseFlags::all()},
+    };
+
+    const Device device = Device::ibmqLondon();
+    const int link = device.topology().linkIndex(3, 4);
+    DDOptions dd;
+    std::printf("%-24s %10s %10s %10s\n", "channels", "free",
+                "with-dd", "dd-gain");
+    for (const Config &config : configs) {
+        const NoisyMachine machine(device, 0, config.flags);
+        CharacterizationConfig c;
+        c.spectator = 0;
+        c.drivenLink = link;
+        c.theta = kPi / 2.0;
+        c.idleNs = 8000.0;
+        const double free_fid = characterizationFidelity(
+            machine, c, dd, false, 3000, 70);
+        const double dd_fid = characterizationFidelity(
+            machine, c, dd, true, 3000, 70);
+        std::printf("%-24s %10.3f %10.3f %+10.3f\n", config.label,
+                    free_fid, dd_fid, dd_fid - free_fid);
+    }
+}
+
+void
+BM_TrajectoryShot(benchmark::State &state)
+{
+    const Device device = Device::ibmqLondon();
+    const NoisyMachine machine(device);
+    Circuit c(3, 1);
+    c.ry(1.0, 0);
+    c.delay(8000.0, 0);
+    c.ry(-1.0, 0);
+    c.measure(0, 0);
+    const auto sched =
+        schedule(decompose(c), device.topology(),
+                 device.calibration(0), ScheduleMode::Asap);
+    uint64_t seed = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(machine.run(sched, 100, ++seed));
+}
+BENCHMARK(BM_TrajectoryShot)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+ADAPT_BENCH_MAIN(runExperiment)

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Ablation (beyond the paper's figures): ADAPT's localized 4-qubit
+ * search vs a greedy per-qubit search vs smaller neighbourhoods, and
+ * the effect of the conservative top-2 merge — quality vs decoy
+ * budget.
+ */
+
+#include "bench_common.hh"
+
+using namespace adapt;
+
+namespace
+{
+
+void
+runExperiment()
+{
+    banner("Ablation: search", "Neighbourhood size and conservative "
+                               "merge (QFT-6A on ibmq_toronto, XY4)");
+    const Device device = Device::ibmqToronto();
+    const Calibration cal = device.calibration(0);
+    const NoisyMachine machine(device);
+    const CompiledProgram p =
+        transpile(makeQft(6, QftState::A), device, cal);
+    const Distribution ideal = idealDistribution(p.physical);
+
+    struct Config
+    {
+        const char *label;
+        int neighborhood;
+        bool merge;
+    };
+    const Config configs[] = {
+        {"greedy (k=1)", 1, false},
+        {"pairs (k=2)", 2, true},
+        {"paper (k=4)", 4, true},
+        {"paper, no top-2 merge", 4, false},
+        {"wide (k=6 = exhaustive)", 6, false},
+    };
+
+    std::printf("%-26s %8s %10s %12s\n", "search", "decoys",
+                "fidelity", "rel-to-nodd");
+    DDOptions dd;
+    const double base = fidelity(
+        ideal, machine.run(p.schedule, 1200, 3));
+    for (const Config &config : configs) {
+        AdaptOptions opt;
+        opt.neighborhoodSize = config.neighborhood;
+        opt.conservativeMerge = config.merge;
+        opt.decoyShots = 400;
+        const AdaptResult search = adaptSearch(p, machine, opt);
+        const double fid = fidelity(
+            ideal,
+            machine.run(applyMask(p, machine, dd,
+                                  search.logicalMask),
+                        1200, 3));
+        std::printf("%-26s %8d %10.3f %11.2fx\n", config.label,
+                    search.decoysExecuted, fid,
+                    fid / std::max(base, 1e-9));
+    }
+    std::printf("no-dd baseline fidelity: %.3f\n", base);
+}
+
+void
+BM_LocalizedSearch(benchmark::State &state)
+{
+    const Device device = Device::ibmqToronto();
+    const NoisyMachine machine(device);
+    const CompiledProgram p = transpile(
+        makeBernsteinVazirani(6, 0b10110), device,
+        device.calibration(0));
+    AdaptOptions opt;
+    opt.decoyShots = 32;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(adaptSearch(p, machine, opt));
+}
+BENCHMARK(BM_LocalizedSearch)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+} // namespace
+
+ADAPT_BENCH_MAIN(runExperiment)

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Shared scaffolding for the paper-reproduction bench binaries.
+ *
+ * Each binary reproduces one table or figure: it prints the artefact
+ * (rows / series, same layout as the paper) to stdout, then runs a
+ * couple of registered google-benchmark kernels measuring the hot
+ * paths it exercises.  Shot counts are chosen so the full suite runs
+ * on a laptop; they are lower than the paper's 32k-shot hardware
+ * jobs, which widens sampling noise but preserves every trend.
+ */
+
+#ifndef ADAPT_BENCH_BENCH_COMMON_HH
+#define ADAPT_BENCH_BENCH_COMMON_HH
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "adapt/policies.hh"
+#include "experiments/characterization.hh"
+#include "experiments/harness.hh"
+#include "sim/statevector.hh"
+#include "workloads/benchmarks.hh"
+
+/** Print a section banner for the artefact being reproduced. */
+inline void
+banner(const char *artefact, const char *description)
+{
+    std::printf("\n================================================="
+                "=============\n%s: %s\n"
+                "==================================================="
+                "===========\n",
+                artefact, description);
+}
+
+/**
+ * Entry point: run the experiment (prints the artefact), then the
+ * registered microbenchmarks.
+ */
+#define ADAPT_BENCH_MAIN(experiment_fn)                                 \
+    int main(int argc, char **argv)                                     \
+    {                                                                   \
+        benchmark::Initialize(&argc, argv);                             \
+        experiment_fn();                                                \
+        benchmark::RunSpecifiedBenchmarks();                            \
+        return 0;                                                       \
+    }
+
+#endif // ADAPT_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fig. 13: relative fidelity of All-DD / ADAPT / Runtime-Best vs the
+ * No-DD baseline on 27-qubit ibmq_toronto for both DD protocols
+ * (XY4 and IBMQ-DD).
+ */
+
+#include "bench_common.hh"
+
+#include <iostream>
+
+using namespace adapt;
+
+namespace
+{
+
+void
+runExperiment()
+{
+    banner("Figure 13", "Policy comparison on ibmq_toronto "
+                        "(XY4 and IBMQ-DD)");
+    const Device device = Device::ibmqToronto();
+    SuiteOptions options;
+    options.policy.shots = 450;
+    options.policy.adapt.decoyShots = 200;
+    options.policy.runtimeBestBudget = 6;
+
+    for (DDProtocol protocol :
+         {DDProtocol::XY4, DDProtocol::IbmqDD}) {
+        std::printf("\n-- protocol: %s\n",
+                    ddProtocolName(protocol).c_str());
+        const auto rows = evaluateSuite(paperBenchmarks(), device,
+                                        protocol, options);
+        printSuiteTable(std::cout, rows);
+        for (Policy policy : {Policy::AllDD, Policy::Adapt,
+                              Policy::RuntimeBest}) {
+            const Summary s = summarize(rows, policy);
+            std::printf("%-13s min %.2f  gmean %.2f  max %.2f\n",
+                        policyName(policy).c_str(), s.min, s.gmean,
+                        s.max);
+        }
+    }
+    std::printf("(paper, XY4: ADAPT gmean 1.23x, up to 3.06x; "
+                "IBMQ-DD: gmean 1.42x, up to 2.67x)\n");
+}
+
+void
+BM_AdaptSearchQft6(benchmark::State &state)
+{
+    const Device device = Device::ibmqToronto();
+    const NoisyMachine machine(device);
+    const CompiledProgram p = transpile(
+        makeQft(6, QftState::A), device, device.calibration(0));
+    AdaptOptions opt;
+    opt.decoyShots = 64;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(adaptSearch(p, machine, opt));
+}
+BENCHMARK(BM_AdaptSearchQft6)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+} // namespace
+
+ADAPT_BENCH_MAIN(runExperiment)

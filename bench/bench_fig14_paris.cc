@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fig. 14: relative fidelity of the policies on 27-qubit ibmq_paris
+ * with the XY4 protocol (the paper could not run IBMQ-DD on Paris
+ * before the machine's retirement).
+ */
+
+#include "bench_common.hh"
+
+#include <iostream>
+
+using namespace adapt;
+
+namespace
+{
+
+void
+runExperiment()
+{
+    banner("Figure 14", "Policy comparison on ibmq_paris (XY4)");
+    const Device device = Device::ibmqParis();
+    SuiteOptions options;
+    options.policy.shots = 600;
+    options.policy.adapt.decoyShots = 250;
+    options.policy.runtimeBestBudget = 8;
+
+    // The Paris figure focuses on the deeper workloads.
+    std::vector<Workload> suite;
+    for (const Workload &w : paperBenchmarks()) {
+        if (w.name == "QFT-7A" || w.name == "QFT-7B" ||
+            w.name == "QAOA-10A" || w.name == "QAOA-10B")
+            suite.push_back(w);
+    }
+    const auto rows =
+        evaluateSuite(suite, device, DDProtocol::XY4, options);
+    printSuiteTable(std::cout, rows);
+    for (Policy policy : {Policy::AllDD, Policy::Adapt,
+                          Policy::RuntimeBest}) {
+        const Summary s = summarize(rows, policy);
+        std::printf("%-13s min %.2f  gmean %.2f  max %.2f\n",
+                    policyName(policy).c_str(), s.min, s.gmean, s.max);
+    }
+    std::printf("(paper: All-DD gmean 1.97x; ADAPT gmean 3.27x, up "
+                "to 5.73x)\n");
+}
+
+void
+BM_PolicyEvalQaoa10(benchmark::State &state)
+{
+    const Device device = Device::ibmqParis();
+    const NoisyMachine machine(device);
+    const CompiledProgram p = transpile(
+        makeQaoa(10, QaoaGraph::A), device, device.calibration(0));
+    const Distribution ideal = idealDistribution(p.physical);
+    PolicyOptions opt;
+    opt.shots = 64;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(evaluatePolicy(
+            Policy::AllDD, p, machine, ideal, opt));
+    }
+}
+BENCHMARK(BM_PolicyEvalQaoa10)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+} // namespace
+
+ADAPT_BENCH_MAIN(runExperiment)

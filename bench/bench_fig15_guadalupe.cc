@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fig. 15: relative fidelity of the policies on 16-qubit
+ * ibmq_guadalupe for both protocols.  Guadalupe is the newest, least
+ * noisy machine; All-DD occasionally *hurts* here and ADAPT's
+ * robustness shows.
+ */
+
+#include "bench_common.hh"
+
+#include <iostream>
+
+using namespace adapt;
+
+namespace
+{
+
+void
+runExperiment()
+{
+    banner("Figure 15", "Policy comparison on ibmq_guadalupe "
+                        "(XY4 and IBMQ-DD)");
+    const Device device = Device::ibmqGuadalupe();
+    SuiteOptions options;
+    options.policy.shots = 450;
+    options.policy.adapt.decoyShots = 200;
+    options.policy.runtimeBestBudget = 6;
+
+    // The larger workloads of the suite (Sec. 6.3 runs bigger
+    // programs on this machine).
+    std::vector<Workload> suite;
+    for (const Workload &w : paperBenchmarks()) {
+        if (w.circuit.numQubits() >= 7)
+            suite.push_back(w);
+    }
+    for (DDProtocol protocol :
+         {DDProtocol::XY4, DDProtocol::IbmqDD}) {
+        std::printf("\n-- protocol: %s\n",
+                    ddProtocolName(protocol).c_str());
+        const auto rows =
+            evaluateSuite(suite, device, protocol, options);
+        printSuiteTable(std::cout, rows);
+        for (Policy policy : {Policy::AllDD, Policy::Adapt,
+                              Policy::RuntimeBest}) {
+            const Summary s = summarize(rows, policy);
+            std::printf("%-13s min %.2f  gmean %.2f  max %.2f\n",
+                        policyName(policy).c_str(), s.min, s.gmean,
+                        s.max);
+        }
+    }
+    std::printf("(paper, XY4: All-DD gmean 1.10x; ADAPT gmean 1.31x, "
+                "up to 3.10x)\n");
+}
+
+void
+BM_InsertDdAllGuadalupe(benchmark::State &state)
+{
+    const Device device = Device::ibmqGuadalupe();
+    const Calibration cal = device.calibration(0);
+    const CompiledProgram p = transpile(
+        makeQft(7, QftState::A), device, cal);
+    DDOptions dd;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(insertDDAll(p.schedule, cal, dd));
+}
+BENCHMARK(BM_InsertDdAllGuadalupe)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+ADAPT_BENCH_MAIN(runExperiment)

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fig. 16(d): mean fidelity of No-DD vs XY4 vs the single-pair
+ * IBMQ-DD sequence as the idle time grows, averaged over spectator
+ * combinations of ibmq_guadalupe.  XY4's dense pulse train wins at
+ * long idle times because the slow noise decorrelates between the
+ * sparse IBMQ-DD pulses.
+ */
+
+#include "bench_common.hh"
+
+using namespace adapt;
+
+namespace
+{
+
+void
+runExperiment()
+{
+    banner("Figure 16(d)", "XY4 vs IBMQ-DD vs free evolution over "
+                           "idle time (ibmq_guadalupe)");
+    const Device device = Device::ibmqGuadalupe();
+    const NoisyMachine machine(device);
+    const auto combos = device.topology().spectatorCombos();
+
+    DDOptions xy4;
+    DDOptions ibmq;
+    ibmq.protocol = DDProtocol::IbmqDD;
+    ibmq.ibmqDdChunkNs = 1e12; // single pair: Fig. 16(c)'s protocol
+
+    std::printf("%-12s %10s %10s %10s\n", "idle(us)", "no-dd", "xy4",
+                "ibmq-dd");
+    for (double idle_us : {1.0, 2.0, 4.0, 8.0, 12.0, 16.0}) {
+        std::vector<double> free_f, xy4_f, ibmq_f;
+        uint64_t seed = 900;
+        // Sample every 4th combo to bound runtime; means converge.
+        for (size_t ci = 0; ci < combos.size(); ci += 4) {
+            CharacterizationConfig config;
+            config.spectator = combos[ci].spectator;
+            config.drivenLink = combos[ci].linkIndex;
+            config.theta = kPi / 2.0;
+            config.idleNs = idle_us * 1000.0;
+            free_f.push_back(characterizationFidelity(
+                machine, config, xy4, false, 250, ++seed));
+            xy4_f.push_back(characterizationFidelity(
+                machine, config, xy4, true, 250, seed));
+            ibmq_f.push_back(characterizationFidelity(
+                machine, config, ibmq, true, 250, seed));
+        }
+        std::printf("%-12.1f %10.3f %10.3f %10.3f\n", idle_us,
+                    mean(free_f), mean(xy4_f), mean(ibmq_f));
+    }
+}
+
+void
+BM_DdInsertionXy4(benchmark::State &state)
+{
+    const Device device = Device::ibmqGuadalupe();
+    const Calibration cal = device.calibration(0);
+    Circuit c(2, 1);
+    c.x(0);
+    c.delay(16000.0, 0);
+    c.x(0);
+    c.measure(0, 0);
+    const auto sched = schedule(c, device.topology(), cal,
+                                ScheduleMode::Asap);
+    std::vector<bool> mask = {true, true};
+    DDOptions dd;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(insertDD(sched, cal, dd, mask));
+}
+BENCHMARK(BM_DdInsertionXy4)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+ADAPT_BENCH_MAIN(runExperiment)

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fig. 3(b): idle time of qubit Q0 for Bernstein-Vazirani circuits
+ * of increasing size, on heavy-hex IBMQ-Toronto vs an all-to-all
+ * machine with similar error rates.  SWAP insertion is the driver.
+ */
+
+#include "bench_common.hh"
+
+using namespace adapt;
+
+namespace
+{
+
+void
+runExperiment()
+{
+    banner("Figure 3(b)", "SWAP impact on Q0 idle time: BV-n on "
+                          "ibmq_toronto vs all-to-all");
+    const Device toronto = Device::ibmqToronto();
+    // Same error/latency profile, full connectivity (the paper's
+    // hypothetical comparison machine).
+    Device full(Topology::allToAll(27), toronto.profile());
+
+    // Trivial layout isolates the routing cost: program qubits land
+    // on physical qubits 0..n-1 of the heavy-hex graph, as a default
+    // mapping would.
+    TranspileOptions opts;
+    opts.noiseAdaptive = false;
+
+    std::printf("%-6s %14s %18s %8s\n", "size",
+                "toronto(us)", "all-to-all(us)", "swaps");
+    for (int n = 4; n <= 10; n++) {
+        const uint64_t secret = (uint64_t{1} << (n - 1)) - 1;
+        const Circuit bv = makeBernsteinVazirani(n, secret);
+        const CompiledProgram on_hex =
+            transpile(bv, toronto, toronto.calibration(0), opts);
+        const CompiledProgram on_full =
+            transpile(bv, full, full.calibration(0), opts);
+        const QubitId hex_q0 = on_hex.initialLayout.physical(0);
+        const QubitId full_q0 = on_full.initialLayout.physical(0);
+        std::printf("BV-%-3d %14.2f %18.2f %8d\n", n,
+                    on_hex.schedule.totalIdleTime(hex_q0) * 1e-3,
+                    on_full.schedule.totalIdleTime(full_q0) * 1e-3,
+                    on_hex.swapCount);
+    }
+}
+
+void
+BM_TranspileBv8Toronto(benchmark::State &state)
+{
+    const Device d = Device::ibmqToronto();
+    const Calibration cal = d.calibration(0);
+    const Circuit bv = makeBernsteinVazirani(8, 0b1011011);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(transpile(bv, d, cal));
+}
+BENCHMARK(BM_TranspileBv8Toronto)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+ADAPT_BENCH_MAIN(runExperiment)

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Fig. 4: idle-qubit characterization.
+ *  (c) free evolution vs DD over a theta sweep, 1.2 us idle;
+ *  (f) the same under CNOT crosstalk, 2.4 us idle;
+ *  (g, h) fidelity distribution over all 224 (qubit, link)
+ *         spectator combinations of ibmq_guadalupe at 8 us idle,
+ *         without and with DD.
+ */
+
+#include "bench_common.hh"
+
+using namespace adapt;
+
+namespace
+{
+
+void
+partC()
+{
+    std::printf("\n-- Fig. 4(c): free evolution vs DD, 1.2 us "
+                "(ibmq_london q0)\n");
+    const Device device = Device::ibmqLondon();
+    const NoisyMachine machine(device);
+    DDOptions dd;
+    std::printf("%-8s %10s %10s\n", "theta", "free", "with-dd");
+    for (int i = 0; i <= 8; i++) {
+        CharacterizationConfig config;
+        config.theta = kPi * i / 8.0;
+        config.idleNs = 1200.0;
+        const double free_fid = characterizationFidelity(
+            machine, config, dd, false, 2000, 10 + i);
+        const double dd_fid = characterizationFidelity(
+            machine, config, dd, true, 2000, 10 + i);
+        std::printf("%-8.3f %10.3f %10.3f\n", config.theta, free_fid,
+                    dd_fid);
+    }
+}
+
+void
+partF()
+{
+    std::printf("\n-- Fig. 4(f): idle qubit under CNOT crosstalk, "
+                "2.4 us (ibmq_london)\n");
+    const Device device = Device::ibmqLondon();
+    const NoisyMachine machine(device);
+    const int link = device.topology().linkIndex(3, 4);
+    DDOptions dd;
+    std::printf("%-8s %10s %10s %12s\n", "theta", "quiet", "crosstalk",
+                "xtalk+dd");
+    for (int i = 1; i <= 5; i++) {
+        CharacterizationConfig config;
+        config.spectator = 0;
+        config.theta = kPi * i / 6.0;
+        config.idleNs = 2400.0;
+        config.drivenLink = -1;
+        const double quiet = characterizationFidelity(
+            machine, config, dd, false, 2000, 30 + i);
+        config.drivenLink = link;
+        const double driven = characterizationFidelity(
+            machine, config, dd, false, 2000, 30 + i);
+        const double driven_dd = characterizationFidelity(
+            machine, config, dd, true, 2000, 30 + i);
+        std::printf("%-8.3f %10.3f %10.3f %12.3f\n", config.theta,
+                    quiet, driven, driven_dd);
+    }
+}
+
+void
+partGH()
+{
+    std::printf("\n-- Fig. 4(g,h): all 224 spectator combos on "
+                "ibmq_guadalupe, 8 us idle, 5 theta values\n");
+    const Device device = Device::ibmqGuadalupe();
+    const NoisyMachine machine(device);
+    DDOptions dd;
+    const auto combos = device.topology().spectatorCombos();
+    std::printf("combos: %zu\n", combos.size());
+
+    Histogram free_hist(0.0, 1.0, 20), dd_hist(0.0, 1.0, 20);
+    std::vector<double> free_fids, dd_fids;
+    uint64_t seed = 1000;
+    for (const SpectatorCombo &combo : combos) {
+        for (int i = 1; i <= 5; i++) {
+            CharacterizationConfig config;
+            config.spectator = combo.spectator;
+            config.drivenLink = combo.linkIndex;
+            config.theta = kPi * i / 5.0;
+            config.idleNs = 8000.0;
+            const double free_fid = characterizationFidelity(
+                machine, config, dd, false, 250, ++seed);
+            const double dd_fid = characterizationFidelity(
+                machine, config, dd, true, 250, seed);
+            free_hist.add(free_fid);
+            dd_hist.add(dd_fid);
+            free_fids.push_back(free_fid);
+            dd_fids.push_back(dd_fid);
+        }
+    }
+    std::printf("without DD: mean %.3f  worst %.3f\n",
+                mean(free_fids), minOf(free_fids));
+    std::printf("with DD:    mean %.3f  worst %.3f\n", mean(dd_fids),
+                minOf(dd_fids));
+    std::printf("(paper: 0.845 / 0.136 without, 0.913 / 0.577 with)\n");
+    std::printf("\nhistogram without DD (bin-center count):\n%s",
+                free_hist.toString().c_str());
+    std::printf("histogram with DD (bin-center count):\n%s",
+                dd_hist.toString().c_str());
+}
+
+void
+runExperiment()
+{
+    banner("Figure 4", "Idling errors and the impact of DD "
+                       "(characterization circuits)");
+    partC();
+    partF();
+    partGH();
+}
+
+void
+BM_CharacterizationPoint(benchmark::State &state)
+{
+    const Device device = Device::ibmqGuadalupe();
+    const NoisyMachine machine(device);
+    DDOptions dd;
+    CharacterizationConfig config;
+    config.spectator = 0;
+    config.drivenLink = 0;
+    config.idleNs = 8000.0;
+    uint64_t seed = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(characterizationFidelity(
+            machine, config, dd, true, 64, ++seed));
+    }
+}
+BENCHMARK(BM_CharacterizationPoint)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+ADAPT_BENCH_MAIN(runExperiment)

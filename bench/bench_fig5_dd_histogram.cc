@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fig. 5: histogram of the *relative* fidelity of an idle qubit with
+ * DD over all 700 (qubit, link) combinations of ibmq_toronto — DD
+ * helps in most combinations but actively hurts in some.
+ */
+
+#include "bench_common.hh"
+
+using namespace adapt;
+
+namespace
+{
+
+void
+runExperiment()
+{
+    banner("Figure 5", "Relative fidelity of idle qubit with DD, 700 "
+                       "combos on ibmq_toronto");
+    const Device device = Device::ibmqToronto();
+    const NoisyMachine machine(device);
+    DDOptions dd;
+    const auto combos = device.topology().spectatorCombos();
+
+    Histogram hist(0.0, 4.0, 40);
+    int helps = 0, hurts = 0;
+    double best = 0.0, worst = 1e9;
+    uint64_t seed = 50;
+    for (const SpectatorCombo &combo : combos) {
+        CharacterizationConfig config;
+        config.spectator = combo.spectator;
+        config.drivenLink = combo.linkIndex;
+        config.theta = kPi / 2.0;
+        config.idleNs = 8000.0;
+        const double free_fid = characterizationFidelity(
+            machine, config, dd, false, 300, ++seed);
+        const double dd_fid = characterizationFidelity(
+            machine, config, dd, true, 300, seed);
+        const double rel = dd_fid / std::max(free_fid, 1e-3);
+        hist.add(rel);
+        helps += rel > 1.0;
+        hurts += rel < 1.0;
+        best = std::max(best, rel);
+        worst = std::min(worst, rel);
+    }
+    std::printf("combos: %zu   DD helps: %d   DD hurts: %d\n",
+                combos.size(), helps, hurts);
+    std::printf("best %.2fx  worst %.2fx   (paper: up to 3.95x / "
+                "down to 0.21x)\n",
+                best, worst);
+    std::printf("\nhistogram of relative fidelity:\n%s",
+                hist.toString().c_str());
+}
+
+void
+BM_SpectatorComboEnumeration(benchmark::State &state)
+{
+    const Topology t = Topology::ibmqToronto();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(t.spectatorCombos());
+}
+BENCHMARK(BM_SpectatorComboEnumeration);
+
+} // namespace
+
+ADAPT_BENCH_MAIN(runExperiment)

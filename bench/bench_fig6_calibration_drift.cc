@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fig. 6: relative fidelity of qubit 12 with CNOTs driven on link
+ * 17-18 of ibmq_toronto, across two calibration cycles — the DD
+ * benefit is not stable across cycles.
+ */
+
+#include "bench_common.hh"
+
+using namespace adapt;
+
+namespace
+{
+
+void
+runExperiment()
+{
+    banner("Figure 6", "DD benefit across calibration cycles "
+                       "(qubit 12, link 17-18, ibmq_toronto)");
+    const Device device = Device::ibmqToronto();
+    const int link = device.topology().linkIndex(17, 18);
+    DDOptions dd;
+
+    std::printf("%-10s", "theta");
+    for (int cycle = 1; cycle <= 2; cycle++)
+        std::printf(" %12s%d", "cycle#", cycle);
+    std::printf("   (relative fidelity of DD vs free)\n");
+
+    for (int i = 0; i <= 4; i++) {
+        const double theta = 2.0 * kPi / 3.0 * i / 4.0;
+        std::printf("%-10.3f", theta);
+        for (int cycle = 1; cycle <= 2; cycle++) {
+            const NoisyMachine machine(device, cycle);
+            CharacterizationConfig config;
+            config.spectator = 12;
+            config.drivenLink = link;
+            config.theta = theta;
+            config.idleNs = 4000.0;
+            const double free_fid = characterizationFidelity(
+                machine, config, dd, false, 2500, 60 + i);
+            const double dd_fid = characterizationFidelity(
+                machine, config, dd, true, 2500, 60 + i);
+            std::printf(" %13.3f", dd_fid / std::max(free_fid, 1e-3));
+        }
+        std::printf("\n");
+    }
+}
+
+void
+BM_CalibrationSnapshot(benchmark::State &state)
+{
+    const Device d = Device::ibmqToronto();
+    int cycle = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(d.calibration(++cycle % 16));
+}
+BENCHMARK(BM_CalibrationSnapshot)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+ADAPT_BENCH_MAIN(runExperiment)

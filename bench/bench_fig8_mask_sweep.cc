@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Fig. 8: program fidelity of QFT-6 and BV-6 on ibmq_toronto for all
+ * 64 DD qubit combinations — mask 0 is No-DD, mask 63 is All-DD, and
+ * the best mask is strictly inside.
+ */
+
+#include "bench_common.hh"
+
+using namespace adapt;
+
+namespace
+{
+
+void
+sweep(const Workload &w, const Device &device)
+{
+    const Calibration cal = device.calibration(0);
+    const NoisyMachine machine(device);
+    const CompiledProgram p = transpile(w.circuit, device, cal);
+    const Distribution ideal = idealDistribution(p.physical);
+    const int n = w.circuit.numQubits();
+    DDOptions dd;
+
+    std::printf("\n-- %s (mask fidelity; 0 = no DD, %d = all)\n",
+                w.name.c_str(), (1 << n) - 1);
+    double best = -1.0, worst = 2.0, base = 0.0, all = 0.0;
+    uint32_t best_mask = 0;
+    for (uint32_t mask_bits = 0;
+         mask_bits < (uint32_t{1} << n); mask_bits++) {
+        std::vector<bool> mask(static_cast<size_t>(n));
+        for (int b = 0; b < n; b++)
+            mask[static_cast<size_t>(b)] = (mask_bits >> b) & 1;
+        const ScheduledCircuit sched =
+            applyMask(p, machine, dd, mask);
+        const double fid = fidelity(
+            ideal, machine.run(sched, 700, 100 + mask_bits));
+        if (mask_bits == 0)
+            base = fid;
+        if (mask_bits == (uint32_t{1} << n) - 1)
+            all = fid;
+        if (fid > best) {
+            best = fid;
+            best_mask = mask_bits;
+        }
+        worst = std::min(worst, fid);
+        std::printf("%3u %.3f%s", mask_bits, fid,
+                    (mask_bits % 8 == 7) ? "\n" : "  ");
+    }
+    std::printf("min %.3f  max %.3f  no-dd %.3f  all-dd %.3f\n",
+                worst, best, base, all);
+    std::printf("best mask %u -> %.2fx vs no-dd, %.2fx vs all-dd\n",
+                best_mask, best / std::max(base, 1e-9),
+                best / std::max(all, 1e-9));
+}
+
+void
+runExperiment()
+{
+    banner("Figure 8", "Fidelity of all 64 DD masks, QFT-6 and BV-6 "
+                       "on ibmq_toronto");
+    const Device device = Device::ibmqToronto();
+    sweep({"QFT-6", makeQft(6, QftState::A)}, device);
+    sweep({"BV-6", makeBernsteinVazirani(6, 0b10110)}, device);
+}
+
+void
+BM_MaskedRun(benchmark::State &state)
+{
+    const Device device = Device::ibmqToronto();
+    const NoisyMachine machine(device);
+    const CompiledProgram p = transpile(
+        makeBernsteinVazirani(6, 0b10110), device,
+        device.calibration(0));
+    DDOptions dd;
+    std::vector<bool> mask = {true, false, true, false, true, false};
+    uint64_t seed = 0;
+    for (auto _ : state) {
+        const ScheduledCircuit sched =
+            applyMask(p, machine, dd, mask);
+        benchmark::DoNotOptimize(machine.run(sched, 64, ++seed));
+    }
+}
+BENCHMARK(BM_MaskedRun)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+ADAPT_BENCH_MAIN(runExperiment)

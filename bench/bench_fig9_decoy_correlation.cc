@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fig. 9: fidelity of the 4-qubit Adder and of its Clifford Decoy
+ * Circuit across all 16 DD masks on ibmq_guadalupe, plus the
+ * Spearman rank correlation between the two trends (paper: 0.78).
+ */
+
+#include "bench_common.hh"
+
+#include "transpile/transpiler.hh"
+
+using namespace adapt;
+
+namespace
+{
+
+void
+runExperiment()
+{
+    banner("Figure 9", "Adder vs Clifford-decoy fidelity across all "
+                       "16 DD masks (ibmq_guadalupe)");
+    const Device device = Device::ibmqGuadalupe();
+    const Calibration cal = device.calibration(0);
+    const NoisyMachine machine(device);
+
+    const Circuit adder = makeAdder(1, 1, 1);
+    const CompiledProgram p = transpile(adder, device, cal);
+    const Distribution ideal = idealDistribution(p.physical);
+
+    DecoyOptions decoy_opt;
+    decoy_opt.kind = DecoyKind::Clifford;
+    const Decoy decoy = makeDecoy(p.physical, decoy_opt);
+    const ScheduledCircuit decoy_sched =
+        reschedule(decoy.circuit, device, cal);
+
+    DDOptions dd;
+    const int n = adder.numQubits();
+    std::vector<double> actual, decoy_fid;
+    std::printf("%-6s %10s %10s\n", "mask", "actual", "decoy");
+    for (uint32_t bits = 0; bits < (uint32_t{1} << n); bits++) {
+        std::vector<bool> mask(static_cast<size_t>(n));
+        for (int b = 0; b < n; b++)
+            mask[static_cast<size_t>(b)] = (bits >> b) & 1;
+
+        const double fid_actual = fidelity(
+            ideal, machine.run(applyMask(p, machine, dd, mask), 1500,
+                               200 + bits));
+        const ScheduledCircuit decoy_masked = insertDD(
+            decoy_sched, cal, dd, liftMask(p, mask));
+        const double fid_decoy = fidelity(
+            decoy.idealOutput,
+            machine.run(decoy_masked, 1500, 300 + bits));
+        actual.push_back(fid_actual);
+        decoy_fid.push_back(fid_decoy);
+        std::printf("%-6u %10.3f %10.3f\n", bits, fid_actual,
+                    fid_decoy);
+    }
+    std::printf("Spearman correlation: %.2f   (paper: 0.78)\n",
+                spearmanCorrelation(actual, decoy_fid));
+}
+
+void
+BM_DecoyGeneration(benchmark::State &state)
+{
+    const Device device = Device::ibmqGuadalupe();
+    const CompiledProgram p = transpile(
+        makeAdder(1, 1, 1), device, device.calibration(0));
+    DecoyOptions opt;
+    opt.kind = DecoyKind::Clifford;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(makeDecoy(p.physical, opt));
+}
+BENCHMARK(BM_DecoyGeneration)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+ADAPT_BENCH_MAIN(runExperiment)

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Table 1: program latency, per-qubit idle fraction, and fidelity
+ * without DD / with DD on all qubits, for QFT-5 / QAOA-5 / Adder on
+ * (simulated) IBMQ-Rome.
+ */
+
+#include "bench_common.hh"
+
+using namespace adapt;
+
+namespace
+{
+
+void
+runExperiment()
+{
+    banner("Table 1", "Idling times for programs on ibmq_rome");
+    const Device device = Device::ibmqRome();
+    const Calibration cal = device.calibration(0);
+    const NoisyMachine machine(device);
+    const int shots = 4000;
+
+    std::printf("%-8s %10s  %-30s %8s %8s\n", "name", "latency",
+                "idle fraction per qubit (%)", "no-dd", "all-dd");
+    for (const Workload &w : smallBenchmarks()) {
+        const CompiledProgram p = transpile(w.circuit, device, cal);
+        const Distribution ideal = idealDistribution(p.physical);
+
+        std::string idle_cols;
+        for (QubitId lq = 0; lq < w.circuit.numQubits(); lq++) {
+            const QubitId phys = p.initialLayout.physical(lq);
+            char buf[16];
+            std::snprintf(buf, sizeof(buf), "%3.0f ",
+                          100.0 * p.schedule.idleFraction(phys));
+            idle_cols += buf;
+        }
+
+        DDOptions dd;
+        const double no_dd = fidelity(
+            ideal, machine.run(p.schedule, shots, 1));
+        const double all_dd = fidelity(
+            ideal,
+            machine.run(insertDDAll(p.schedule, cal, dd), shots, 1));
+        std::printf("%-8s %8.2fus  %-30s %8.2f %8.2f\n",
+                    w.name.c_str(), p.schedule.makespan() * 1e-3,
+                    idle_cols.c_str(), no_dd, all_dd);
+    }
+}
+
+void
+BM_IdleFractionQuery(benchmark::State &state)
+{
+    const Device d = Device::ibmqRome();
+    const CompiledProgram p = transpile(
+        makeQft(5, QftState::A), d, d.calibration(0));
+    for (auto _ : state) {
+        double sum = 0.0;
+        for (QubitId q = 0; q < 5; q++)
+            sum += p.schedule.idleFraction(q);
+        benchmark::DoNotOptimize(sum);
+    }
+}
+BENCHMARK(BM_IdleFractionQuery);
+
+} // namespace
+
+ADAPT_BENCH_MAIN(runExperiment)

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Table 3: error characteristics of the simulated IBMQ machines —
+ * qubit count, CNOT / measurement error rates, T1, T2.
+ */
+
+#include "bench_common.hh"
+
+using namespace adapt;
+
+namespace
+{
+
+void
+runExperiment()
+{
+    banner("Table 3", "Error characteristics of the simulated IBMQ "
+                      "machines (calibration cycle 0)");
+    std::printf("%-16s %7s %10s %12s %8s %8s %10s %10s\n", "machine",
+                "qubits", "cnot(%)", "meas(%)", "t1(us)",
+                "t2w(us)", "cx-lat(ns)", "cx-max(ns)");
+    for (const Device &d :
+         {Device::ibmqGuadalupe(), Device::ibmqParis(),
+          Device::ibmqToronto(), Device::ibmqRome(),
+          Device::ibmqLondon()}) {
+        const Calibration cal = d.calibration(0);
+        std::printf("%-16s %7d %10.2f %12.2f %8.1f %8.1f %10.0f "
+                    "%10.0f\n",
+                    d.name().c_str(), d.numQubits(),
+                    100.0 * cal.meanCxError(),
+                    100.0 * cal.meanMeasurementError(),
+                    cal.meanT1Us(), cal.meanT2WhiteUs(),
+                    cal.meanCxLatencyNs(), cal.maxCxLatencyNs());
+    }
+    std::printf("(paper Table 3: Guadalupe 1.27/1.86, T1 71.7; Paris "
+                "1.28/2.47, T1 80.8; Toronto 1.52/4.42, T1 105)\n");
+}
+
+void
+BM_FullCalibrationGeneration(benchmark::State &state)
+{
+    const Device d = Device::ibmqToronto();
+    int cycle = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(d.calibration(cycle++ % 8));
+}
+BENCHMARK(BM_FullCalibrationGeneration)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+ADAPT_BENCH_MAIN(runExperiment)

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Table 4: benchmark characteristics — qubit count, total gates,
+ * circuit depth, and average idle time after compilation for
+ * ibmq_toronto.
+ */
+
+#include "bench_common.hh"
+
+#include "transpile/decompose.hh"
+
+using namespace adapt;
+
+namespace
+{
+
+void
+runExperiment()
+{
+    banner("Table 4", "Quantum benchmark characteristics (compiled "
+                      "for ibmq_toronto)");
+    const Device device = Device::ibmqToronto();
+    const Calibration cal = device.calibration(0);
+    std::printf("%-10s %8s %12s %8s %14s %8s\n", "name", "qubits",
+                "total-gates", "depth", "avg-idle(us)", "swaps");
+    for (const Workload &w : paperBenchmarks()) {
+        const CompiledProgram p = transpile(w.circuit, device, cal);
+        std::printf("%-10s %8d %12d %8d %14.1f %8d\n",
+                    w.name.c_str(), w.circuit.numQubits(),
+                    p.physical.gateCount(), p.physical.depth(),
+                    p.schedule.meanIdleTime() * 1e-3, p.swapCount);
+    }
+}
+
+void
+BM_CompileFullSuite(benchmark::State &state)
+{
+    const Device device = Device::ibmqToronto();
+    const Calibration cal = device.calibration(0);
+    const auto suite = paperBenchmarks();
+    for (auto _ : state) {
+        for (const Workload &w : suite)
+            benchmark::DoNotOptimize(transpile(w.circuit, device, cal));
+    }
+}
+BENCHMARK(BM_CompileFullSuite)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+ADAPT_BENCH_MAIN(runExperiment)

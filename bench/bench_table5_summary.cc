@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Table 5: min / geometric-mean / max relative fidelity of All-DD
+ * and ADAPT across the three machines.  Uses a five-workload core
+ * suite per machine to keep the cross-product affordable.
+ */
+
+#include "bench_common.hh"
+
+using namespace adapt;
+
+namespace
+{
+
+std::vector<Workload>
+coreSuite()
+{
+    std::vector<Workload> suite;
+    for (const Workload &w : paperBenchmarks()) {
+        if (w.name == "BV-7" || w.name == "QFT-6A" ||
+            w.name == "QFT-6B" || w.name == "QAOA-8A" ||
+            w.name == "QPEA-5")
+            suite.push_back(w);
+    }
+    return suite;
+}
+
+void
+runExperiment()
+{
+    banner("Table 5", "Summary of relative fidelity across machines");
+    SuiteOptions options;
+    options.policy.shots = 600;
+    options.policy.adapt.decoyShots = 250;
+    options.policies = {Policy::NoDD, Policy::AllDD, Policy::Adapt};
+
+    std::printf("%-16s  %-28s %-28s\n", "machine",
+                "all-dd (min/gmean/max)", "adapt (min/gmean/max)");
+    for (const Device &device :
+         {Device::ibmqParis(), Device::ibmqToronto(),
+          Device::ibmqGuadalupe()}) {
+        const auto rows = evaluateSuite(coreSuite(), device,
+                                        DDProtocol::XY4, options);
+        const Summary all_dd = summarize(rows, Policy::AllDD);
+        const Summary adapt_s = summarize(rows, Policy::Adapt);
+        std::printf("%-16s  %6.2f /%6.2f /%6.2f    %6.2f /%6.2f "
+                    "/%6.2f\n",
+                    device.name().c_str(), all_dd.min, all_dd.gmean,
+                    all_dd.max, adapt_s.min, adapt_s.gmean,
+                    adapt_s.max);
+    }
+    std::printf("(paper XY4 gmeans — Paris: all-dd 1.97 / adapt "
+                "3.27; Toronto: 1.17 / 1.23; Guadalupe: 1.10 / "
+                "1.31)\n");
+}
+
+void
+BM_SummaryAggregation(benchmark::State &state)
+{
+    std::vector<SuiteRow> rows(8);
+    for (size_t i = 0; i < rows.size(); i++) {
+        rows[i].baselineFidelity = 0.2 + 0.05 * i;
+        rows[i].fidelity[Policy::NoDD] = rows[i].baselineFidelity;
+        rows[i].fidelity[Policy::Adapt] = 0.3 + 0.05 * i;
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(summarize(rows, Policy::Adapt));
+}
+BENCHMARK(BM_SummaryAggregation);
+
+} // namespace
+
+ADAPT_BENCH_MAIN(runExperiment)

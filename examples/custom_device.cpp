@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Scenario: bring your own machine and DD protocol.
+ *
+ * Builds a custom 12-qubit grid device with user-chosen error rates,
+ * compiles a QAOA workload onto it, and runs ADAPT under three DD
+ * protocols (XY4, IBMQ-DD, CPMG) — demonstrating that the framework
+ * is protocol- and topology-agnostic (Sec. 6.4 of the paper).
+ */
+
+#include <cstdio>
+
+#include "adapt/policies.hh"
+#include "sim/statevector.hh"
+#include "workloads/benchmarks.hh"
+
+using namespace adapt;
+
+int
+main()
+{
+    // 1. A custom machine: 3x4 grid, noisier CNOTs, shorter T1.
+    DeviceProfile profile;
+    profile.meanCxError = 0.015;
+    profile.meanT1Us = 60.0;
+    // A dephasing-dominated device: strong slow noise and crosstalk,
+    // the regime where DD pays off most.
+    profile.ouSigmaRadPerUs = 0.30;
+    profile.crosstalkBaseRadPerUs = 0.9;
+    profile.seed = 1234;
+    const Device device(Topology::grid(3, 4), profile);
+    const Calibration cal = device.calibration(0);
+    const NoisyMachine machine(device);
+
+    // 2. A workload: 8-qubit QAOA on the denser graph instance.
+    const Circuit qaoa = makeQaoa(8, QaoaGraph::B);
+    const CompiledProgram program = transpile(qaoa, device, cal);
+    const Distribution ideal = idealDistribution(program.physical);
+    std::printf("compiled QAOA-8B for %s: %d gates, %d SWAPs, "
+                "makespan %.1f us\n",
+                device.name().c_str(), program.physical.gateCount(),
+                program.swapCount, program.schedule.makespan() * 1e-3);
+
+    // 3. ADAPT under three DD protocols.
+    PolicyOptions options;
+    options.shots = 2000;
+    options.adapt.decoyShots = 600;
+    const double baseline =
+        evaluatePolicy(Policy::NoDD, program, machine, ideal, options)
+            .fidelity;
+    std::printf("\n%-10s %10s %10s  mask\n", "protocol", "fidelity",
+                "vs-no-dd");
+    std::printf("%-10s %10.3f %9.2fx\n", "none", baseline, 1.0);
+    for (DDProtocol protocol : {DDProtocol::XY4, DDProtocol::IbmqDD,
+                                DDProtocol::CPMG}) {
+        options.adapt.dd.protocol = protocol;
+        const PolicyOutcome outcome = evaluatePolicy(
+            Policy::Adapt, program, machine, ideal, options);
+        std::printf("%-10s %10.3f %9.2fx  ",
+                    ddProtocolName(protocol).c_str(), outcome.fidelity,
+                    outcome.fidelity / std::max(baseline, 1e-9));
+        for (bool bit : outcome.logicalMask)
+            std::printf("%d", bit ? 1 : 0);
+        std::printf("\n");
+    }
+    return 0;
+}

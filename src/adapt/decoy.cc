@@ -1,0 +1,112 @@
+#include "adapt/decoy.hh"
+
+#include <chrono>
+#include <cmath>
+
+#include "circuit/clifford1q.hh"
+#include "common/logging.hh"
+#include "transpile/decompose.hh"
+#include "sim/stabilizer.hh"
+#include "sim/statevector.hh"
+
+namespace adapt
+{
+
+std::string
+decoyKindName(DecoyKind kind)
+{
+    switch (kind) {
+      case DecoyKind::Clifford: return "cdc";
+      case DecoyKind::Trivial: return "trivial";
+      case DecoyKind::Seeded: return "sdc";
+    }
+    panic("unreachable decoy kind");
+}
+
+namespace
+{
+
+/** Number of active qubits below which exact dense simulation is
+ *  used for the ideal decoy output. */
+constexpr int kDenseIdealLimit = 20;
+
+/** Replace a single-qubit gate by its nearest Clifford's gate
+ *  sequence. */
+void
+emitNearestClifford(Circuit &out, const Gate &gate)
+{
+    const Clifford1Q &nearest = nearestClifford(gateMatrix(gate));
+    for (GateType type : nearest.gates)
+        out.add({type, {gate.qubit()}});
+}
+
+} // namespace
+
+Decoy
+makeDecoy(const Circuit &physical, const DecoyOptions &options)
+{
+    Decoy decoy{Circuit(physical.numQubits(), physical.numClbits()),
+                {}, 0.0, 0.0, 0};
+
+    // Qubits whose first non-Clifford gate is kept as an SDC seed.
+    std::vector<bool> seeded(static_cast<size_t>(physical.numQubits()),
+                             false);
+    int seeds_used = 0;
+
+    for (const Gate &gate : physical.gates()) {
+        if (!isUnitaryGate(gate.type) || isTwoQubitGate(gate.type)) {
+            decoy.circuit.add(gate);
+            continue;
+        }
+        if (options.kind == DecoyKind::Trivial) {
+            // CNOT skeleton only: every 1q unitary is dropped.
+            continue;
+        }
+        if (gate.isClifford()) {
+            decoy.circuit.add(gate);
+            continue;
+        }
+        // Non-Clifford single-qubit gate.
+        const auto q = static_cast<size_t>(gate.qubit());
+        const bool can_seed = options.kind == DecoyKind::Seeded &&
+                              !seeded[q] &&
+                              seeds_used < options.maxSeedQubits;
+        if (can_seed) {
+            seeded[q] = true;
+            seeds_used++;
+            decoy.circuit.add(gate);
+            decoy.nonCliffordGates++;
+        } else {
+            emitNearestClifford(decoy.circuit, gate);
+        }
+    }
+
+    // Nearest-Clifford realizations use named gates (H / S / SX...);
+    // lower them back to the physical basis.  CX structure is
+    // untouched.
+    decoy.circuit = decompose(decoy.circuit);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    decoy.idealOutput = decoyIdealOutput(decoy.circuit);
+    const auto t1 = std::chrono::steady_clock::now();
+    decoy.simTimeSec =
+        std::chrono::duration<double>(t1 - t0).count();
+    decoy.idealEntropy = decoy.idealOutput.entropy();
+    return decoy;
+}
+
+Distribution
+decoyIdealOutput(const Circuit &circuit, int stabilizer_shots,
+                 uint64_t seed)
+{
+    const Circuit reduced = restrictToActiveQubits(circuit);
+    if (reduced.numQubits() <= kDenseIdealLimit)
+        return idealDistribution(reduced);
+    require(reduced.isClifford(),
+            "wide non-Clifford decoy: ideal output not computable "
+            "(reduce seed count or program width)");
+    Rng rng(seed);
+    return cliffordSample(reduced, stabilizer_shots, rng);
+}
+
+} // namespace adapt

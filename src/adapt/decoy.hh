@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Decoy circuit generation (Sec. 4.2 of the paper).
+ *
+ * A decoy is structurally identical to the compiled input program —
+ * same CNOTs on the same physical links, hence the same crosstalk and
+ * nearly identical idle windows — but classically simulable, so its
+ * correct output is known and DD-mask candidates can be scored
+ * against it on the (noisy) machine.
+ *
+ * Three flavours:
+ *  - Clifford Decoy Circuit (CDC): every non-Clifford single-qubit
+ *    gate is replaced by its nearest Clifford under the
+ *    phase-optimized operator norm (Eq. 1).
+ *  - Trivial decoy: all single-qubit gates dropped; only the CNOT
+ *    skeleton remains (Fig. 10(b); misses phase errors).
+ *  - Seeded Decoy Circuit (SDC): like CDC, but the first non-Clifford
+ *    gate on each of a few seed qubits is kept verbatim, producing a
+ *    richer state evolution with a low-entropy output
+ *    (Sec. 4.2.3).
+ */
+
+#ifndef ADAPT_ADAPT_DECOY_HH
+#define ADAPT_ADAPT_DECOY_HH
+
+#include "circuit/circuit.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+namespace adapt
+{
+
+/** Decoy construction strategy. */
+enum class DecoyKind
+{
+    Clifford, //!< CDC
+    Trivial,  //!< CNOT skeleton only
+    Seeded,   //!< SDC (default in ADAPT)
+};
+
+/** Name for logs: "cdc", "trivial", "sdc". */
+std::string decoyKindName(DecoyKind kind);
+
+/** Decoy generation knobs. */
+struct DecoyOptions
+{
+    DecoyKind kind = DecoyKind::Seeded;
+
+    /** SDC only: number of qubits whose first non-Clifford gate is
+     *  preserved as a seed. */
+    int maxSeedQubits = 3;
+};
+
+/** A generated decoy plus its ideal-output bookkeeping. */
+struct Decoy
+{
+    /** Physical-basis circuit, same CX structure as the input. */
+    Circuit circuit{1};
+
+    /** Noise-free output distribution (the known solution). */
+    Distribution idealOutput;
+
+    /** Shannon entropy of idealOutput (bits); low entropy = more
+     *  sensitive to idling errors (Sec. 4.2.3). */
+    double idealEntropy = 0.0;
+
+    /** Wall-clock seconds spent computing idealOutput (Table 2's
+     *  SDC-SimTime column). */
+    double simTimeSec = 0.0;
+
+    /** Number of non-Clifford gates remaining (0 for CDC/Trivial). */
+    int nonCliffordGates = 0;
+};
+
+/**
+ * Build the decoy of a compiled physical circuit.
+ *
+ * @pre @p physical is in the physical basis (RZ / SX / X / Y / CX).
+ */
+Decoy makeDecoy(const Circuit &physical, const DecoyOptions &options);
+
+/**
+ * Noise-free output distribution of a (decoy) circuit: exact dense
+ * simulation when the active-qubit count is small, stabilizer
+ * sampling otherwise (Clifford circuits only).
+ *
+ * @param stabilizer_shots Shots used when falling back to the
+ *        tableau simulator.
+ */
+Distribution decoyIdealOutput(const Circuit &circuit,
+                              int stabilizer_shots = 20000,
+                              uint64_t seed = 12345);
+
+} // namespace adapt
+
+#endif // ADAPT_ADAPT_DECOY_HH

@@ -1,0 +1,128 @@
+#include "adapt/policies.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace adapt
+{
+
+std::string
+policyName(Policy policy)
+{
+    switch (policy) {
+      case Policy::NoDD: return "no-dd";
+      case Policy::AllDD: return "all-dd";
+      case Policy::Adapt: return "adapt";
+      case Policy::RuntimeBest: return "runtime-best";
+    }
+    panic("unreachable policy");
+}
+
+ScheduledCircuit
+applyMask(const CompiledProgram &program, const NoisyMachine &machine,
+          const DDOptions &dd, const std::vector<bool> &logical_mask)
+{
+    return insertDD(program.schedule, machine.calibration(), dd,
+                    liftMask(program, logical_mask));
+}
+
+namespace
+{
+
+PolicyOutcome
+runWithMask(Policy policy, const CompiledProgram &program,
+            const NoisyMachine &machine, const Distribution &ideal,
+            const PolicyOptions &options,
+            const std::vector<bool> &logical_mask, uint64_t seed)
+{
+    PolicyOutcome outcome;
+    outcome.policy = policy;
+    outcome.logicalMask = logical_mask;
+    ScheduledCircuit sched =
+        applyMask(program, machine, options.adapt.dd, logical_mask);
+    if (policy == Policy::AllDD) {
+        // All-DD covers *every* qubit (including routing ancillas),
+        // not just program qubits.
+        sched = insertDDAll(program.schedule, machine.calibration(),
+                            options.adapt.dd);
+    }
+    outcome.ddPulses = ddPulseCount(sched);
+    outcome.output = machine.run(sched, options.shots, seed);
+    outcome.fidelity = fidelity(ideal, outcome.output);
+    return outcome;
+}
+
+} // namespace
+
+PolicyOutcome
+evaluatePolicy(Policy policy, const CompiledProgram &program,
+               const NoisyMachine &machine, const Distribution &ideal,
+               const PolicyOptions &options)
+{
+    const auto n_log = static_cast<size_t>(program.logicalQubits);
+    const std::vector<bool> none(n_log, false);
+    const std::vector<bool> all(n_log, true);
+
+    switch (policy) {
+      case Policy::NoDD:
+        return runWithMask(policy, program, machine, ideal, options,
+                           none, options.seed);
+      case Policy::AllDD:
+        return runWithMask(policy, program, machine, ideal, options,
+                           all, options.seed);
+      case Policy::Adapt: {
+        const AdaptResult search =
+            adaptSearch(program, machine, options.adapt);
+        PolicyOutcome outcome =
+            runWithMask(policy, program, machine, ideal, options,
+                        search.logicalMask, options.seed);
+        outcome.searchRuns = search.decoysExecuted;
+        return outcome;
+      }
+      case Policy::RuntimeBest: {
+        // Oracle: try masks on the *real* program and keep the best.
+        std::vector<std::vector<bool>> candidates;
+        const uint64_t full = uint64_t{1} << n_log;
+        if (full <= static_cast<uint64_t>(options.runtimeBestBudget)) {
+            for (uint64_t bits = 0; bits < full; bits++) {
+                std::vector<bool> mask(n_log, false);
+                for (size_t b = 0; b < n_log; b++)
+                    mask[b] = (bits >> b) & 1;
+                candidates.push_back(std::move(mask));
+            }
+        } else {
+            // Sampled enumeration: the exact oracle is exponential;
+            // keep the two structured masks plus random ones.
+            candidates.push_back(none);
+            candidates.push_back(all);
+            Rng rng(options.seed ^ 0xbe57);
+            while (static_cast<int>(candidates.size()) <
+                   options.runtimeBestBudget) {
+                std::vector<bool> mask(n_log, false);
+                for (size_t b = 0; b < n_log; b++)
+                    mask[b] = rng.bernoulli(0.5);
+                candidates.push_back(std::move(mask));
+            }
+        }
+
+        PolicyOutcome best;
+        best.policy = policy;
+        best.fidelity = -1.0;
+        int runs = 0;
+        for (const auto &mask : candidates) {
+            PolicyOutcome outcome = runWithMask(
+                policy, program, machine, ideal, options, mask,
+                options.seed + static_cast<uint64_t>(runs) * 104729);
+            runs++;
+            if (outcome.fidelity > best.fidelity)
+                best = std::move(outcome);
+        }
+        best.searchRuns = runs;
+        return best;
+      }
+    }
+    panic("unreachable policy");
+}
+
+} // namespace adapt

@@ -1,0 +1,128 @@
+#include "adapt/search.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace adapt
+{
+
+std::vector<bool>
+liftMask(const CompiledProgram &program,
+         const std::vector<bool> &logical_mask)
+{
+    require(static_cast<int>(logical_mask.size()) ==
+            program.logicalQubits,
+            "logical mask width does not match the program");
+    std::vector<bool> physical(
+        program.initialLayout.physicalToLogical.size(), false);
+    for (size_t lq = 0; lq < logical_mask.size(); lq++) {
+        if (logical_mask[lq]) {
+            const QubitId p = program.initialLayout.logicalToPhysical[lq];
+            physical[static_cast<size_t>(p)] = true;
+        }
+    }
+    return physical;
+}
+
+AdaptResult
+adaptSearch(const CompiledProgram &program, const NoisyMachine &machine,
+            const AdaptOptions &options)
+{
+    require(options.neighborhoodSize >= 1,
+            "neighbourhood size must be at least 1");
+
+    AdaptResult result;
+    result.decoy = makeDecoy(program.physical, options.decoy);
+
+    // Time the decoy identically to the input program.
+    const ScheduledCircuit decoy_sched =
+        reschedule(result.decoy.circuit, machine.device(),
+                   machine.calibration());
+
+    const int n_log = program.logicalQubits;
+    result.logicalMask.assign(static_cast<size_t>(n_log), false);
+
+    // Search order: logical qubits by descending idle time of their
+    // physical host — the qubits where the DD decision matters most
+    // are decided first.
+    std::vector<QubitId> order(static_cast<size_t>(n_log));
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(
+        order.begin(), order.end(), [&](QubitId a, QubitId b) {
+            const QubitId pa = program.initialLayout.logicalToPhysical[
+                static_cast<size_t>(a)];
+            const QubitId pb = program.initialLayout.logicalToPhysical[
+                static_cast<size_t>(b)];
+            return program.schedule.totalIdleTime(pa) >
+                   program.schedule.totalIdleTime(pb);
+        });
+
+    int eval_index = 0;
+    auto evaluate = [&](const std::vector<bool> &logical_mask) {
+        const ScheduledCircuit with_dd =
+            insertDD(decoy_sched, machine.calibration(), options.dd,
+                     liftMask(program, logical_mask));
+        const Distribution out = machine.run(
+            with_dd, options.decoyShots,
+            options.seed + static_cast<uint64_t>(eval_index) * 7919);
+        eval_index++;
+        return fidelity(result.decoy.idealOutput, out);
+    };
+
+    result.bestDecoyFidelity = -1.0;
+    for (size_t group_start = 0;
+         group_start < static_cast<size_t>(n_log);
+         group_start += static_cast<size_t>(options.neighborhoodSize)) {
+        const size_t group_end =
+            std::min(group_start +
+                         static_cast<size_t>(options.neighborhoodSize),
+                     static_cast<size_t>(n_log));
+        const int group_bits = static_cast<int>(group_end - group_start);
+
+        // Exhaustive sweep of this neighbourhood with all previously
+        // decided bits frozen.
+        uint32_t best_combo = 0, second_combo = 0;
+        double best_fid = -1.0, second_fid = -1.0;
+        for (uint32_t combo = 0;
+             combo < (uint32_t{1} << group_bits); combo++) {
+            std::vector<bool> candidate = result.logicalMask;
+            for (int b = 0; b < group_bits; b++) {
+                candidate[static_cast<size_t>(
+                    order[group_start + static_cast<size_t>(b)])] =
+                    (combo >> b) & 1;
+            }
+            const double fid = evaluate(candidate);
+            if (fid > best_fid) {
+                second_fid = best_fid;
+                second_combo = best_combo;
+                best_fid = fid;
+                best_combo = combo;
+            } else if (fid > second_fid) {
+                second_fid = fid;
+                second_combo = combo;
+            }
+        }
+
+        // Conservative estimate: union of the top-2 predictions
+        // (Sec. 4.3: "1001" + "1011" -> "1011").
+        const uint32_t chosen =
+            options.conservativeMerge && second_fid >= 0.0
+                ? (best_combo | second_combo)
+                : best_combo;
+        for (int b = 0; b < group_bits; b++) {
+            result.logicalMask[static_cast<size_t>(
+                order[group_start + static_cast<size_t>(b)])] =
+                (chosen >> b) & 1;
+        }
+        result.bestDecoyFidelity = std::max(result.bestDecoyFidelity,
+                                            best_fid);
+    }
+
+    result.decoysExecuted = eval_index;
+    result.physicalMask = liftMask(program, result.logicalMask);
+    return result;
+}
+
+} // namespace adapt

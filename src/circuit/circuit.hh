@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The Circuit container: an ordered list of Gate operations over a
+ * fixed set of qubits, with convenience builders for every gate type,
+ * structural queries (depth, gate counts), and a text dump.
+ */
+
+#ifndef ADAPT_CIRCUIT_CIRCUIT_HH
+#define ADAPT_CIRCUIT_CIRCUIT_HH
+
+#include <string>
+#include <vector>
+
+#include "circuit/gate.hh"
+#include "common/types.hh"
+
+namespace adapt
+{
+
+/**
+ * An ordered quantum circuit.
+ *
+ * Measurement maps qubit i to classical bit i (the paper's workloads
+ * all measure in the computational basis at the end, so a richer
+ * classical register model is unnecessary).
+ */
+class Circuit
+{
+  public:
+    /**
+     * Construct a circuit over @p num_qubits qubits with
+     * @p num_clbits classical bits (-1: one per qubit).
+     */
+    explicit Circuit(int num_qubits, int num_clbits = -1);
+
+    int numQubits() const { return numQubits_; }
+    int numClbits() const { return numClbits_; }
+
+    const std::vector<Gate> &gates() const { return gates_; }
+
+    /** Mutable access for in-place rewrites (e.g. RZ merging). */
+    Gate &gateAt(size_t index) { return gates_.at(index); }
+
+    size_t size() const { return gates_.size(); }
+    bool empty() const { return gates_.empty(); }
+
+    /** Append a fully-formed gate, validating qubit indices. */
+    void add(Gate gate);
+
+    /** @name Single-qubit builders @{ */
+    void i(QubitId q) { add({GateType::I, {q}}); }
+    void x(QubitId q) { add({GateType::X, {q}}); }
+    void y(QubitId q) { add({GateType::Y, {q}}); }
+    void z(QubitId q) { add({GateType::Z, {q}}); }
+    void h(QubitId q) { add({GateType::H, {q}}); }
+    void s(QubitId q) { add({GateType::S, {q}}); }
+    void sdg(QubitId q) { add({GateType::Sdg, {q}}); }
+    void t(QubitId q) { add({GateType::T, {q}}); }
+    void tdg(QubitId q) { add({GateType::Tdg, {q}}); }
+    void sx(QubitId q) { add({GateType::SX, {q}}); }
+    void sxdg(QubitId q) { add({GateType::SXdg, {q}}); }
+    void rx(double theta, QubitId q) { add({GateType::RX, {q}, {theta}}); }
+    void ry(double theta, QubitId q) { add({GateType::RY, {q}, {theta}}); }
+    void rz(double theta, QubitId q) { add({GateType::RZ, {q}, {theta}}); }
+    void u1(double lam, QubitId q) { add({GateType::U1, {q}, {lam}}); }
+
+    void
+    u2(double phi, double lam, QubitId q)
+    {
+        add({GateType::U2, {q}, {phi, lam}});
+    }
+
+    void
+    u3(double theta, double phi, double lam, QubitId q)
+    {
+        add({GateType::U3, {q}, {theta, phi, lam}});
+    }
+    /** @} */
+
+    /** @name Two-qubit builders @{ */
+    void cx(QubitId control, QubitId target);
+    void cz(QubitId a, QubitId b);
+    void swap(QubitId a, QubitId b);
+    /** @} */
+
+    /** @name Structural operations @{ */
+    void measure(QubitId q, int clbit = -1);
+    void measureAll();
+    void barrier();
+    void delay(TimeNs duration_ns, QubitId q);
+    /** @} */
+
+    /** Number of operations of the given type. */
+    int countOf(GateType type) const;
+
+    /** Total unitary gate count (excludes Measure/Barrier/Delay). */
+    int gateCount() const;
+
+    /** Number of two-qubit gates. */
+    int twoQubitGateCount() const;
+
+    /**
+     * Circuit depth: the length of the longest dependency chain of
+     * unitary + measure operations (barriers synchronize all qubits
+     * but add no depth; delays add no depth).
+     */
+    int depth() const;
+
+    /** True if every unitary gate is Clifford. */
+    bool isClifford() const;
+
+    /** Concatenate another circuit's gates (same width required). */
+    void append(const Circuit &other);
+
+    /** OpenQASM-flavoured multi-line listing. */
+    std::string toString() const;
+
+  private:
+    int numQubits_;
+    int numClbits_;
+    std::vector<Gate> gates_;
+};
+
+} // namespace adapt
+
+#endif // ADAPT_CIRCUIT_CIRCUIT_HH

@@ -1,0 +1,102 @@
+#include "circuit/clifford1q.hh"
+
+#include <deque>
+#include <mutex>
+
+#include "common/logging.hh"
+
+namespace adapt
+{
+
+namespace
+{
+
+/**
+ * Canonical named generators used when expanding the group.  Listing
+ * extra generators beyond {H, S} keeps the recorded realizations
+ * short (e.g. X rather than H S S H ... chains).
+ */
+const std::vector<GateType> kGenerators = {
+    GateType::H,   GateType::S,  GateType::Sdg, GateType::X,
+    GateType::Y,   GateType::Z,  GateType::SX,  GateType::SXdg,
+};
+
+std::vector<Clifford1Q>
+buildGroup()
+{
+    std::vector<Clifford1Q> group;
+    group.push_back({Matrix2::identity(), {}});
+
+    // BFS over products: guarantees each element is recorded with a
+    // minimal-length realization over the generator set.
+    std::deque<size_t> frontier = {0};
+    while (!frontier.empty()) {
+        const size_t idx = frontier.front();
+        frontier.pop_front();
+        // Copy, since group may reallocate as we push.
+        const Clifford1Q current = group[idx];
+        for (GateType gen : kGenerators) {
+            // Circuit order: existing sequence then `gen`, so the
+            // matrix is M(gen) * current.
+            const Matrix2 candidate = gateMatrix(gen) * current.matrix;
+            bool known = false;
+            for (const auto &member : group) {
+                if (member.matrix.equalsUpToPhase(candidate, 1e-9)) {
+                    known = true;
+                    break;
+                }
+            }
+            if (known)
+                continue;
+            Clifford1Q entry;
+            entry.matrix = candidate;
+            entry.gates = current.gates;
+            entry.gates.push_back(gen);
+            group.push_back(std::move(entry));
+            frontier.push_back(group.size() - 1);
+        }
+    }
+
+    if (group.size() != 24)
+        panic("single-qubit Clifford group closure produced " +
+              std::to_string(group.size()) + " elements, expected 24");
+    return group;
+}
+
+} // namespace
+
+const std::vector<Clifford1Q> &
+clifford1QGroup()
+{
+    static const std::vector<Clifford1Q> group = buildGroup();
+    return group;
+}
+
+const Clifford1Q &
+nearestClifford(const Matrix2 &u)
+{
+    require(u.isUnitary(1e-6), "nearestClifford requires a unitary input");
+    const auto &group = clifford1QGroup();
+    const Clifford1Q *best = nullptr;
+    double best_dist = 1e300;
+    for (const auto &member : group) {
+        const double dist = unitaryDistance(u, member.matrix);
+        const bool closer = dist < best_dist - 1e-12;
+        const bool tie_shorter =
+            std::abs(dist - best_dist) <= 1e-12 && best &&
+            member.gates.size() < best->gates.size();
+        if (closer || tie_shorter) {
+            best_dist = dist;
+            best = &member;
+        }
+    }
+    return *best;
+}
+
+double
+distanceToCliffordGroup(const Matrix2 &u)
+{
+    return unitaryDistance(u, nearestClifford(u).matrix);
+}
+
+} // namespace adapt

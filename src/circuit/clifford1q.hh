@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The 24-element single-qubit Clifford group, with gate-sequence
+ * realizations and nearest-Clifford lookup under the phase-optimized
+ * operator norm (Eq. 1 of the paper).  This is the engine behind the
+ * Clifford Decoy Circuit generator: each non-Clifford single-qubit
+ * gate of the input program is replaced by the closest Clifford.
+ */
+
+#ifndef ADAPT_CIRCUIT_CLIFFORD1Q_HH
+#define ADAPT_CIRCUIT_CLIFFORD1Q_HH
+
+#include <vector>
+
+#include "circuit/gate.hh"
+#include "common/matrix2.hh"
+
+namespace adapt
+{
+
+/**
+ * One element of the single-qubit Clifford group.
+ */
+struct Clifford1Q
+{
+    /** Unitary matrix (a canonical phase representative). */
+    Matrix2 matrix;
+
+    /**
+     * A shortest realization as a product of named gates from
+     * {I, X, Y, Z, H, S, Sdg, SX, SXdg}; applied left-to-right in
+     * circuit order.
+     */
+    std::vector<GateType> gates;
+};
+
+/**
+ * The full single-qubit Clifford group (24 elements up to global
+ * phase), generated once by BFS closure over {H, S} and memoized.
+ */
+const std::vector<Clifford1Q> &clifford1QGroup();
+
+/**
+ * The Clifford group element closest to @p u under the
+ * phase-optimized operator norm distance; ties broken towards the
+ * shorter gate sequence.
+ *
+ * @pre u is unitary.
+ */
+const Clifford1Q &nearestClifford(const Matrix2 &u);
+
+/**
+ * Distance from @p u to its nearest Clifford; zero (within numerical
+ * tolerance) iff u is itself Clifford up to phase.
+ */
+double distanceToCliffordGroup(const Matrix2 &u);
+
+} // namespace adapt
+
+#endif // ADAPT_CIRCUIT_CLIFFORD1Q_HH

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Gate-level intermediate representation.
+ *
+ * The gate set covers the logical gates produced by the workload
+ * generators (H, T, RY, U1/U2/U3, ...), the IBMQ physical basis the
+ * transpiler lowers to ({RZ, SX, X, CX} + Measure), and the scheduling
+ * artefacts (Delay, Barrier) needed by the Gate Sequence Table and the
+ * DD insertion pass.
+ */
+
+#ifndef ADAPT_CIRCUIT_GATE_HH
+#define ADAPT_CIRCUIT_GATE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/matrix2.hh"
+#include "common/types.hh"
+
+namespace adapt
+{
+
+/** Every operation kind understood by the toolchain. */
+enum class GateType
+{
+    // Single-qubit logical / physical gates.
+    I,
+    X,
+    Y,
+    Z,
+    H,
+    S,
+    Sdg,
+    T,
+    Tdg,
+    SX,
+    SXdg,
+    RX,
+    RY,
+    RZ,
+    U1,
+    U2,
+    U3,
+    // Two-qubit gates.
+    CX,
+    CZ,
+    SWAP,
+    // Non-unitary / structural operations.
+    Measure,
+    Barrier,
+    Delay,
+};
+
+/** Number of qubit operands a gate type takes (Barrier is variadic). */
+int gateArity(GateType type);
+
+/** Number of angle parameters a gate type carries. */
+int gateParamCount(GateType type);
+
+/** Lower-case mnemonic, e.g. "cx", "u3". */
+std::string gateName(GateType type);
+
+/** True for gates that implement a unitary (excludes Measure etc.). */
+bool isUnitaryGate(GateType type);
+
+/** True for the two-qubit entangling gates. */
+bool isTwoQubitGate(GateType type);
+
+/**
+ * True if the gate is a member of the Clifford group for any
+ * parameter value (parameter-dependent membership, e.g. RZ(pi/2), is
+ * handled by Gate::isClifford()).
+ */
+bool isCliffordType(GateType type);
+
+/**
+ * One operation instance: a gate type, its qubit operands, and its
+ * angle parameters.
+ */
+struct Gate
+{
+    GateType type = GateType::I;
+    std::vector<QubitId> qubits;
+    std::vector<double> params;
+
+    /**
+     * Destination classical bit for Measure gates; -1 means "same
+     * index as the measured qubit".  Routing rewrites this so that
+     * measured results stay in program-qubit order after SWAPs.
+     */
+    int clbit = -1;
+
+    Gate() = default;
+    Gate(GateType t, std::vector<QubitId> qs, std::vector<double> ps = {});
+
+    /** First (or only) qubit operand. */
+    QubitId qubit() const { return qubits.at(0); }
+
+    /** Control qubit of a two-qubit gate. */
+    QubitId control() const { return qubits.at(0); }
+
+    /** Target qubit of a two-qubit gate. */
+    QubitId target() const { return qubits.at(1); }
+
+    /** Delay duration in nanoseconds. @pre type == Delay */
+    TimeNs delayDuration() const;
+
+    /**
+     * True if this instance is a Clifford operation, including
+     * parametrized gates whose angle lands on a multiple of pi/2.
+     */
+    bool isClifford() const;
+
+    /** Human-readable form, e.g. "cx q1, q4" or "rz(0.7854) q0". */
+    std::string toString() const;
+
+    bool operator==(const Gate &other) const;
+};
+
+/**
+ * The 2x2 unitary matrix of a single-qubit gate instance.
+ *
+ * @pre gateArity(type) == 1 and the gate is unitary.
+ */
+Matrix2 gateMatrix(GateType type, const std::vector<double> &params = {});
+
+/** Convenience overload. */
+Matrix2 gateMatrix(const Gate &gate);
+
+} // namespace adapt
+
+#endif // ADAPT_CIRCUIT_GATE_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Minimal fatal/panic-style error reporting, modelled after gem5's
+ * logging conventions: panic() for internal invariant violations,
+ * fatal() for user-caused misconfiguration.
+ */
+
+#ifndef ADAPT_COMMON_LOGGING_HH
+#define ADAPT_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace adapt
+{
+
+/** Thrown when a caller violates an API precondition. */
+class UsageError : public std::runtime_error
+{
+  public:
+    explicit UsageError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Thrown when an internal invariant is broken (a library bug). */
+class InternalError : public std::logic_error
+{
+  public:
+    explicit InternalError(const std::string &msg)
+        : std::logic_error(msg) {}
+};
+
+/**
+ * Report a user-caused error (bad arguments, impossible configuration).
+ *
+ * @param msg Human-readable description of the misuse.
+ */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    throw UsageError(msg);
+}
+
+/**
+ * Report an internal invariant violation.
+ *
+ * @param msg Human-readable description of the broken invariant.
+ */
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    throw InternalError(msg);
+}
+
+/** Abort with fatal() unless @p cond holds. */
+inline void
+require(bool cond, const std::string &msg)
+{
+    if (!cond)
+        fatal(msg);
+}
+
+} // namespace adapt
+
+#endif // ADAPT_COMMON_LOGGING_HH

@@ -1,0 +1,175 @@
+#include "common/matrix2.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace adapt
+{
+
+Matrix2::Matrix2() : elems_{Complex{}, Complex{}, Complex{}, Complex{}} {}
+
+Matrix2::Matrix2(Complex a, Complex b, Complex c, Complex d)
+    : elems_{a, b, c, d}
+{
+}
+
+Matrix2
+Matrix2::identity()
+{
+    return {1.0, 0.0, 0.0, 1.0};
+}
+
+Complex &
+Matrix2::operator()(int row, int col)
+{
+    return elems_[2 * row + col];
+}
+
+const Complex &
+Matrix2::operator()(int row, int col) const
+{
+    return elems_[2 * row + col];
+}
+
+Matrix2
+Matrix2::operator*(const Matrix2 &other) const
+{
+    const auto &a = *this;
+    return {a(0, 0) * other(0, 0) + a(0, 1) * other(1, 0),
+            a(0, 0) * other(0, 1) + a(0, 1) * other(1, 1),
+            a(1, 0) * other(0, 0) + a(1, 1) * other(1, 0),
+            a(1, 0) * other(0, 1) + a(1, 1) * other(1, 1)};
+}
+
+Matrix2
+Matrix2::operator+(const Matrix2 &other) const
+{
+    return {elems_[0] + other.elems_[0], elems_[1] + other.elems_[1],
+            elems_[2] + other.elems_[2], elems_[3] + other.elems_[3]};
+}
+
+Matrix2
+Matrix2::operator-(const Matrix2 &other) const
+{
+    return {elems_[0] - other.elems_[0], elems_[1] - other.elems_[1],
+            elems_[2] - other.elems_[2], elems_[3] - other.elems_[3]};
+}
+
+Matrix2
+Matrix2::operator*(Complex scalar) const
+{
+    return {elems_[0] * scalar, elems_[1] * scalar, elems_[2] * scalar,
+            elems_[3] * scalar};
+}
+
+Matrix2
+Matrix2::dagger() const
+{
+    return {std::conj(elems_[0]), std::conj(elems_[2]),
+            std::conj(elems_[1]), std::conj(elems_[3])};
+}
+
+Complex
+Matrix2::trace() const
+{
+    return elems_[0] + elems_[3];
+}
+
+Complex
+Matrix2::det() const
+{
+    return elems_[0] * elems_[3] - elems_[1] * elems_[2];
+}
+
+double
+Matrix2::frobeniusNorm() const
+{
+    double sum = 0.0;
+    for (const auto &e : elems_)
+        sum += std::norm(e);
+    return std::sqrt(sum);
+}
+
+double
+Matrix2::operatorNorm() const
+{
+    // Singular values of a 2x2 matrix A: eigenvalues of A^dag A.
+    const Matrix2 gram = dagger() * (*this);
+    const double tr = gram.trace().real();
+    const double dt = gram.det().real();
+    const double disc = std::max(0.0, tr * tr / 4.0 - dt);
+    const double lambda_max = tr / 2.0 + std::sqrt(disc);
+    return std::sqrt(std::max(0.0, lambda_max));
+}
+
+bool
+Matrix2::isUnitary(double tol) const
+{
+    const Matrix2 residual = (*this) * dagger() - identity();
+    return residual.frobeniusNorm() < tol;
+}
+
+bool
+Matrix2::equalsUpToPhase(const Matrix2 &other, double tol) const
+{
+    // Find the element of largest magnitude in `other` to extract the
+    // relative phase robustly.
+    int best = 0;
+    double best_mag = 0.0;
+    for (int i = 0; i < 4; i++) {
+        const double mag = std::abs(other.elems_[i]);
+        if (mag > best_mag) {
+            best_mag = mag;
+            best = i;
+        }
+    }
+    if (best_mag < tol)
+        return frobeniusNorm() < tol;
+    const Complex phase = elems_[best] / other.elems_[best];
+    if (std::abs(std::abs(phase) - 1.0) > tol)
+        return false;
+    return ((*this) - other * phase).frobeniusNorm() < tol;
+}
+
+std::array<double, 2>
+Matrix2::eigenphases() const
+{
+    // For a unitary U: eigenvalues are roots of
+    //   lambda^2 - tr(U) lambda + det(U) = 0.
+    const Complex tr = trace();
+    const Complex dt = det();
+    const Complex disc = std::sqrt(tr * tr - 4.0 * dt);
+    const Complex l1 = (tr + disc) / 2.0;
+    const Complex l2 = (tr - disc) / 2.0;
+    return {std::arg(l1), std::arg(l2)};
+}
+
+double
+unitaryDistance(const Matrix2 &u, const Matrix2 &v)
+{
+    // || U - e^{i phi} V ||_inf = || V^dag U - e^{i phi} I ||_inf
+    //                           = max_j | e^{i a_j} - e^{i phi} |
+    // with a_j the eigenphases of W = V^dag U.  The optimal phi is the
+    // circular midpoint of the two eigenphases, giving
+    //   d = 2 |sin((a1 - a2) / 4)|  ... for the midpoint on the short
+    // arc.  We evaluate both midpoints and take the min for safety.
+    const Matrix2 w = v.dagger() * u;
+    const auto phases = w.eigenphases();
+    const double a1 = phases[0];
+    const double a2 = phases[1];
+
+    auto dist_for_phi = [&](double phi) {
+        const double d1 = std::abs(Complex(std::cos(a1), std::sin(a1)) -
+                                   Complex(std::cos(phi), std::sin(phi)));
+        const double d2 = std::abs(Complex(std::cos(a2), std::sin(a2)) -
+                                   Complex(std::cos(phi), std::sin(phi)));
+        return std::max(d1, d2);
+    };
+
+    const double mid = (a1 + a2) / 2.0;
+    return std::min(dist_for_phi(mid), dist_for_phi(mid + kPi));
+}
+
+} // namespace adapt

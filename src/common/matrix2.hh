@@ -1,0 +1,95 @@
+/**
+ * @file
+ * 2x2 complex matrix algebra for single-qubit unitaries.
+ *
+ * Every single-qubit gate in the library has an exact 2x2 matrix
+ * representation; the decoy generator additionally needs eigenphases
+ * and the phase-optimized operator norm distance of Eq. (1) in the
+ * paper.
+ */
+
+#ifndef ADAPT_COMMON_MATRIX2_HH
+#define ADAPT_COMMON_MATRIX2_HH
+
+#include <array>
+
+#include "common/types.hh"
+
+namespace adapt
+{
+
+/** Dense 2x2 complex matrix (row major). */
+class Matrix2
+{
+  public:
+    /** Zero matrix. */
+    Matrix2();
+
+    /** Element-wise constructor, row major. */
+    Matrix2(Complex a, Complex b, Complex c, Complex d);
+
+    /** Identity matrix. */
+    static Matrix2 identity();
+
+    Complex &operator()(int row, int col);
+    const Complex &operator()(int row, int col) const;
+
+    Matrix2 operator*(const Matrix2 &other) const;
+    Matrix2 operator+(const Matrix2 &other) const;
+    Matrix2 operator-(const Matrix2 &other) const;
+    Matrix2 operator*(Complex scalar) const;
+
+    /** Conjugate transpose. */
+    Matrix2 dagger() const;
+
+    /** Trace. */
+    Complex trace() const;
+
+    /** Determinant. */
+    Complex det() const;
+
+    /** Frobenius norm. */
+    double frobeniusNorm() const;
+
+    /** Largest singular value (the operator / spectral norm). */
+    double operatorNorm() const;
+
+    /**
+     * True if this matrix is unitary to within @p tol in Frobenius
+     * norm of (U U^dag - I).
+     */
+    bool isUnitary(double tol = 1e-9) const;
+
+    /**
+     * True if the two matrices are equal up to a global phase,
+     * i.e. U = e^{i phi} V for some real phi, within @p tol.
+     */
+    bool equalsUpToPhase(const Matrix2 &other, double tol = 1e-9) const;
+
+    /**
+     * Eigenphases of a unitary matrix.
+     *
+     * @return Angles {a1, a2} with eigenvalues e^{i a1}, e^{i a2}.
+     * @pre The matrix is unitary.
+     */
+    std::array<double, 2> eigenphases() const;
+
+  private:
+    std::array<Complex, 4> elems_;
+};
+
+/**
+ * Phase-optimized operator norm distance between two unitaries:
+ *   d(U, V) = min over phi of || U - e^{i phi} V ||_inf
+ *
+ * This is the distance measure the paper uses (Eq. 1) to pick the
+ * closest Clifford replacement for a non-Clifford gate, made
+ * phase-insensitive because global phase is unobservable.
+ *
+ * @pre Both matrices are unitary.
+ */
+double unitaryDistance(const Matrix2 &u, const Matrix2 &v);
+
+} // namespace adapt
+
+#endif // ADAPT_COMMON_MATRIX2_HH

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Statistics utilities used by the reliability metrics and the
+ * experiment harness: measured output distributions, Total Variation
+ * Distance (TVD) based fidelity (Sec. 5.4 of the paper), rank
+ * correlations (Fig. 9 / Table 2), histograms, and summary
+ * aggregations (Table 5).
+ */
+
+#ifndef ADAPT_COMMON_STATS_HH
+#define ADAPT_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace adapt
+{
+
+/**
+ * Empirical distribution over measurement bitstrings.
+ *
+ * Bitstrings are stored as integers; bit i of the key is the outcome
+ * of classical bit i.  Counts are accumulated with addSample() and the
+ * distribution is normalized lazily by probabilities().
+ */
+class Distribution
+{
+  public:
+    Distribution() = default;
+
+    /** Record one observed outcome. */
+    void addSample(uint64_t outcome);
+
+    /** Record @p count observations of @p outcome at once. */
+    void addSamples(uint64_t outcome, uint64_t count);
+
+    /** Set the exact probability of an outcome (for ideal outputs). */
+    void setProbability(uint64_t outcome, double prob);
+
+    /** Total number of recorded samples (0 for exact distributions). */
+    uint64_t totalSamples() const { return totalSamples_; }
+
+    /** Number of distinct outcomes with non-zero weight. */
+    size_t support() const { return weights_.size(); }
+
+    /** Normalized probability of an outcome (0 if never seen). */
+    double probability(uint64_t outcome) const;
+
+    /** All outcomes with their normalized probabilities. */
+    std::map<uint64_t, double> probabilities() const;
+
+    /** Shannon entropy (bits) of the normalized distribution. */
+    double entropy() const;
+
+    /** Outcome with the highest weight. @pre not empty */
+    uint64_t mode() const;
+
+    bool empty() const { return weights_.empty(); }
+
+  private:
+    std::map<uint64_t, double> weights_;
+    double totalWeight_ = 0.0;
+    uint64_t totalSamples_ = 0;
+};
+
+/**
+ * Total Variation Distance between two distributions:
+ *   TVD(P, Q) = 1/2 * sum_i |P_i - Q_i|
+ */
+double totalVariationDistance(const Distribution &p, const Distribution &q);
+
+/**
+ * Program fidelity as defined in the paper (Eq. 3):
+ *   Fidelity = 1 - TVD(ideal, measured)
+ */
+double fidelity(const Distribution &ideal, const Distribution &measured);
+
+/** Pearson linear correlation of two equal-length series. */
+double pearsonCorrelation(const std::vector<double> &x,
+                          const std::vector<double> &y);
+
+/**
+ * Spearman's rank correlation coefficient, the agreement measure the
+ * paper uses between decoy and input circuit fidelity trends.  Ties
+ * receive fractional (average) ranks.
+ */
+double spearmanCorrelation(const std::vector<double> &x,
+                           const std::vector<double> &y);
+
+/** Geometric mean. @pre all values > 0 */
+double geometricMean(const std::vector<double> &values);
+
+/** Arithmetic mean. @pre non-empty */
+double mean(const std::vector<double> &values);
+
+/** Sample standard deviation (n - 1 denominator). */
+double stddev(const std::vector<double> &values);
+
+/** Minimum. @pre non-empty */
+double minOf(const std::vector<double> &values);
+
+/** Maximum. @pre non-empty */
+double maxOf(const std::vector<double> &values);
+
+/** Percentile in [0, 100] using linear interpolation. @pre non-empty */
+double percentile(std::vector<double> values, double pct);
+
+/**
+ * Fixed-width histogram over [lo, hi); values outside are clamped to
+ * the first / last bin.  Used for the characterization figures
+ * (Fig. 4(g-h), Fig. 5).
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, int num_bins);
+
+    void add(double value);
+
+    int numBins() const { return static_cast<int>(counts_.size()); }
+    uint64_t count(int bin) const { return counts_.at(bin); }
+    uint64_t totalCount() const { return total_; }
+
+    /** Center of a bin. */
+    double binCenter(int bin) const;
+
+    /** Render as "center count" lines for the bench logs. */
+    std::string toString() const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+} // namespace adapt
+
+#endif // ADAPT_COMMON_STATS_HH

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the ADAPT reproduction.
+ */
+
+#ifndef ADAPT_COMMON_TYPES_HH
+#define ADAPT_COMMON_TYPES_HH
+
+#include <complex>
+#include <cstdint>
+
+namespace adapt
+{
+
+/** Complex amplitude type used by all simulators. */
+using Complex = std::complex<double>;
+
+/** Simulated wall-clock time in nanoseconds. */
+using TimeNs = double;
+
+/** Logical or physical qubit index. */
+using QubitId = int;
+
+/** Imaginary unit. */
+inline constexpr Complex kImag{0.0, 1.0};
+
+/** Pi, to double precision. */
+inline constexpr double kPi = 3.14159265358979323846;
+
+} // namespace adapt
+
+#endif // ADAPT_COMMON_TYPES_HH

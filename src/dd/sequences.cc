@@ -1,0 +1,158 @@
+#include "dd/sequences.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace adapt
+{
+
+std::string
+ddProtocolName(DDProtocol protocol)
+{
+    switch (protocol) {
+      case DDProtocol::None: return "none";
+      case DDProtocol::XY4: return "xy4";
+      case DDProtocol::IbmqDD: return "ibmq-dd";
+      case DDProtocol::CPMG: return "cpmg";
+    }
+    panic("unreachable DD protocol");
+}
+
+namespace
+{
+
+TimedOp
+makePulse(GateType type, QubitId q, TimeNs start, TimeNs pulse_len)
+{
+    TimedOp op;
+    op.gate = Gate(type, {q});
+    op.start = start;
+    op.end = start + pulse_len;
+    op.ddPulse = true;
+    return op;
+}
+
+/** Back-to-back repetition of a pulse pattern, centered in the
+ *  window. */
+std::vector<TimedOp>
+densePulseTrain(const IdleWindow &window, double pulse_len,
+                const std::vector<GateType> &pattern)
+{
+    const TimeNs span = window.duration();
+    const TimeNs rep_len =
+        pulse_len * static_cast<double>(pattern.size());
+    const int reps = static_cast<int>(std::floor(span / rep_len));
+    std::vector<TimedOp> pulses;
+    if (reps <= 0)
+        return pulses;
+    TimeNs cursor =
+        window.start + (span - rep_len * static_cast<double>(reps)) / 2.0;
+    for (int rep = 0; rep < reps; rep++) {
+        for (GateType type : pattern) {
+            pulses.push_back(
+                makePulse(type, window.qubit, cursor, pulse_len));
+            cursor += pulse_len;
+        }
+    }
+    return pulses;
+}
+
+/** The evenly spaced X(pi)/X(-pi) pair over [start, start+span). */
+void
+appendIbmqDdPair(std::vector<TimedOp> &pulses, QubitId q, TimeNs start,
+                 TimeNs span, double pulse_len)
+{
+    // Eq. 4: delay tau/4 = (T - 2 * pulse) / 4 on each side and twice
+    // that between the pulses.
+    const TimeNs tau4 = (span - 2.0 * pulse_len) / 4.0;
+    if (tau4 < 0.0)
+        return;
+    pulses.push_back(makePulse(GateType::X, q, start + tau4, pulse_len));
+    pulses.push_back(makePulse(
+        GateType::X, q, start + 3.0 * tau4 + pulse_len, pulse_len));
+}
+
+} // namespace
+
+std::vector<TimedOp>
+ddPulsesForWindow(const IdleWindow &window, const Calibration &cal,
+                  const DDOptions &options)
+{
+    if (options.protocol == DDProtocol::None ||
+        window.duration() < options.minWindowNs) {
+        return {};
+    }
+    const double pulse_len =
+        cal.qubits.at(static_cast<size_t>(window.qubit)).pulseLatencyNs +
+        cal.pulseBufferNs;
+
+    switch (options.protocol) {
+      case DDProtocol::XY4:
+        return densePulseTrain(window, pulse_len,
+                               {GateType::X, GateType::Y, GateType::X,
+                                GateType::Y});
+      case DDProtocol::CPMG:
+        return densePulseTrain(window, pulse_len,
+                               {GateType::X, GateType::X});
+      case DDProtocol::IbmqDD: {
+        std::vector<TimedOp> pulses;
+        const TimeNs span = window.duration();
+        const int chunks = std::max(
+            1, static_cast<int>(std::floor(span / options.ibmqDdChunkNs)));
+        const TimeNs chunk_len = span / static_cast<double>(chunks);
+        for (int c = 0; c < chunks; c++) {
+            appendIbmqDdPair(pulses, window.qubit,
+                             window.start +
+                                 chunk_len * static_cast<double>(c),
+                             chunk_len, pulse_len);
+        }
+        return pulses;
+      }
+      default:
+        return {};
+    }
+}
+
+ScheduledCircuit
+insertDD(const ScheduledCircuit &sched, const Calibration &cal,
+         const DDOptions &options, const std::vector<bool> &mask)
+{
+    ScheduledCircuit out(sched.numQubits(), sched.numClbits());
+    for (const TimedOp &op : sched.ops())
+        out.addOp(op);
+
+    for (QubitId q = 0; q < sched.numQubits(); q++) {
+        const auto uq = static_cast<size_t>(q);
+        if (uq >= mask.size() || !mask[uq])
+            continue;
+        for (const IdleWindow &window :
+             sched.idleWindows(q, options.minWindowNs)) {
+            for (TimedOp &pulse :
+                 ddPulsesForWindow(window, cal, options)) {
+                out.addOp(std::move(pulse));
+            }
+        }
+    }
+    out.finalize();
+    return out;
+}
+
+ScheduledCircuit
+insertDDAll(const ScheduledCircuit &sched, const Calibration &cal,
+            const DDOptions &options)
+{
+    std::vector<bool> mask(static_cast<size_t>(sched.numQubits()), true);
+    return insertDD(sched, cal, options, mask);
+}
+
+int
+ddPulseCount(const ScheduledCircuit &sched)
+{
+    return static_cast<int>(
+        std::count_if(sched.ops().begin(), sched.ops().end(),
+                      [](const TimedOp &op) { return op.ddPulse; }));
+}
+
+} // namespace adapt

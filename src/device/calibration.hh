@@ -1,0 +1,118 @@
+/**
+ * @file
+ * A calibration snapshot: every noise / timing parameter of a device
+ * at one calibration cycle.
+ *
+ * On real IBMQ machines these numbers drift between daily calibration
+ * cycles, which is why the paper observes DD helping in one cycle and
+ * hurting in the next (Fig. 6).  We reproduce that by deriving each
+ * cycle's snapshot from a seeded RNG: same (device, cycle) always
+ * yields the same snapshot, different cycles differ.
+ */
+
+#ifndef ADAPT_DEVICE_CALIBRATION_HH
+#define ADAPT_DEVICE_CALIBRATION_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace adapt
+{
+
+/** Per-qubit calibration data. */
+struct QubitCalibration
+{
+    /** Relaxation time constant (microseconds). */
+    double t1Us = 100.0;
+
+    /** Markovian (white-noise) dephasing time constant that DD cannot
+     *  refocus (microseconds). */
+    double t2WhiteUs = 400.0;
+
+    /** Depolarizing error probability per physical 1q pulse (X/SX). */
+    double gateError1Q = 3e-4;
+
+    /** P(read "1" | prepared 0). */
+    double readoutError01 = 0.01;
+
+    /** P(read "0" | prepared 1). */
+    double readoutError10 = 0.03;
+
+    /**
+     * Standard deviation of the slow Ornstein-Uhlenbeck detuning
+     * (radians per microsecond).  This is the refocusable part of the
+     * idling error.
+     */
+    double ouSigmaRadPerUs = 0.08;
+
+    /** OU correlation time (microseconds); shorter values penalize
+     *  sparse DD sequences (Fig. 16). */
+    double ouTauUs = 3.0;
+
+    /** Duration of an X / SX pulse (nanoseconds). */
+    double pulseLatencyNs = 35.0;
+};
+
+/** Per-link calibration data. */
+struct LinkCalibration
+{
+    /** Depolarizing error probability per CNOT. */
+    double cxError = 0.013;
+
+    /** CNOT duration (nanoseconds); varies strongly per link. */
+    double cxLatencyNs = 440.0;
+};
+
+/** One complete calibration snapshot of a device. */
+struct Calibration
+{
+    std::string deviceName;
+    int cycle = 0;
+
+    std::vector<QubitCalibration> qubits;
+    std::vector<LinkCalibration> links;
+
+    /** Measurement duration (nanoseconds). */
+    double measureLatencyNs = 700.0;
+
+    /** Free-evolution buffer after each DD pulse (nanoseconds). */
+    double pulseBufferNs = 10.0;
+
+    /**
+     * Crosstalk phase-rate matrix: crosstalk[link][qubit] is the
+     * coherent Z-phase accumulation rate (radians per microsecond)
+     * induced on an idle spectator qubit while a CNOT is active on
+     * the link.  Signed; zero for the link's own endpoints.
+     */
+    std::vector<std::vector<double>> crosstalkRadPerUs;
+
+    /** Crosstalk rate of a spectator for a given active link. */
+    double
+    crosstalk(int link_index, QubitId spectator) const
+    {
+        return crosstalkRadPerUs.at(static_cast<size_t>(link_index))
+            .at(static_cast<size_t>(spectator));
+    }
+
+    int numQubits() const { return static_cast<int>(qubits.size()); }
+
+    /** Mean CNOT error over all links (Table 3 style summary). */
+    double meanCxError() const;
+
+    /** Mean symmetric measurement error. */
+    double meanMeasurementError() const;
+
+    /** Mean / max CNOT latency over links. */
+    double meanCxLatencyNs() const;
+    double maxCxLatencyNs() const;
+
+    /** Mean T1 / T2-white over qubits (microseconds). */
+    double meanT1Us() const;
+    double meanT2WhiteUs() const;
+};
+
+} // namespace adapt
+
+#endif // ADAPT_DEVICE_CALIBRATION_HH

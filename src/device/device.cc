@@ -1,0 +1,232 @@
+#include "device/device.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace adapt
+{
+
+double
+Calibration::meanCxError() const
+{
+    double sum = 0.0;
+    for (const auto &l : links)
+        sum += l.cxError;
+    return links.empty() ? 0.0 : sum / static_cast<double>(links.size());
+}
+
+double
+Calibration::meanMeasurementError() const
+{
+    double sum = 0.0;
+    for (const auto &q : qubits)
+        sum += (q.readoutError01 + q.readoutError10) / 2.0;
+    return qubits.empty() ? 0.0 : sum / static_cast<double>(qubits.size());
+}
+
+double
+Calibration::meanCxLatencyNs() const
+{
+    double sum = 0.0;
+    for (const auto &l : links)
+        sum += l.cxLatencyNs;
+    return links.empty() ? 0.0 : sum / static_cast<double>(links.size());
+}
+
+double
+Calibration::maxCxLatencyNs() const
+{
+    double best = 0.0;
+    for (const auto &l : links)
+        best = std::max(best, l.cxLatencyNs);
+    return best;
+}
+
+double
+Calibration::meanT1Us() const
+{
+    double sum = 0.0;
+    for (const auto &q : qubits)
+        sum += q.t1Us;
+    return qubits.empty() ? 0.0 : sum / static_cast<double>(qubits.size());
+}
+
+double
+Calibration::meanT2WhiteUs() const
+{
+    double sum = 0.0;
+    for (const auto &q : qubits)
+        sum += q.t2WhiteUs;
+    return qubits.empty() ? 0.0 : sum / static_cast<double>(qubits.size());
+}
+
+Device::Device(Topology topology, DeviceProfile profile)
+    : topology_(std::move(topology)), profile_(profile)
+{
+}
+
+namespace
+{
+
+/** Lognormal multiplicative jitter with median 1. */
+double
+jitter(Rng &rng, double relative_spread)
+{
+    return std::exp(rng.normal(0.0, relative_spread));
+}
+
+} // namespace
+
+Calibration
+Device::calibration(int cycle) const
+{
+    require(cycle >= 0, "calibration cycle must be non-negative");
+    const DeviceProfile &p = profile_;
+    // One independent, reproducible stream per (device seed, cycle).
+    Rng rng = Rng(p.seed).fork(0xca11 + static_cast<uint64_t>(cycle));
+
+    Calibration cal;
+    cal.deviceName = topology_.name();
+    cal.cycle = cycle;
+    cal.measureLatencyNs = p.measureLatencyNs;
+
+    const int n = topology_.numQubits();
+    cal.qubits.resize(static_cast<size_t>(n));
+    for (int q = 0; q < n; q++) {
+        Rng qrng = rng.fork(0x100 + static_cast<uint64_t>(q));
+        QubitCalibration &qc = cal.qubits[static_cast<size_t>(q)];
+        qc.t1Us = p.meanT1Us * jitter(qrng, p.qubitSpread);
+        qc.t2WhiteUs = p.t2WhiteUs * jitter(qrng, p.qubitSpread);
+        qc.gateError1Q = p.mean1QError * jitter(qrng, 2.0 * p.qubitSpread);
+        const double meas = p.meanMeasError * jitter(qrng, p.qubitSpread);
+        // Readout errors are asymmetric on superconducting hardware:
+        // reading |1> as "0" (relaxation during readout) dominates.
+        qc.readoutError01 = std::min(0.5, 0.6 * meas);
+        qc.readoutError10 = std::min(0.5, 1.4 * meas);
+        qc.ouSigmaRadPerUs =
+            p.ouSigmaRadPerUs * jitter(qrng, p.qubitSpread) *
+            jitter(qrng, p.cycleDrift);
+        qc.ouTauUs = p.ouTauUs * jitter(qrng, p.qubitSpread);
+        qc.pulseLatencyNs = 35.0;
+    }
+
+    const int m = topology_.numLinks();
+    cal.links.resize(static_cast<size_t>(m));
+    for (int li = 0; li < m; li++) {
+        Rng lrng = rng.fork(0x2000 + static_cast<uint64_t>(li));
+        LinkCalibration &lc = cal.links[static_cast<size_t>(li)];
+        lc.cxError = p.meanCxError * jitter(lrng, p.qubitSpread);
+        lc.cxLatencyNs = std::clamp(
+            p.meanCxLatencyNs * jitter(lrng, 0.30),
+            p.minCxLatencyNs, p.maxCxLatencyNs);
+    }
+
+    // Crosstalk: coherent ZZ-like phase rates on spectators of active
+    // CNOT links, decaying with graph distance, with occasional
+    // strong long-range outliers (Sec. 3.3: "idling errors exist
+    // between qubit-link pairs that may not be present in the same
+    // on-chip neighborhood").
+    cal.crosstalkRadPerUs.assign(
+        static_cast<size_t>(m),
+        std::vector<double>(static_cast<size_t>(n), 0.0));
+    for (int li = 0; li < m; li++) {
+        for (int q = 0; q < n; q++) {
+            if (topology_.link(li).contains(q))
+                continue;
+            Rng xrng = rng.fork(0x30000 +
+                                static_cast<uint64_t>(li) * 1009 +
+                                static_cast<uint64_t>(q));
+            const int dist = topology_.distanceToLink(q, li);
+            double magnitude = p.crosstalkBaseRadPerUs *
+                std::pow(p.crosstalkDecayPerHop, dist - 1) *
+                jitter(xrng, 0.6);
+            if (dist > 2 && xrng.bernoulli(p.longRangeCrosstalkProb)) {
+                magnitude = p.crosstalkBaseRadPerUs *
+                            xrng.uniform(0.3, 1.0);
+            }
+            const double sign = xrng.bernoulli(0.5) ? 1.0 : -1.0;
+            // Cycle-to-cycle drift of the crosstalk strength.
+            magnitude *= jitter(xrng, p.cycleDrift);
+            cal.crosstalkRadPerUs[static_cast<size_t>(li)]
+                               [static_cast<size_t>(q)] = sign * magnitude;
+        }
+    }
+    return cal;
+}
+
+Device
+Device::ibmqGuadalupe(uint64_t seed)
+{
+    DeviceProfile p;
+    p.meanCxError = 0.0127;
+    p.meanMeasError = 0.0186;
+    p.meanT1Us = 71.7;
+    p.meanT2Us = 85.5;
+    // Guadalupe is the newest machine in the study: reduced gate
+    // latencies and error rates (Sec. 6.3).
+    p.meanCxLatencyNs = 380.0;
+    p.mean1QError = 2.5e-4;
+    p.seed = seed;
+    return {Topology::ibmqGuadalupe(), p};
+}
+
+Device
+Device::ibmqParis(uint64_t seed)
+{
+    DeviceProfile p;
+    p.meanCxError = 0.0128;
+    p.meanMeasError = 0.0247;
+    p.meanT1Us = 80.8;
+    p.meanT2Us = 83.4;
+    p.seed = seed;
+    return {Topology::ibmqParis(), p};
+}
+
+Device
+Device::ibmqToronto(uint64_t seed)
+{
+    DeviceProfile p;
+    p.meanCxError = 0.0152;
+    p.meanMeasError = 0.0442;
+    p.meanT1Us = 105.0;
+    p.meanT2Us = 114.0;
+    p.seed = seed;
+    return {Topology::ibmqToronto(), p};
+}
+
+Device
+Device::ibmqRome(uint64_t seed)
+{
+    DeviceProfile p;
+    p.meanCxError = 0.012;
+    p.meanMeasError = 0.025;
+    p.meanT1Us = 65.0;
+    p.meanT2Us = 75.0;
+    p.seed = seed;
+    return {Topology::ibmqRome(), p};
+}
+
+Device
+Device::ibmqLondon(uint64_t seed)
+{
+    DeviceProfile p;
+    p.meanCxError = 0.014;
+    p.meanMeasError = 0.027;
+    p.meanT1Us = 60.0;
+    p.meanT2Us = 70.0;
+    p.seed = seed;
+    return {Topology::ibmqLondon(), p};
+}
+
+Device
+Device::synthetic(Topology topology, uint64_t seed)
+{
+    DeviceProfile p;
+    p.seed = seed;
+    return {std::move(topology), p};
+}
+
+} // namespace adapt

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Device: a topology plus a generative model of calibration
+ * snapshots.  Factories replicate the machines in Table 3 of the
+ * paper with their published average error characteristics; synthetic
+ * devices support the connectivity and noise ablations.
+ */
+
+#ifndef ADAPT_DEVICE_DEVICE_HH
+#define ADAPT_DEVICE_DEVICE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "device/calibration.hh"
+#include "device/topology.hh"
+
+namespace adapt
+{
+
+/**
+ * Statistical profile from which calibration snapshots are drawn.
+ * Mean values follow Table 3; spreads create the qubit-to-qubit and
+ * cycle-to-cycle variability the paper characterizes.
+ */
+struct DeviceProfile
+{
+    /** Mean CNOT error probability (Table 3). */
+    double meanCxError = 0.013;
+
+    /** Mean measurement error probability (Table 3). */
+    double meanMeasError = 0.02;
+
+    /** Mean T1 / T2 (microseconds, Table 3). */
+    double meanT1Us = 100.0;
+    double meanT2Us = 100.0;
+
+    /** Mean 1q pulse depolarizing error. */
+    double mean1QError = 3e-4;
+
+    /** CNOT latency distribution (lognormal-ish, clamped). */
+    double meanCxLatencyNs = 440.0;
+    double minCxLatencyNs = 250.0;
+    double maxCxLatencyNs = 900.0;
+
+    /** Crosstalk base phase rate on distance-1 spectators (rad/us). */
+    double crosstalkBaseRadPerUs = 0.55;
+
+    /** Exponential decay of crosstalk per extra hop. */
+    double crosstalkDecayPerHop = 0.18;
+
+    /** Probability of a strong long-range (non-neighbourhood)
+     *  crosstalk outlier pair (Sec. 3.3 observation). */
+    double longRangeCrosstalkProb = 0.02;
+
+    /** Slow-dephasing OU parameters (means). */
+    double ouSigmaRadPerUs = 0.10;
+    double ouTauUs = 3.0;
+
+    /** Markovian dephasing time constant mean (microseconds). */
+    double t2WhiteUs = 400.0;
+
+    /** Measurement duration (nanoseconds). */
+    double measureLatencyNs = 700.0;
+
+    /** Relative qubit-to-qubit spread applied to most parameters. */
+    double qubitSpread = 0.35;
+
+    /** Relative cycle-to-cycle drift. */
+    double cycleDrift = 0.25;
+
+    /** Base seed; combined with the cycle index per snapshot. */
+    uint64_t seed = 0x5eed;
+};
+
+/**
+ * A quantum machine: coupling graph + calibration generator.
+ */
+class Device
+{
+  public:
+    Device(Topology topology, DeviceProfile profile);
+
+    const std::string &name() const { return topology_.name(); }
+    const Topology &topology() const { return topology_; }
+    const DeviceProfile &profile() const { return profile_; }
+    int numQubits() const { return topology_.numQubits(); }
+
+    /**
+     * Deterministically generate the calibration snapshot for a
+     * cycle.  Cycle 0 is the default experimental condition.
+     */
+    Calibration calibration(int cycle = 0) const;
+
+    /** @name Machines from the paper (Table 3 and Secs. 3, 5) @{ */
+    static Device ibmqGuadalupe(uint64_t seed = 16);
+    static Device ibmqParis(uint64_t seed = 27);
+    static Device ibmqToronto(uint64_t seed = 272);
+    static Device ibmqRome(uint64_t seed = 5);
+    static Device ibmqLondon(uint64_t seed = 55);
+    /** @} */
+
+    /** Synthetic machine over an arbitrary topology with Toronto-like
+     *  error rates; used for ablations (e.g. all-to-all Fig. 3b). */
+    static Device synthetic(Topology topology, uint64_t seed = 99);
+
+  private:
+    Topology topology_;
+    DeviceProfile profile_;
+};
+
+} // namespace adapt
+
+#endif // ADAPT_DEVICE_DEVICE_HH

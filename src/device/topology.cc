@@ -1,0 +1,217 @@
+#include "device/topology.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.hh"
+
+namespace adapt
+{
+
+Topology::Topology(std::string name, int num_qubits,
+                   std::vector<std::pair<QubitId, QubitId>> edges)
+    : name_(std::move(name)), numQubits_(num_qubits)
+{
+    require(num_qubits > 0, "topology requires at least one qubit");
+    adjacency_.assign(static_cast<size_t>(num_qubits), {});
+    for (const auto &[a, b] : edges) {
+        require(a >= 0 && a < num_qubits && b >= 0 && b < num_qubits,
+                "topology edge endpoint out of range");
+        require(a != b, "topology edge endpoints must differ");
+        require(linkIndex(a, b) < 0, "duplicate topology edge");
+        links_.push_back({a, b});
+        adjacency_[static_cast<size_t>(a)].push_back(b);
+        adjacency_[static_cast<size_t>(b)].push_back(a);
+    }
+    for (auto &nbrs : adjacency_)
+        std::sort(nbrs.begin(), nbrs.end());
+    computeDistances();
+}
+
+bool
+Topology::connected(QubitId a, QubitId b) const
+{
+    return linkIndex(a, b) >= 0;
+}
+
+int
+Topology::linkIndex(QubitId a, QubitId b) const
+{
+    for (size_t i = 0; i < links_.size(); i++) {
+        const Link &l = links_[i];
+        if ((l.a == a && l.b == b) || (l.a == b && l.b == a))
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+const std::vector<QubitId> &
+Topology::neighbors(QubitId q) const
+{
+    return adjacency_.at(static_cast<size_t>(q));
+}
+
+void
+Topology::computeDistances()
+{
+    const int n = numQubits_;
+    const int inf = n + 1;
+    dist_.assign(static_cast<size_t>(n),
+                 std::vector<int>(static_cast<size_t>(n), inf));
+    for (int src = 0; src < n; src++) {
+        auto &row = dist_[static_cast<size_t>(src)];
+        row[static_cast<size_t>(src)] = 0;
+        std::deque<int> frontier = {src};
+        while (!frontier.empty()) {
+            const int cur = frontier.front();
+            frontier.pop_front();
+            for (QubitId nxt : adjacency_[static_cast<size_t>(cur)]) {
+                if (row[static_cast<size_t>(nxt)] >
+                    row[static_cast<size_t>(cur)] + 1) {
+                    row[static_cast<size_t>(nxt)] =
+                        row[static_cast<size_t>(cur)] + 1;
+                    frontier.push_back(nxt);
+                }
+            }
+        }
+    }
+}
+
+int
+Topology::distance(QubitId a, QubitId b) const
+{
+    return dist_.at(static_cast<size_t>(a)).at(static_cast<size_t>(b));
+}
+
+int
+Topology::distanceToLink(QubitId q, int link_index) const
+{
+    const Link &l = link(link_index);
+    return std::min(distance(q, l.a), distance(q, l.b));
+}
+
+std::vector<SpectatorCombo>
+Topology::spectatorCombos() const
+{
+    std::vector<SpectatorCombo> combos;
+    for (QubitId q = 0; q < numQubits_; q++) {
+        for (int li = 0; li < numLinks(); li++) {
+            if (!links_[static_cast<size_t>(li)].contains(q))
+                combos.push_back({q, li});
+        }
+    }
+    return combos;
+}
+
+bool
+Topology::isConnected() const
+{
+    for (int q = 1; q < numQubits_; q++) {
+        if (distance(0, q) > numQubits_)
+            return false;
+    }
+    return true;
+}
+
+Topology
+Topology::ibmqRome()
+{
+    return {"ibmq_rome", 5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}}};
+}
+
+Topology
+Topology::ibmqLondon()
+{
+    return {"ibmq_london", 5, {{0, 1}, {1, 2}, {1, 3}, {3, 4}}};
+}
+
+Topology
+Topology::ibmqGuadalupe()
+{
+    // Real ibmq_guadalupe heavy-hex coupling map: 16 qubits, 16 links
+    // -> 16 * 16 - 2 * 16 = 224 spectator combinations (Sec. 3.2).
+    return {"ibmq_guadalupe", 16,
+            {{0, 1}, {1, 2}, {1, 4}, {2, 3}, {3, 5}, {4, 7}, {5, 8},
+             {6, 7}, {7, 10}, {8, 9}, {8, 11}, {10, 12}, {11, 14},
+             {12, 13}, {12, 15}, {13, 14}}};
+}
+
+namespace
+{
+
+std::vector<std::pair<QubitId, QubitId>>
+heavyHex27()
+{
+    // Shared 27-qubit heavy-hex map of the Falcon generation
+    // (Toronto, Paris): 28 links -> 27 * 28 - 2 * 28 = 700 spectator
+    // combinations (Sec. 3.3).
+    return {{0, 1},   {1, 2},   {1, 4},   {2, 3},   {3, 5},   {4, 7},
+            {5, 8},   {6, 7},   {7, 10},  {8, 9},   {8, 11},  {10, 12},
+            {11, 14}, {12, 13}, {12, 15}, {13, 14}, {14, 16}, {15, 18},
+            {16, 19}, {17, 18}, {18, 21}, {19, 20}, {19, 22}, {21, 23},
+            {22, 25}, {23, 24}, {24, 25}, {25, 26}};
+}
+
+} // namespace
+
+Topology
+Topology::ibmqToronto()
+{
+    return {"ibmq_toronto", 27, heavyHex27()};
+}
+
+Topology
+Topology::ibmqParis()
+{
+    return {"ibmq_paris", 27, heavyHex27()};
+}
+
+Topology
+Topology::linear(int n)
+{
+    std::vector<std::pair<QubitId, QubitId>> edges;
+    for (int q = 0; q + 1 < n; q++)
+        edges.emplace_back(q, q + 1);
+    return {"linear" + std::to_string(n), n, std::move(edges)};
+}
+
+Topology
+Topology::ring(int n)
+{
+    require(n >= 3, "ring topology requires n >= 3");
+    std::vector<std::pair<QubitId, QubitId>> edges;
+    for (int q = 0; q < n; q++)
+        edges.emplace_back(q, (q + 1) % n);
+    return {"ring" + std::to_string(n), n, std::move(edges)};
+}
+
+Topology
+Topology::grid(int rows, int cols)
+{
+    require(rows > 0 && cols > 0, "grid dimensions must be positive");
+    std::vector<std::pair<QubitId, QubitId>> edges;
+    auto id = [&](int r, int c) { return r * cols + c; };
+    for (int r = 0; r < rows; r++) {
+        for (int c = 0; c < cols; c++) {
+            if (c + 1 < cols)
+                edges.emplace_back(id(r, c), id(r, c + 1));
+            if (r + 1 < rows)
+                edges.emplace_back(id(r, c), id(r + 1, c));
+        }
+    }
+    return {"grid" + std::to_string(rows) + "x" + std::to_string(cols),
+            rows * cols, std::move(edges)};
+}
+
+Topology
+Topology::allToAll(int n)
+{
+    std::vector<std::pair<QubitId, QubitId>> edges;
+    for (int a = 0; a < n; a++) {
+        for (int b = a + 1; b < n; b++)
+            edges.emplace_back(a, b);
+    }
+    return {"alltoall" + std::to_string(n), n, std::move(edges)};
+}
+
+} // namespace adapt

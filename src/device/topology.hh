@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Qubit connectivity graphs.
+ *
+ * The IBMQ machines used in the paper are modelled with their real
+ * coupling maps: 16-qubit heavy-hex Guadalupe (16 links -> 224
+ * spectator (qubit, link) combinations, Sec. 3.2) and 27-qubit
+ * heavy-hex Toronto / Paris (28 links -> 700 combinations, Sec. 3.3),
+ * plus the 5-qubit Rome (line) and London (T) devices used in the
+ * characterization experiments, and synthetic all-to-all / linear /
+ * ring / grid graphs for the connectivity ablations (Fig. 3b).
+ */
+
+#ifndef ADAPT_DEVICE_TOPOLOGY_HH
+#define ADAPT_DEVICE_TOPOLOGY_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace adapt
+{
+
+/** An undirected physical link between two qubits. */
+struct Link
+{
+    QubitId a;
+    QubitId b;
+
+    /** True if @p q is one of the endpoints. */
+    bool contains(QubitId q) const { return q == a || q == b; }
+};
+
+/** A (spectator qubit, active link) pair; the unit of the paper's
+ *  crosstalk characterization sweeps. */
+struct SpectatorCombo
+{
+    QubitId spectator;
+    int linkIndex;
+};
+
+/**
+ * Undirected qubit-connectivity graph with precomputed all-pairs
+ * shortest-path distances.
+ */
+class Topology
+{
+  public:
+    /**
+     * @param name Human-readable identifier.
+     * @param num_qubits Number of physical qubits.
+     * @param edges Undirected links (each listed once).
+     */
+    Topology(std::string name, int num_qubits,
+             std::vector<std::pair<QubitId, QubitId>> edges);
+
+    const std::string &name() const { return name_; }
+    int numQubits() const { return numQubits_; }
+    int numLinks() const { return static_cast<int>(links_.size()); }
+
+    const Link &link(int index) const { return links_.at(index); }
+    const std::vector<Link> &links() const { return links_; }
+
+    /** True if a physical link joins @p a and @p b. */
+    bool connected(QubitId a, QubitId b) const;
+
+    /** Index of the link joining a and b, or -1. */
+    int linkIndex(QubitId a, QubitId b) const;
+
+    /** Direct neighbours of a qubit. */
+    const std::vector<QubitId> &neighbors(QubitId q) const;
+
+    /**
+     * Shortest-path hop distance; returns a large sentinel (>=
+     * numQubits) for disconnected pairs.
+     */
+    int distance(QubitId a, QubitId b) const;
+
+    /** Min hop distance from a qubit to either endpoint of a link. */
+    int distanceToLink(QubitId q, int link_index) const;
+
+    /**
+     * All (spectator, link) combinations with the spectator not an
+     * endpoint of the link: 224 on Guadalupe, 700 on Toronto/Paris.
+     */
+    std::vector<SpectatorCombo> spectatorCombos() const;
+
+    /** True if every qubit can reach every other. */
+    bool isConnected() const;
+
+    /** @name Machine coupling maps @{ */
+    static Topology ibmqRome();      //!< 5 qubits, line
+    static Topology ibmqLondon();    //!< 5 qubits, T shape
+    static Topology ibmqGuadalupe(); //!< 16 qubits, heavy-hex
+    static Topology ibmqToronto();   //!< 27 qubits, heavy-hex
+    static Topology ibmqParis();     //!< 27 qubits, heavy-hex
+    /** @} */
+
+    /** @name Synthetic graphs @{ */
+    static Topology linear(int n);
+    static Topology ring(int n);
+    static Topology grid(int rows, int cols);
+    static Topology allToAll(int n);
+    /** @} */
+
+  private:
+    std::string name_;
+    int numQubits_;
+    std::vector<Link> links_;
+    std::vector<std::vector<QubitId>> adjacency_;
+    std::vector<std::vector<int>> dist_;
+
+    void computeDistances();
+};
+
+} // namespace adapt
+
+#endif // ADAPT_DEVICE_TOPOLOGY_HH

@@ -1,0 +1,75 @@
+#include "experiments/characterization.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "transpile/decompose.hh"
+#include "transpile/schedule.hh"
+
+namespace adapt
+{
+
+Circuit
+makeCharacterizationCircuit(const CharacterizationConfig &config,
+                            const Topology &topology,
+                            const Calibration &cal)
+{
+    const int n = topology.numQubits();
+    require(config.spectator >= 0 && config.spectator < n,
+            "spectator qubit out of range");
+    Circuit c(n, 1);
+
+    // Spectator: Ry(theta) . idle . Ry(-theta) . measure.
+    c.ry(config.theta, config.spectator);
+    c.delay(config.idleNs, config.spectator);
+    c.ry(-config.theta, config.spectator);
+    c.measure(config.spectator, 0);
+
+    // Driven link: fill the idle period with back-to-back CNOTs (the
+    // crosstalk generator of Fig. 4(d)).
+    if (config.drivenLink >= 0) {
+        require(config.drivenLink < topology.numLinks(),
+                "driven link out of range");
+        const Link &link = topology.link(config.drivenLink);
+        require(!link.contains(config.spectator),
+                "spectator must not be an endpoint of the driven link");
+        const double cx_latency = cal.links[
+            static_cast<size_t>(config.drivenLink)].cxLatencyNs;
+        const int reps = std::max(
+            1, static_cast<int>(std::floor(config.idleNs / cx_latency)));
+        c.h(link.a);
+        for (int rep = 0; rep < reps; rep++)
+            c.cx(link.a, link.b);
+    }
+    return decompose(c);
+}
+
+double
+characterizationFidelity(const NoisyMachine &machine,
+                         const CharacterizationConfig &config,
+                         const DDOptions &dd, bool enable_dd, int shots,
+                         uint64_t seed)
+{
+    const Calibration &cal = machine.calibration();
+    const Topology &topology = machine.device().topology();
+
+    const Circuit c =
+        makeCharacterizationCircuit(config, topology, cal);
+
+    // ASAP so the CNOT train starts with the idle window instead of
+    // being right-aligned.
+    ScheduledCircuit sched =
+        schedule(c, topology, cal, ScheduleMode::Asap);
+
+    if (enable_dd) {
+        std::vector<bool> mask(
+            static_cast<size_t>(topology.numQubits()), false);
+        mask[static_cast<size_t>(config.spectator)] = true;
+        sched = insertDD(sched, cal, dd, mask);
+    }
+
+    const Distribution out = machine.run(sched, shots, seed);
+    return out.probability(0);
+}
+
+} // namespace adapt

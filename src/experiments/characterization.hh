@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Idle-qubit characterization circuits (Sec. 3, Figs. 4-6, 16).
+ *
+ * The pattern: prepare a spectator qubit in Ry(theta)|0>, let it
+ * evolve for an idle period T (optionally while CNOTs hammer a
+ * physical link elsewhere on the chip), undo the rotation, and
+ * measure.  A noise-free machine always reads 0, so the fidelity is
+ * simply P(outcome == 0).
+ */
+
+#ifndef ADAPT_EXPERIMENTS_CHARACTERIZATION_HH
+#define ADAPT_EXPERIMENTS_CHARACTERIZATION_HH
+
+#include "circuit/circuit.hh"
+#include "dd/sequences.hh"
+#include "noise/machine.hh"
+
+namespace adapt
+{
+
+/** Configuration for one characterization run. */
+struct CharacterizationConfig
+{
+    /** Physical spectator qubit under study. */
+    QubitId spectator = 0;
+
+    /** Link driven with back-to-back CNOTs; -1 for free evolution
+     *  with no active neighbours. */
+    int drivenLink = -1;
+
+    /** Initial-state rotation angle (radians). */
+    double theta = kPi / 2.0;
+
+    /** Idle period (nanoseconds). */
+    TimeNs idleNs = 1200.0;
+};
+
+/**
+ * Build the characterization circuit for @p config on physical
+ * qubits.  The spectator's idle window is realized with a Delay, so
+ * the DD pass can fill it like any program idle window.
+ */
+Circuit makeCharacterizationCircuit(const CharacterizationConfig &config,
+                                    const Topology &topology,
+                                    const Calibration &cal);
+
+/**
+ * Run a characterization point: schedule (ASAP, so the driven CNOTs
+ * overlap the spectator's idle window), optionally insert DD on the
+ * spectator only, execute, and return P(outcome == 0).
+ */
+double characterizationFidelity(const NoisyMachine &machine,
+                                const CharacterizationConfig &config,
+                                const DDOptions &dd, bool enable_dd,
+                                int shots, uint64_t seed);
+
+} // namespace adapt
+
+#endif // ADAPT_EXPERIMENTS_CHARACTERIZATION_HH

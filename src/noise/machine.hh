@@ -1,0 +1,62 @@
+/**
+ * @file
+ * NoisyMachine: the simulated quantum computer.
+ *
+ * This is the stand-in for the IBMQ hardware endpoint: it accepts a
+ * scheduled executable (with or without DD pulses) and returns a
+ * sampled output distribution.  Each shot is one Monte-Carlo
+ * trajectory on the dense state-vector backend: idle dephasing is
+ * applied as *coherent* RZ rotations interleaved in time with the
+ * circuit's pulses, so DD echo physics (refocusing, pulse-spacing
+ * sensitivity) emerges exactly rather than by construction.
+ */
+
+#ifndef ADAPT_NOISE_MACHINE_HH
+#define ADAPT_NOISE_MACHINE_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "device/device.hh"
+#include "noise/noise_model.hh"
+#include "transpile/schedule.hh"
+
+namespace adapt
+{
+
+/** The simulated hardware endpoint. */
+class NoisyMachine
+{
+  public:
+    /**
+     * @param device Machine (topology + calibration generator).
+     * @param cycle Calibration cycle to load.
+     * @param flags Noise channels to enable.
+     */
+    explicit NoisyMachine(const Device &device, int cycle = 0,
+                          NoiseFlags flags = NoiseFlags::all());
+
+    const Calibration &calibration() const { return cal_; }
+    const Device &device() const { return device_; }
+    const NoiseFlags &flags() const { return flags_; }
+
+    /**
+     * Execute @p sched for @p shots trajectories.
+     *
+     * @param run_seed Seed for this job; identical seeds reproduce
+     *                 identical output distributions.
+     * @return Sampled distribution over the executable's classical
+     *         bits.
+     */
+    Distribution run(const ScheduledCircuit &sched, int shots,
+                     uint64_t run_seed = 1) const;
+
+  private:
+    const Device &device_;
+    Calibration cal_;
+    NoiseFlags flags_;
+};
+
+} // namespace adapt
+
+#endif // ADAPT_NOISE_MACHINE_HH

@@ -1,0 +1,34 @@
+#include "noise/noise_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace adapt
+{
+
+OuProcess::OuProcess(double sigma_rad_per_us, double tau_us, Rng &rng)
+    : sigma_(sigma_rad_per_us), tau_(tau_us), lastTimeUs_(0.0)
+{
+    require(sigma_rad_per_us >= 0.0, "OU sigma must be non-negative");
+    require(tau_us > 0.0, "OU correlation time must be positive");
+    lastValue_ = rng.normal(0.0, sigma_); // stationary initial state
+}
+
+double
+OuProcess::at(double t_us, Rng &rng)
+{
+    require(t_us >= lastTimeUs_ - 1e-12,
+            "OU process sampled backwards in time");
+    const double dt = std::max(0.0, t_us - lastTimeUs_);
+    if (dt > 0.0) {
+        const double decay = std::exp(-dt / tau_);
+        const double innovation_sd =
+            sigma_ * std::sqrt(std::max(0.0, 1.0 - decay * decay));
+        lastValue_ = lastValue_ * decay + rng.normal(0.0, innovation_sd);
+        lastTimeUs_ = t_us;
+    }
+    return lastValue_;
+}
+
+} // namespace adapt

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Noise-channel configuration and the Ornstein-Uhlenbeck dephasing
+ * process used by the trajectory engine.
+ *
+ * The channel inventory (see DESIGN.md Sec. 1 for the mapping to real
+ * hardware):
+ *  - depolarizing gate errors after 1q pulses and CNOTs,
+ *  - asymmetric measurement bit flips,
+ *  - T1 amplitude damping over idle segments,
+ *  - Markovian (white) dephasing over idle segments (not refocusable),
+ *  - slow OU detuning -> coherent RZ over idle segments (refocusable
+ *    by DD; correlation time makes pulse spacing matter, Fig. 16),
+ *  - coherent crosstalk phase on idle spectators of active CNOTs
+ *    (the dominant idling error, Sec. 3.2).
+ */
+
+#ifndef ADAPT_NOISE_NOISE_MODEL_HH
+#define ADAPT_NOISE_NOISE_MODEL_HH
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace adapt
+{
+
+/** Per-channel enable bits, for the noise-decomposition ablation. */
+struct NoiseFlags
+{
+    bool gateErrors = true;
+    bool measurementErrors = true;
+    bool t1Damping = true;
+    bool whiteDephasing = true;
+    bool ouDephasing = true;
+    bool crosstalk = true;
+
+    /** Everything off: the machine becomes an ideal simulator. */
+    static NoiseFlags
+    none()
+    {
+        return {false, false, false, false, false, false};
+    }
+
+    /** Everything on (default experimental condition). */
+    static NoiseFlags all() { return {}; }
+};
+
+/**
+ * Ornstein-Uhlenbeck detuning process: stationary Gaussian noise with
+ * standard deviation sigma (rad/us) and correlation time tau (us),
+ * sampled exactly at arbitrary increasing times.
+ */
+class OuProcess
+{
+  public:
+    /**
+     * @param sigma_rad_per_us Stationary standard deviation.
+     * @param tau_us Correlation time.
+     * @param rng Source of randomness (stationary initial draw).
+     */
+    OuProcess(double sigma_rad_per_us, double tau_us, Rng &rng);
+
+    /**
+     * Detuning at time @p t_us (microseconds).  Times must be
+     * non-decreasing across calls.
+     */
+    double at(double t_us, Rng &rng);
+
+  private:
+    double sigma_;
+    double tau_;
+    double lastTimeUs_;
+    double lastValue_;
+};
+
+} // namespace adapt
+
+#endif // ADAPT_NOISE_NOISE_MODEL_HH

@@ -1,0 +1,301 @@
+#include "sim/statevector.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace adapt
+{
+
+namespace
+{
+
+/** Largest register the dense simulator will allocate (16 GiB). */
+constexpr int kMaxDenseQubits = 26;
+
+} // namespace
+
+StateVector::StateVector(int num_qubits) : numQubits_(num_qubits)
+{
+    require(num_qubits > 0, "StateVector requires at least one qubit");
+    require(num_qubits <= kMaxDenseQubits,
+            "dense simulation beyond " +
+            std::to_string(kMaxDenseQubits) +
+            " qubits; use the stabilizer simulator");
+    amps_.assign(size_t{1} << num_qubits, Complex{});
+    amps_[0] = 1.0;
+}
+
+void
+StateVector::apply1Q(const Matrix2 &u, QubitId q)
+{
+    const uint64_t stride = uint64_t{1} << q;
+    const uint64_t dim = amps_.size();
+    for (uint64_t base = 0; base < dim; base += 2 * stride) {
+        for (uint64_t offset = 0; offset < stride; offset++) {
+            const uint64_t i0 = base + offset;
+            const uint64_t i1 = i0 + stride;
+            const Complex a0 = amps_[i0];
+            const Complex a1 = amps_[i1];
+            amps_[i0] = u(0, 0) * a0 + u(0, 1) * a1;
+            amps_[i1] = u(1, 0) * a0 + u(1, 1) * a1;
+        }
+    }
+}
+
+void
+StateVector::applyPhase(QubitId q, double phi)
+{
+    const uint64_t bit = uint64_t{1} << q;
+    const Complex factor = std::exp(kImag * phi);
+    for (uint64_t i = 0; i < amps_.size(); i++) {
+        if (i & bit)
+            amps_[i] *= factor;
+    }
+}
+
+void
+StateVector::applyDecayJump(QubitId q)
+{
+    const uint64_t bit = uint64_t{1} << q;
+    for (uint64_t i = 0; i < amps_.size(); i++) {
+        if (i & bit) {
+            amps_[i & ~bit] = amps_[i];
+            amps_[i] = 0.0;
+        }
+    }
+    normalize();
+}
+
+void
+StateVector::applyCX(QubitId control, QubitId target)
+{
+    const uint64_t cbit = uint64_t{1} << control;
+    const uint64_t tbit = uint64_t{1} << target;
+    const uint64_t dim = amps_.size();
+    for (uint64_t i = 0; i < dim; i++) {
+        // Visit each swapped pair once via the target=0 member.
+        if ((i & cbit) && !(i & tbit))
+            std::swap(amps_[i], amps_[i | tbit]);
+    }
+}
+
+void
+StateVector::applyCZ(QubitId a, QubitId b)
+{
+    const uint64_t abit = uint64_t{1} << a;
+    const uint64_t bbit = uint64_t{1} << b;
+    const uint64_t dim = amps_.size();
+    for (uint64_t i = 0; i < dim; i++) {
+        if ((i & abit) && (i & bbit))
+            amps_[i] = -amps_[i];
+    }
+}
+
+void
+StateVector::applySwap(QubitId a, QubitId b)
+{
+    const uint64_t abit = uint64_t{1} << a;
+    const uint64_t bbit = uint64_t{1} << b;
+    const uint64_t dim = amps_.size();
+    for (uint64_t i = 0; i < dim; i++) {
+        if ((i & abit) && !(i & bbit))
+            std::swap(amps_[i], amps_[(i & ~abit) | bbit]);
+    }
+}
+
+void
+StateVector::applyGate(const Gate &gate)
+{
+    switch (gate.type) {
+      case GateType::CX:
+        applyCX(gate.qubits[0], gate.qubits[1]);
+        return;
+      case GateType::CZ:
+        applyCZ(gate.qubits[0], gate.qubits[1]);
+        return;
+      case GateType::SWAP:
+        applySwap(gate.qubits[0], gate.qubits[1]);
+        return;
+      case GateType::I:
+      case GateType::Barrier:
+      case GateType::Delay:
+        return;
+      case GateType::Measure:
+        panic("StateVector::applyGate cannot apply Measure");
+      default:
+        apply1Q(gateMatrix(gate), gate.qubit());
+        return;
+    }
+}
+
+double
+StateVector::probability(uint64_t basis) const
+{
+    return std::norm(amps_.at(basis));
+}
+
+std::vector<double>
+StateVector::probabilities() const
+{
+    std::vector<double> probs(amps_.size());
+    for (size_t i = 0; i < amps_.size(); i++)
+        probs[i] = std::norm(amps_[i]);
+    return probs;
+}
+
+double
+StateVector::populationOne(QubitId q) const
+{
+    const uint64_t bit = uint64_t{1} << q;
+    double p = 0.0;
+    for (uint64_t i = 0; i < amps_.size(); i++) {
+        if (i & bit)
+            p += std::norm(amps_[i]);
+    }
+    return p;
+}
+
+uint64_t
+StateVector::sample(Rng &rng) const
+{
+    double draw = rng.uniform();
+    for (uint64_t i = 0; i < amps_.size(); i++) {
+        draw -= std::norm(amps_[i]);
+        if (draw <= 0.0)
+            return i;
+    }
+    return amps_.size() - 1; // numerical round-off: last state
+}
+
+bool
+StateVector::measureCollapse(QubitId q, Rng &rng)
+{
+    const double p1 = populationOne(q);
+    const bool outcome = rng.bernoulli(p1);
+    const uint64_t bit = uint64_t{1} << q;
+    for (uint64_t i = 0; i < amps_.size(); i++) {
+        const bool is_one = (i & bit) != 0;
+        if (is_one != outcome)
+            amps_[i] = 0.0;
+    }
+    normalize();
+    return outcome;
+}
+
+void
+StateVector::applyAmplitudeDamping(QubitId q, double gamma, Rng &rng)
+{
+    require(gamma >= 0.0 && gamma <= 1.0,
+            "amplitude damping gamma must be a probability");
+    if (gamma <= 0.0)
+        return;
+    const double p1 = populationOne(q);
+    const double p_decay = gamma * p1;
+    const uint64_t bit = uint64_t{1} << q;
+    if (rng.bernoulli(p_decay)) {
+        // K1 branch: |1> component collapses to |0>.
+        for (uint64_t i = 0; i < amps_.size(); i++) {
+            if (i & bit) {
+                amps_[i & ~bit] = amps_[i];
+                amps_[i] = 0.0;
+            }
+        }
+    } else {
+        // K0 branch: |1> component shrinks by sqrt(1 - gamma).
+        const double scale = std::sqrt(1.0 - gamma);
+        for (uint64_t i = 0; i < amps_.size(); i++) {
+            if (i & bit)
+                amps_[i] *= scale;
+        }
+    }
+    normalize();
+}
+
+double
+StateVector::norm() const
+{
+    double sum = 0.0;
+    for (const Complex &a : amps_)
+        sum += std::norm(a);
+    return std::sqrt(sum);
+}
+
+void
+StateVector::normalize()
+{
+    const double n = norm();
+    require(n > 1e-300, "cannot normalize a zero state");
+    const double inv = 1.0 / n;
+    for (Complex &a : amps_)
+        a *= inv;
+}
+
+Circuit
+restrictToActiveQubits(const Circuit &circuit)
+{
+    std::vector<int> map(static_cast<size_t>(circuit.numQubits()), -1);
+    int next = 0;
+    for (const Gate &gate : circuit.gates()) {
+        if (gate.type == GateType::Barrier)
+            continue;
+        for (QubitId q : gate.qubits) {
+            if (map[static_cast<size_t>(q)] < 0)
+                map[static_cast<size_t>(q)] = next++;
+        }
+    }
+    Circuit out(std::max(next, 1), circuit.numClbits());
+    for (const Gate &gate : circuit.gates()) {
+        if (gate.type == GateType::Barrier)
+            continue;
+        Gate mapped = gate;
+        for (QubitId &q : mapped.qubits)
+            q = map[static_cast<size_t>(q)];
+        out.add(std::move(mapped));
+    }
+    return out;
+}
+
+Distribution
+idealDistribution(const Circuit &circuit)
+{
+    const Circuit reduced = restrictToActiveQubits(circuit);
+    StateVector state(reduced.numQubits());
+
+    // (measured qubit, classical bit) pairs, applied to the final
+    // state; all workloads measure terminally.
+    std::vector<std::pair<QubitId, int>> measures;
+    for (const Gate &gate : reduced.gates()) {
+        if (gate.type == GateType::Measure) {
+            measures.emplace_back(gate.qubit(),
+                                  gate.clbit < 0
+                                      ? static_cast<int>(gate.qubit())
+                                      : gate.clbit);
+        } else if (isUnitaryGate(gate.type)) {
+            state.applyGate(gate);
+        }
+    }
+    require(!measures.empty(),
+            "idealDistribution requires at least one Measure gate");
+
+    std::map<uint64_t, double> acc;
+    const auto probs = state.probabilities();
+    for (uint64_t basis = 0; basis < probs.size(); basis++) {
+        if (probs[basis] <= 0.0)
+            continue;
+        uint64_t outcome = 0;
+        for (const auto &[q, c] : measures) {
+            if (basis & (uint64_t{1} << q))
+                outcome |= uint64_t{1} << c;
+        }
+        acc[outcome] += probs[basis];
+    }
+    Distribution dist;
+    for (const auto &[outcome, prob] : acc)
+        dist.setProbability(outcome, prob);
+    return dist;
+}
+
+} // namespace adapt

@@ -1,0 +1,230 @@
+#include "transpile/decompose.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace adapt
+{
+
+bool
+isPhysicalGate(GateType type)
+{
+    switch (type) {
+      case GateType::RZ:
+      case GateType::SX:
+      case GateType::X:
+      // Y is "physical" in the scheduling sense: on IBMQ hardware it
+      // is a single X pulse conjugated by virtual RZ frame changes,
+      // so it costs exactly one pulse.  DD sequences insert it
+      // directly (Fig. 12).
+      case GateType::Y:
+      case GateType::I:
+      case GateType::CX:
+      case GateType::Measure:
+      case GateType::Barrier:
+      case GateType::Delay:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isPhysicalCircuit(const Circuit &circuit)
+{
+    for (const Gate &gate : circuit.gates()) {
+        if (!isPhysicalGate(gate.type))
+            return false;
+    }
+    return true;
+}
+
+namespace
+{
+
+/** Wrap an angle into (-pi, pi]. */
+double
+wrapAngle(double angle)
+{
+    angle = std::fmod(angle, 2.0 * kPi);
+    if (angle <= -kPi)
+        angle += 2.0 * kPi;
+    else if (angle > kPi)
+        angle -= 2.0 * kPi;
+    return angle;
+}
+
+bool
+isZeroAngle(double angle)
+{
+    return std::abs(wrapAngle(angle)) < 1e-10;
+}
+
+} // namespace
+
+std::array<double, 3>
+eulerAngles(const Matrix2 &u)
+{
+    require(u.isUnitary(1e-6), "eulerAngles requires a unitary matrix");
+    const double c = std::abs(u(0, 0));
+    const double s = std::abs(u(1, 0));
+    const double theta = 2.0 * std::atan2(s, c);
+
+    if (s < 1e-12) {
+        // Diagonal: only phi + lambda is defined.
+        const double sum = std::arg(u(1, 1)) - std::arg(u(0, 0));
+        return {0.0, wrapAngle(sum), 0.0};
+    }
+    if (c < 1e-12) {
+        // Anti-diagonal: only phi - lambda is defined; pick phi = 0.
+        const double alpha = std::arg(u(1, 0));
+        return {kPi, 0.0, wrapAngle(std::arg(-u(0, 1)) - alpha)};
+    }
+    const double alpha = std::arg(u(0, 0));
+    const double phi = wrapAngle(std::arg(u(1, 0)) - alpha);
+    const double lam = wrapAngle(std::arg(-u(0, 1)) - alpha);
+    return {theta, phi, lam};
+}
+
+std::vector<Gate>
+decompose1Q(const Matrix2 &u, QubitId q)
+{
+    const auto [theta, phi, lam] = eulerAngles(u);
+    std::vector<Gate> out;
+    auto rz = [&](double angle) {
+        if (!isZeroAngle(angle))
+            out.push_back({GateType::RZ, {q}, {wrapAngle(angle)}});
+    };
+
+    if (std::abs(theta) < 1e-10) {
+        // Pure Z rotation: zero pulses.
+        rz(phi + lam);
+    } else if (std::abs(theta - kPi / 2.0) < 1e-10) {
+        // One pulse: U3(pi/2, phi, lambda) = RZ(phi+pi/2) SX RZ(lam-pi/2).
+        rz(lam - kPi / 2.0);
+        out.push_back({GateType::SX, {q}});
+        rz(phi + kPi / 2.0);
+    } else if (std::abs(theta - kPi) < 1e-10) {
+        // One pulse: U3(pi, phi, lambda) = RZ(phi+pi) X RZ(lam).
+        rz(lam);
+        out.push_back({GateType::X, {q}});
+        rz(phi + kPi);
+    } else {
+        // Two pulses: ZXZXZ Euler form.
+        rz(lam);
+        out.push_back({GateType::SX, {q}});
+        rz(theta + kPi);
+        out.push_back({GateType::SX, {q}});
+        rz(phi + kPi);
+    }
+    return out;
+}
+
+namespace
+{
+
+/** Append gate, merging runs of RZ on the same qubit. */
+void
+emit(Circuit &out, Gate gate, std::vector<int> &last_rz)
+{
+    if (gate.type == GateType::RZ) {
+        const auto q = static_cast<size_t>(gate.qubit());
+        if (last_rz[q] >= 0) {
+            // Merge into the previous RZ on this qubit.
+            Gate &prev = out.gateAt(static_cast<size_t>(last_rz[q]));
+            prev.params[0] = wrapAngle(prev.params[0] + gate.params[0]);
+            return;
+        }
+        last_rz[q] = static_cast<int>(out.size());
+        out.add(std::move(gate));
+        return;
+    }
+    for (QubitId q : gate.qubits)
+        last_rz[static_cast<size_t>(q)] = -1;
+    if (gate.type == GateType::Barrier) {
+        // Barriers order *all* qubits.
+        std::fill(last_rz.begin(), last_rz.end(), -1);
+    }
+    out.add(std::move(gate));
+}
+
+} // namespace
+
+Circuit
+decompose(const Circuit &circuit)
+{
+    Circuit out(circuit.numQubits(), circuit.numClbits());
+    std::vector<int> last_rz(static_cast<size_t>(circuit.numQubits()), -1);
+
+    for (const Gate &gate : circuit.gates()) {
+        switch (gate.type) {
+          case GateType::CX:
+          case GateType::Measure:
+          case GateType::Barrier:
+          case GateType::Delay:
+          case GateType::X:
+          case GateType::SX:
+            emit(out, gate, last_rz);
+            break;
+          case GateType::I:
+            break; // identity: nothing to execute
+          case GateType::Z:
+            emit(out, {GateType::RZ, {gate.qubit()}, {kPi}}, last_rz);
+            break;
+          case GateType::S:
+            emit(out, {GateType::RZ, {gate.qubit()}, {kPi / 2.0}},
+                 last_rz);
+            break;
+          case GateType::Sdg:
+            emit(out, {GateType::RZ, {gate.qubit()}, {-kPi / 2.0}},
+                 last_rz);
+            break;
+          case GateType::T:
+            emit(out, {GateType::RZ, {gate.qubit()}, {kPi / 4.0}},
+                 last_rz);
+            break;
+          case GateType::Tdg:
+            emit(out, {GateType::RZ, {gate.qubit()}, {-kPi / 4.0}},
+                 last_rz);
+            break;
+          case GateType::RZ:
+          case GateType::U1:
+            if (!isZeroAngle(gate.params[0])) {
+                emit(out,
+                     {GateType::RZ, {gate.qubit()},
+                      {wrapAngle(gate.params[0])}},
+                     last_rz);
+            }
+            break;
+          case GateType::CZ: {
+            // CZ = (I x H) CX (I x H)
+            const QubitId a = gate.qubits[0];
+            const QubitId b = gate.qubits[1];
+            for (Gate &g : decompose1Q(gateMatrix(GateType::H), b))
+                emit(out, std::move(g), last_rz);
+            emit(out, {GateType::CX, {a, b}}, last_rz);
+            for (Gate &g : decompose1Q(gateMatrix(GateType::H), b))
+                emit(out, std::move(g), last_rz);
+            break;
+          }
+          case GateType::SWAP: {
+            const QubitId a = gate.qubits[0];
+            const QubitId b = gate.qubits[1];
+            emit(out, {GateType::CX, {a, b}}, last_rz);
+            emit(out, {GateType::CX, {b, a}}, last_rz);
+            emit(out, {GateType::CX, {a, b}}, last_rz);
+            break;
+          }
+          default:
+            // Generic single-qubit unitary (H, Y, SXdg, RX, RY, U2,
+            // U3, ...).
+            for (Gate &g : decompose1Q(gateMatrix(gate), gate.qubit()))
+                emit(out, std::move(g), last_rz);
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace adapt

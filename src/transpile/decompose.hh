@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Gate decomposition into the IBMQ physical basis {RZ, SX, X, CX}.
+ *
+ * RZ is a virtual (zero-duration, error-free) frame change on IBMQ
+ * hardware [McKay et al., "Efficient Z gates"], so decompositions
+ * minimize the number of physical SX / X pulses.  Single-qubit
+ * unitaries use the standard ZXZXZ Euler form
+ *   U3(theta, phi, lambda) = RZ(phi + pi) SX RZ(theta + pi) SX RZ(lambda)
+ * with peephole special cases for theta in {0, pi/2, pi}.
+ */
+
+#ifndef ADAPT_TRANSPILE_DECOMPOSE_HH
+#define ADAPT_TRANSPILE_DECOMPOSE_HH
+
+#include <array>
+#include <vector>
+
+#include "circuit/circuit.hh"
+#include "common/matrix2.hh"
+
+namespace adapt
+{
+
+/** True if the gate type is directly executable on IBMQ hardware. */
+bool isPhysicalGate(GateType type);
+
+/** True if every gate of the circuit is physical. */
+bool isPhysicalCircuit(const Circuit &circuit);
+
+/**
+ * ZYZ-style Euler angles (theta, phi, lambda) such that the unitary
+ * equals U3(theta, phi, lambda) up to global phase.
+ *
+ * @pre u is unitary.
+ */
+std::array<double, 3> eulerAngles(const Matrix2 &u);
+
+/**
+ * Decompose an arbitrary single-qubit unitary into physical gates on
+ * qubit @p q (at most 2 physical pulses + virtual RZs).
+ */
+std::vector<Gate> decompose1Q(const Matrix2 &u, QubitId q);
+
+/**
+ * Lower every gate of @p circuit to the physical basis.  SWAP becomes
+ * 3 CX, CZ becomes H-conjugated CX; Measure / Barrier / Delay pass
+ * through unchanged.  Adjacent RZ gates are merged and RZ(~0) gates
+ * are dropped.
+ */
+Circuit decompose(const Circuit &circuit);
+
+} // namespace adapt
+
+#endif // ADAPT_TRANSPILE_DECOMPOSE_HH

@@ -1,0 +1,139 @@
+#include "transpile/layout.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace adapt
+{
+
+Layout
+Layout::fromLogicalToPhysical(std::vector<QubitId> l2p, int num_physical)
+{
+    Layout layout;
+    layout.physicalToLogical.assign(static_cast<size_t>(num_physical), -1);
+    for (size_t lq = 0; lq < l2p.size(); lq++) {
+        const QubitId p = l2p[lq];
+        require(p >= 0 && p < num_physical,
+                "layout places a logical qubit outside the device");
+        require(layout.physicalToLogical[static_cast<size_t>(p)] < 0,
+                "layout maps two logical qubits to one physical qubit");
+        layout.physicalToLogical[static_cast<size_t>(p)] =
+            static_cast<QubitId>(lq);
+    }
+    layout.logicalToPhysical = std::move(l2p);
+    return layout;
+}
+
+Layout
+trivialLayout(int num_logical, const Topology &topology)
+{
+    require(num_logical <= topology.numQubits(),
+            "program is wider than the device");
+    std::vector<QubitId> l2p(static_cast<size_t>(num_logical));
+    std::iota(l2p.begin(), l2p.end(), 0);
+    return Layout::fromLogicalToPhysical(std::move(l2p),
+                                         topology.numQubits());
+}
+
+namespace
+{
+
+/** Interaction weight matrix: CNOT counts between logical pairs. */
+std::vector<std::vector<double>>
+interactionWeights(const Circuit &logical)
+{
+    const auto n = static_cast<size_t>(logical.numQubits());
+    std::vector<std::vector<double>> w(n, std::vector<double>(n, 0.0));
+    for (const Gate &gate : logical.gates()) {
+        if (isTwoQubitGate(gate.type)) {
+            const auto a = static_cast<size_t>(gate.qubits[0]);
+            const auto b = static_cast<size_t>(gate.qubits[1]);
+            w[a][b] += 1.0;
+            w[b][a] += 1.0;
+        }
+    }
+    return w;
+}
+
+/** Quality score of a physical qubit: readout plus incident links. */
+double
+physicalQubitQuality(QubitId p, const Topology &topology,
+                     const Calibration &cal)
+{
+    const auto &qc = cal.qubits[static_cast<size_t>(p)];
+    double score = 1.0 - (qc.readoutError01 + qc.readoutError10) / 2.0;
+    for (QubitId nb : topology.neighbors(p)) {
+        const int li = topology.linkIndex(p, nb);
+        score += 0.5 * (1.0 - cal.links[static_cast<size_t>(li)].cxError);
+    }
+    return score;
+}
+
+} // namespace
+
+Layout
+noiseAdaptiveLayout(const Circuit &logical, const Topology &topology,
+                    const Calibration &cal)
+{
+    const int n_log = logical.numQubits();
+    const int n_phys = topology.numQubits();
+    require(n_log <= n_phys, "program is wider than the device");
+
+    const auto w = interactionWeights(logical);
+
+    // Order logical qubits by total interaction weight, descending;
+    // heavy qubits get first pick of the good physical region.
+    std::vector<QubitId> order(static_cast<size_t>(n_log));
+    std::iota(order.begin(), order.end(), 0);
+    auto total = [&](QubitId lq) {
+        return std::accumulate(w[static_cast<size_t>(lq)].begin(),
+                               w[static_cast<size_t>(lq)].end(), 0.0);
+    };
+    std::stable_sort(order.begin(), order.end(),
+                     [&](QubitId a, QubitId b) {
+                         return total(a) > total(b);
+                     });
+
+    std::vector<QubitId> l2p(static_cast<size_t>(n_log), -1);
+    std::vector<bool> used(static_cast<size_t>(n_phys), false);
+
+    for (QubitId lq : order) {
+        QubitId best_p = -1;
+        double best_score = -1e300;
+        for (QubitId p = 0; p < n_phys; p++) {
+            if (used[static_cast<size_t>(p)])
+                continue;
+            double score = physicalQubitQuality(p, topology, cal);
+            // Strongly prefer physical adjacency (or at least
+            // proximity) to already-placed interaction partners.
+            for (QubitId other = 0; other < n_log; other++) {
+                const double weight =
+                    w[static_cast<size_t>(lq)][static_cast<size_t>(other)];
+                const QubitId placed = l2p[static_cast<size_t>(other)];
+                if (weight <= 0.0 || placed < 0)
+                    continue;
+                const int dist = topology.distance(p, placed);
+                const int li = dist == 1 ? topology.linkIndex(p, placed)
+                                         : -1;
+                const double link_quality =
+                    li >= 0
+                        ? 1.0 - cal.links[static_cast<size_t>(li)].cxError
+                        : 0.0;
+                score += weight * (10.0 / static_cast<double>(dist) +
+                                   5.0 * link_quality);
+            }
+            if (score > best_score) {
+                best_score = score;
+                best_p = p;
+            }
+        }
+        require(best_p >= 0, "no free physical qubit found");
+        l2p[static_cast<size_t>(lq)] = best_p;
+        used[static_cast<size_t>(best_p)] = true;
+    }
+    return Layout::fromLogicalToPhysical(std::move(l2p), n_phys);
+}
+
+} // namespace adapt

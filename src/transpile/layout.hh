@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Initial placement of program (logical) qubits onto physical qubits.
+ *
+ * Mirrors the paper's compilation setup (Sec. 5.1): a noise-adaptive
+ * layout in the spirit of Murali et al. [27] that prefers low-error
+ * links and read-out qubits for the most interaction-heavy program
+ * qubits, plus a trivial layout for ablations.
+ */
+
+#ifndef ADAPT_TRANSPILE_LAYOUT_HH
+#define ADAPT_TRANSPILE_LAYOUT_HH
+
+#include <vector>
+
+#include "circuit/circuit.hh"
+#include "device/calibration.hh"
+#include "device/topology.hh"
+
+namespace adapt
+{
+
+/** Bidirectional logical <-> physical qubit map. */
+struct Layout
+{
+    /** physical = logicalToPhysical[logical] */
+    std::vector<QubitId> logicalToPhysical;
+
+    /** logical = physicalToLogical[physical]; -1 when unused. */
+    std::vector<QubitId> physicalToLogical;
+
+    /** Build the inverse map from logicalToPhysical. */
+    static Layout fromLogicalToPhysical(std::vector<QubitId> l2p,
+                                        int num_physical);
+
+    QubitId
+    physical(QubitId logical) const
+    {
+        return logicalToPhysical.at(static_cast<size_t>(logical));
+    }
+
+    QubitId
+    logical(QubitId physical) const
+    {
+        return physicalToLogical.at(static_cast<size_t>(physical));
+    }
+
+    int numLogical() const
+    {
+        return static_cast<int>(logicalToPhysical.size());
+    }
+};
+
+/** Map logical qubit i to physical qubit i. */
+Layout trivialLayout(int num_logical, const Topology &topology);
+
+/**
+ * Greedy noise-adaptive layout: places the most interaction-heavy
+ * program qubits onto the physical region with the lowest CNOT and
+ * readout error, preferring adjacency for frequently-interacting
+ * pairs.
+ */
+Layout noiseAdaptiveLayout(const Circuit &logical, const Topology &topology,
+                           const Calibration &cal);
+
+} // namespace adapt
+
+#endif // ADAPT_TRANSPILE_LAYOUT_HH

@@ -1,0 +1,95 @@
+#include "transpile/routing.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace adapt
+{
+
+namespace
+{
+
+/**
+ * Neighbour of @p from that lies on a shortest path towards @p to.
+ * Ties are broken deterministically by qubit index.
+ */
+QubitId
+nextHop(const Topology &topology, QubitId from, QubitId to)
+{
+    QubitId best = -1;
+    int best_dist = topology.numQubits() + 2;
+    for (QubitId nb : topology.neighbors(from)) {
+        const int dist = topology.distance(nb, to);
+        if (dist < best_dist) {
+            best_dist = dist;
+            best = nb;
+        }
+    }
+    require(best >= 0, "routing on a disconnected topology");
+    return best;
+}
+
+} // namespace
+
+RoutingResult
+route(const Circuit &logical, const Topology &topology,
+      const Layout &initial)
+{
+    require(initial.numLogical() == logical.numQubits(),
+            "layout width does not match the circuit");
+
+    RoutingResult result{Circuit(topology.numQubits(),
+                                 logical.numClbits()),
+                         initial, 0};
+    Layout &layout = result.finalLayout;
+
+    auto apply_swap = [&](QubitId pa, QubitId pb) {
+        result.physical.swap(pa, pb);
+        result.swapCount++;
+        const QubitId la = layout.physicalToLogical[
+            static_cast<size_t>(pa)];
+        const QubitId lb = layout.physicalToLogical[
+            static_cast<size_t>(pb)];
+        layout.physicalToLogical[static_cast<size_t>(pa)] = lb;
+        layout.physicalToLogical[static_cast<size_t>(pb)] = la;
+        if (la >= 0)
+            layout.logicalToPhysical[static_cast<size_t>(la)] = pb;
+        if (lb >= 0)
+            layout.logicalToPhysical[static_cast<size_t>(lb)] = pa;
+    };
+
+    for (const Gate &gate : logical.gates()) {
+        if (gate.type == GateType::Barrier) {
+            result.physical.barrier();
+            continue;
+        }
+        if (isTwoQubitGate(gate.type)) {
+            // Walk the cheaper endpoint towards the other until the
+            // operands share a link.
+            while (true) {
+                const QubitId pa = layout.physical(gate.qubits[0]);
+                const QubitId pb = layout.physical(gate.qubits[1]);
+                if (topology.connected(pa, pb))
+                    break;
+                // Swap from the 'a' side by convention; nextHop makes
+                // progress every iteration, so this terminates.
+                apply_swap(pa, nextHop(topology, pa, pb));
+            }
+            Gate mapped = gate;
+            mapped.qubits = {layout.physical(gate.qubits[0]),
+                             layout.physical(gate.qubits[1])};
+            result.physical.add(std::move(mapped));
+            continue;
+        }
+        Gate mapped = gate;
+        for (QubitId &q : mapped.qubits)
+            q = layout.physical(q);
+        if (gate.type == GateType::Measure && mapped.clbit < 0)
+            mapped.clbit = static_cast<int>(gate.qubit());
+        result.physical.add(std::move(mapped));
+    }
+    return result;
+}
+
+} // namespace adapt

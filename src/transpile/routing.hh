@@ -1,0 +1,49 @@
+/**
+ * @file
+ * SWAP-insertion routing for limited-connectivity devices.
+ *
+ * A greedy shortest-path router in the spirit of SABRE [23]: when a
+ * CNOT's operands are not adjacent, SWAPs are inserted along a
+ * cheapest shortest path until they are.  SWAP-induced serialization
+ * is the third source of idle time the paper identifies (Sec. 2.4 and
+ * Fig. 3b).
+ */
+
+#ifndef ADAPT_TRANSPILE_ROUTING_HH
+#define ADAPT_TRANSPILE_ROUTING_HH
+
+#include "circuit/circuit.hh"
+#include "device/calibration.hh"
+#include "device/topology.hh"
+#include "transpile/layout.hh"
+
+namespace adapt
+{
+
+/** Output of the routing pass. */
+struct RoutingResult
+{
+    /** Circuit over *physical* qubits; all CNOTs respect the
+     *  coupling map.  SWAPs are already emitted as SWAP gates
+     *  (decompose() lowers them to 3 CX). */
+    Circuit physical;
+
+    /** Mapping at the *end* of the circuit (SWAPs permute it). */
+    Layout finalLayout;
+
+    /** Number of SWAP gates inserted. */
+    int swapCount = 0;
+};
+
+/**
+ * Route @p logical onto @p topology starting from @p initial layout.
+ *
+ * Measure gates keep their original classical-bit destination, so the
+ * output distribution is in program-qubit order regardless of SWAPs.
+ */
+RoutingResult route(const Circuit &logical, const Topology &topology,
+                    const Layout &initial);
+
+} // namespace adapt
+
+#endif // ADAPT_TRANSPILE_ROUTING_HH

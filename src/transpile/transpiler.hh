@@ -1,0 +1,73 @@
+/**
+ * @file
+ * End-to-end compilation pipeline, mirroring the tool flow of
+ * Fig. 11: decompose -> qubit mapping -> SWAP routing -> decompose
+ * (lowering the inserted SWAPs) -> timing (Gate Sequence Table).
+ * ADAPT runs *after* this pipeline as a post-compile step.
+ */
+
+#ifndef ADAPT_TRANSPILE_TRANSPILER_HH
+#define ADAPT_TRANSPILE_TRANSPILER_HH
+
+#include "circuit/circuit.hh"
+#include "device/device.hh"
+#include "transpile/layout.hh"
+#include "transpile/routing.hh"
+#include "transpile/schedule.hh"
+
+namespace adapt
+{
+
+/** Compilation knobs (defaults match the paper's setup, Sec. 5.1). */
+struct TranspileOptions
+{
+    /** Noise-adaptive mapping (vs. trivial). */
+    bool noiseAdaptive = true;
+
+    /** ALAP mirrors production compilers' late-as-possible policy. */
+    ScheduleMode scheduleMode = ScheduleMode::Alap;
+};
+
+/** The compiled, timed executable. */
+struct CompiledProgram
+{
+    /** Physical-basis circuit over device qubits (CX all routed). */
+    Circuit physical;
+
+    Layout initialLayout;
+    Layout finalLayout;
+
+    /** Timed executable / Gate Sequence Table. */
+    ScheduledCircuit schedule;
+
+    int swapCount = 0;
+    int logicalQubits = 0;
+
+    CompiledProgram(Circuit phys, ScheduledCircuit sched)
+        : physical(std::move(phys)), schedule(std::move(sched))
+    {
+    }
+};
+
+/**
+ * Compile @p logical for @p device under calibration @p cal.
+ *
+ * The result is deterministic for fixed inputs, which provides the
+ * paper's "identical mapping and sequence of CNOT gate operations
+ * across all the policies" guarantee (Sec. 5.1).
+ */
+CompiledProgram transpile(const Circuit &logical, const Device &device,
+                          const Calibration &cal,
+                          const TranspileOptions &options = {});
+
+/**
+ * Re-time an already-compiled physical circuit (used after decoy
+ * substitution or DD insertion, which never change CX structure).
+ */
+ScheduledCircuit reschedule(const Circuit &physical, const Device &device,
+                            const Calibration &cal,
+                            ScheduleMode mode = ScheduleMode::Alap);
+
+} // namespace adapt
+
+#endif // ADAPT_TRANSPILE_TRANSPILER_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * NISQ benchmark circuit generators (Table 4 of the paper):
+ * Bernstein-Vazirani, Quantum Fourier Transform (two initial states),
+ * QAOA MaxCut (two graph instances), a ripple-carry adder, and
+ * quantum phase estimation.
+ *
+ * All generators return *logical* circuits with terminal
+ * measurements; compile them with transpile() for a device.
+ */
+
+#ifndef ADAPT_WORKLOADS_BENCHMARKS_HH
+#define ADAPT_WORKLOADS_BENCHMARKS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hh"
+
+namespace adapt
+{
+
+/**
+ * Bernstein-Vazirani over @p num_qubits qubits (the last qubit is
+ * the oracle ancilla; @p secret has num_qubits - 1 meaningful bits).
+ * Ideal output: the secret string on the data bits.
+ */
+Circuit makeBernsteinVazirani(int num_qubits, uint64_t secret);
+
+/** Initial state selector for the QFT benchmarks. */
+enum class QftState
+{
+    A, //!< computational basis state |1010...>
+    B, //!< product state from non-Clifford RY / T rotations
+};
+
+/**
+ * QFT-n: prepare the selected initial state, apply the n-qubit
+ * Fourier transform (controlled-phase ladder + reversal SWAPs), and
+ * measure.
+ */
+Circuit makeQft(int num_qubits, QftState state);
+
+/** Graph instance selector for QAOA. */
+enum class QaoaGraph
+{
+    A, //!< ring graph (n edges)
+    B, //!< ring plus random chords (denser, deeper)
+};
+
+/**
+ * Single-layer (p = 1) QAOA MaxCut ansatz on the selected graph with
+ * non-Clifford (gamma, beta) angles, measured on all qubits.
+ */
+Circuit makeQaoa(int num_qubits, QaoaGraph graph, uint64_t seed = 7);
+
+/**
+ * Ripple-carry adder (Cuccaro MAJ/UMA) computing a + b for
+ * @p bits_per_operand-bit operands; 2 * bits + 2 qubits total.
+ * The default 1-bit instance is the paper's 4-qubit ADDER.
+ */
+Circuit makeAdder(int bits_per_operand = 1, uint64_t a = 1,
+                  uint64_t b = 1);
+
+/**
+ * Quantum phase estimation of a phase gate U1(2 pi phase) with
+ * @p counting_qubits counting qubits + 1 eigenstate qubit.
+ * QPEA-5 of the paper is makeQpe(4, 1.0 / 8.0).
+ */
+Circuit makeQpe(int counting_qubits, double phase);
+
+/** A named benchmark instance. */
+struct Workload
+{
+    std::string name;
+    Circuit circuit;
+};
+
+/**
+ * The benchmark suite of Table 4 (BV-7/8, QFT-6A/B, QFT-7A/B,
+ * QAOA-8A/B, QAOA-10A/B, QPEA-5).
+ */
+std::vector<Workload> paperBenchmarks();
+
+/** The small suite used for characterization tables (QFT-5, QAOA-5,
+ *  Adder on 5-qubit machines; Table 1). */
+std::vector<Workload> smallBenchmarks();
+
+} // namespace adapt
+
+#endif // ADAPT_WORKLOADS_BENCHMARKS_HH

@@ -1,0 +1,335 @@
+/**
+ * @file
+ * Tests for the ADAPT core: decoy construction invariants (CX
+ * structure preservation, Clifford-ness, seeding), the localized
+ * search's budget and output, and the policy implementations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "adapt/policies.hh"
+#include "common/logging.hh"
+#include "sim/statevector.hh"
+#include "transpile/decompose.hh"
+#include "workloads/benchmarks.hh"
+
+using namespace adapt;
+
+namespace
+{
+
+/** CX operand sequence, the structural fingerprint decoys preserve. */
+std::vector<std::pair<QubitId, QubitId>>
+cxStructure(const Circuit &c)
+{
+    std::vector<std::pair<QubitId, QubitId>> out;
+    for (const Gate &g : c.gates()) {
+        if (g.type == GateType::CX)
+            out.emplace_back(g.qubits[0], g.qubits[1]);
+    }
+    return out;
+}
+
+CompiledProgram
+compileOn(const Workload &w, const Device &d)
+{
+    return transpile(w.circuit, d, d.calibration(0));
+}
+
+} // namespace
+
+// ----------------------------------------------------------------- Decoy
+
+TEST(DecoyTest, CdcIsFullyClifford)
+{
+    const Device d = Device::ibmqGuadalupe();
+    const CompiledProgram p =
+        compileOn({"QFT-5", makeQft(5, QftState::A)}, d);
+    DecoyOptions opt;
+    opt.kind = DecoyKind::Clifford;
+    const Decoy decoy = makeDecoy(p.physical, opt);
+    EXPECT_TRUE(decoy.circuit.isClifford());
+    EXPECT_EQ(decoy.nonCliffordGates, 0);
+}
+
+TEST(DecoyTest, DecoyPreservesCxStructure)
+{
+    const Device d = Device::ibmqGuadalupe();
+    for (DecoyKind kind : {DecoyKind::Clifford, DecoyKind::Trivial,
+                           DecoyKind::Seeded}) {
+        const CompiledProgram p =
+            compileOn({"QAOA-8A", makeQaoa(8, QaoaGraph::A)}, d);
+        DecoyOptions opt;
+        opt.kind = kind;
+        const Decoy decoy = makeDecoy(p.physical, opt);
+        EXPECT_EQ(cxStructure(decoy.circuit), cxStructure(p.physical))
+            << decoyKindName(kind);
+    }
+}
+
+TEST(DecoyTest, TrivialDecoyHasNoSingleQubitGates)
+{
+    const Device d = Device::ibmqGuadalupe();
+    const CompiledProgram p =
+        compileOn({"QFT-5", makeQft(5, QftState::B)}, d);
+    DecoyOptions opt;
+    opt.kind = DecoyKind::Trivial;
+    const Decoy decoy = makeDecoy(p.physical, opt);
+    for (const Gate &g : decoy.circuit.gates()) {
+        EXPECT_TRUE(!isUnitaryGate(g.type) || isTwoQubitGate(g.type))
+            << g.toString();
+    }
+}
+
+TEST(DecoyTest, SdcKeepsLimitedSeeds)
+{
+    const Device d = Device::ibmqGuadalupe();
+    const CompiledProgram p =
+        compileOn({"QFT-6B", makeQft(6, QftState::B)}, d);
+    DecoyOptions opt;
+    opt.kind = DecoyKind::Seeded;
+    opt.maxSeedQubits = 3;
+    const Decoy decoy = makeDecoy(p.physical, opt);
+    EXPECT_GT(decoy.nonCliffordGates, 0);
+    EXPECT_LE(decoy.nonCliffordGates, 3);
+    // Seeds live on distinct qubits.
+    std::set<QubitId> seed_qubits;
+    for (const Gate &g : decoy.circuit.gates()) {
+        if (isUnitaryGate(g.type) && !isTwoQubitGate(g.type) &&
+            !g.isClifford()) {
+            seed_qubits.insert(g.qubit());
+        }
+    }
+    EXPECT_EQ(static_cast<int>(seed_qubits.size()),
+              decoy.nonCliffordGates);
+}
+
+TEST(DecoyTest, DecoyHasKnownSolution)
+{
+    const Device d = Device::ibmqGuadalupe();
+    const CompiledProgram p =
+        compileOn({"BV-6", makeBernsteinVazirani(6, 0b10110)}, d);
+    for (DecoyKind kind : {DecoyKind::Clifford, DecoyKind::Seeded}) {
+        DecoyOptions opt;
+        opt.kind = kind;
+        const Decoy decoy = makeDecoy(p.physical, opt);
+        EXPECT_FALSE(decoy.idealOutput.empty());
+        EXPECT_GE(decoy.idealEntropy, 0.0);
+        EXPECT_GE(decoy.simTimeSec, 0.0);
+    }
+}
+
+TEST(DecoyTest, CdcOfCliffordCircuitIsUnchanged)
+{
+    const Device d = Device::ibmqRome();
+    Circuit c(3, 3);
+    c.h(0);
+    c.cx(0, 1);
+    c.s(1);
+    c.cx(1, 2);
+    c.measureAll();
+    const Circuit phys = decompose(c);
+    DecoyOptions opt;
+    opt.kind = DecoyKind::Clifford;
+    const Decoy decoy = makeDecoy(phys, opt);
+    // Ideal outputs coincide: nothing was replaced.
+    EXPECT_LT(totalVariationDistance(idealDistribution(phys),
+                                     decoy.idealOutput),
+              1e-9);
+}
+
+TEST(DecoyTest, BvDecoyKeepsExactSolution)
+{
+    // BV is Clifford apart from lowering artifacts; its CDC must
+    // still produce the secret deterministically.
+    const Device d = Device::ibmqGuadalupe();
+    const uint64_t secret = 0b1101;
+    const CompiledProgram p =
+        compileOn({"BV-5", makeBernsteinVazirani(5, secret)}, d);
+    DecoyOptions opt;
+    opt.kind = DecoyKind::Clifford;
+    const Decoy decoy = makeDecoy(p.physical, opt);
+    EXPECT_EQ(decoy.idealOutput.mode(), secret);
+    EXPECT_GT(decoy.idealOutput.probability(secret), 0.99);
+}
+
+TEST(DecoyTest, WideCliffordDecoyUsesStabilizerFallback)
+{
+    // 24 active qubits exceeds the dense ideal limit; the Clifford
+    // fallback must kick in.
+    Circuit c(24, 24);
+    c.h(0);
+    for (int q = 0; q + 1 < 24; q++)
+        c.cx(q, q + 1);
+    c.measureAll();
+    const Distribution out = decoyIdealOutput(decompose(c), 4000, 5);
+    // GHZ: only all-zeros / all-ones.
+    EXPECT_NEAR(out.probability(0), 0.5, 0.05);
+    EXPECT_NEAR(out.probability((uint64_t{1} << 24) - 1), 0.5, 0.05);
+}
+
+// ---------------------------------------------------------------- Search
+
+TEST(Search, LiftMaskMapsThroughInitialLayout)
+{
+    const Device d = Device::ibmqGuadalupe();
+    const CompiledProgram p =
+        compileOn({"QFT-4", makeQft(4, QftState::A)}, d);
+    std::vector<bool> logical = {true, false, true, false};
+    const auto physical = liftMask(p, logical);
+    int set_bits = 0;
+    for (bool b : physical)
+        set_bits += b;
+    EXPECT_EQ(set_bits, 2);
+    EXPECT_TRUE(physical[p.initialLayout.physical(0)]);
+    EXPECT_TRUE(physical[p.initialLayout.physical(2)]);
+    EXPECT_FALSE(physical[p.initialLayout.physical(1)]);
+}
+
+TEST(Search, LiftMaskRejectsWrongWidth)
+{
+    const Device d = Device::ibmqGuadalupe();
+    const CompiledProgram p =
+        compileOn({"QFT-4", makeQft(4, QftState::A)}, d);
+    EXPECT_THROW(liftMask(p, {true, false}), UsageError);
+}
+
+TEST(Search, BudgetIsLinearInQubits)
+{
+    const Device d = Device::ibmqGuadalupe();
+    const NoisyMachine machine(d);
+    const CompiledProgram p =
+        compileOn({"QAOA-6", makeQaoa(6, QaoaGraph::A)}, d);
+    AdaptOptions opt;
+    opt.decoyShots = 150; // keep the test fast
+    const AdaptResult result = adaptSearch(p, machine, opt);
+    // 6 qubits -> neighbourhoods {4, 2} -> 16 + 4 = 20 decoys <= 4N.
+    EXPECT_EQ(result.decoysExecuted, 20);
+    EXPECT_LE(result.decoysExecuted, 4 * p.logicalQubits);
+    EXPECT_EQ(result.logicalMask.size(), 6u);
+    EXPECT_GE(result.bestDecoyFidelity, 0.0);
+}
+
+TEST(Search, NeighborhoodSizeOneIsGreedyPerQubit)
+{
+    const Device d = Device::ibmqGuadalupe();
+    const NoisyMachine machine(d);
+    const CompiledProgram p =
+        compileOn({"QFT-4", makeQft(4, QftState::A)}, d);
+    AdaptOptions opt;
+    opt.neighborhoodSize = 1;
+    opt.conservativeMerge = false;
+    opt.decoyShots = 150;
+    const AdaptResult result = adaptSearch(p, machine, opt);
+    EXPECT_EQ(result.decoysExecuted, 2 * 4); // 2 combos per qubit
+}
+
+TEST(Search, DeterministicForFixedSeed)
+{
+    const Device d = Device::ibmqGuadalupe();
+    const NoisyMachine machine(d);
+    const CompiledProgram p =
+        compileOn({"QFT-5", makeQft(5, QftState::A)}, d);
+    AdaptOptions opt;
+    opt.decoyShots = 200;
+    const AdaptResult a = adaptSearch(p, machine, opt);
+    const AdaptResult b = adaptSearch(p, machine, opt);
+    EXPECT_EQ(a.logicalMask, b.logicalMask);
+    EXPECT_NEAR(a.bestDecoyFidelity, b.bestDecoyFidelity, 1e-12);
+}
+
+// --------------------------------------------------------------- Policies
+
+TEST(Policies, Names)
+{
+    EXPECT_EQ(policyName(Policy::NoDD), "no-dd");
+    EXPECT_EQ(policyName(Policy::AllDD), "all-dd");
+    EXPECT_EQ(policyName(Policy::Adapt), "adapt");
+    EXPECT_EQ(policyName(Policy::RuntimeBest), "runtime-best");
+}
+
+TEST(Policies, NoDdInsertsNothing)
+{
+    const Device d = Device::ibmqGuadalupe();
+    const NoisyMachine machine(d);
+    const CompiledProgram p =
+        compileOn({"BV-5", makeBernsteinVazirani(5, 0b1011)}, d);
+    const Distribution ideal = idealDistribution(p.physical);
+    PolicyOptions opt;
+    opt.shots = 400;
+    const PolicyOutcome out =
+        evaluatePolicy(Policy::NoDD, p, machine, ideal, opt);
+    EXPECT_EQ(out.ddPulses, 0);
+    EXPECT_EQ(out.searchRuns, 0);
+    for (bool bit : out.logicalMask)
+        EXPECT_FALSE(bit);
+}
+
+TEST(Policies, AllDdInsertsPulses)
+{
+    const Device d = Device::ibmqGuadalupe();
+    const NoisyMachine machine(d);
+    const CompiledProgram p =
+        compileOn({"QFT-5", makeQft(5, QftState::A)}, d);
+    const Distribution ideal = idealDistribution(p.physical);
+    PolicyOptions opt;
+    opt.shots = 400;
+    const PolicyOutcome out =
+        evaluatePolicy(Policy::AllDD, p, machine, ideal, opt);
+    EXPECT_GT(out.ddPulses, 0);
+}
+
+TEST(Policies, RuntimeBestBeatsOrMatchesFixedPolicies)
+{
+    const Device d = Device::ibmqGuadalupe();
+    const NoisyMachine machine(d);
+    const CompiledProgram p =
+        compileOn({"QFT-5", makeQft(5, QftState::A)}, d);
+    const Distribution ideal = idealDistribution(p.physical);
+    PolicyOptions opt;
+    opt.shots = 600;
+    opt.runtimeBestBudget = 32; // full 2^5 enumeration
+    const double no_dd =
+        evaluatePolicy(Policy::NoDD, p, machine, ideal, opt).fidelity;
+    const double all_dd =
+        evaluatePolicy(Policy::AllDD, p, machine, ideal, opt).fidelity;
+    const PolicyOutcome best =
+        evaluatePolicy(Policy::RuntimeBest, p, machine, ideal, opt);
+    EXPECT_EQ(best.searchRuns, 32);
+    // The oracle enumerates both of those masks with different
+    // seeds, so allow slack for sampling noise.
+    EXPECT_GE(best.fidelity, std::max(no_dd, all_dd) - 0.05);
+}
+
+TEST(Policies, RuntimeBestSamplesWhenBudgetExceeded)
+{
+    const Device d = Device::ibmqGuadalupe();
+    const NoisyMachine machine(d);
+    const CompiledProgram p =
+        compileOn({"QFT-6", makeQft(6, QftState::A)}, d);
+    const Distribution ideal = idealDistribution(p.physical);
+    PolicyOptions opt;
+    opt.shots = 200;
+    opt.runtimeBestBudget = 10; // < 2^6
+    const PolicyOutcome best =
+        evaluatePolicy(Policy::RuntimeBest, p, machine, ideal, opt);
+    EXPECT_EQ(best.searchRuns, 10);
+}
+
+TEST(Policies, AdaptReportsSearchCost)
+{
+    const Device d = Device::ibmqGuadalupe();
+    const NoisyMachine machine(d);
+    const CompiledProgram p =
+        compileOn({"QFT-5", makeQft(5, QftState::A)}, d);
+    const Distribution ideal = idealDistribution(p.physical);
+    PolicyOptions opt;
+    opt.shots = 400;
+    opt.adapt.decoyShots = 200;
+    const PolicyOutcome out =
+        evaluatePolicy(Policy::Adapt, p, machine, ideal, opt);
+    EXPECT_EQ(out.searchRuns, 16 + 2); // groups {4, 1}
+    EXPECT_LE(out.searchRuns, 4 * 5);
+}

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Unit tests for the circuit IR: gates, matrices, the Circuit
+ * container, and the single-qubit Clifford group.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "circuit/circuit.hh"
+#include "circuit/clifford1q.hh"
+#include "common/logging.hh"
+
+using namespace adapt;
+
+// ---------------------------------------------------------------- Gate
+
+TEST(Gate, ArityAndParamValidation)
+{
+    EXPECT_NO_THROW(Gate(GateType::H, {0}));
+    EXPECT_THROW(Gate(GateType::H, {0, 1}), UsageError);
+    EXPECT_THROW(Gate(GateType::CX, {0}), UsageError);
+    EXPECT_THROW(Gate(GateType::RZ, {0}), UsageError);        // missing angle
+    EXPECT_NO_THROW(Gate(GateType::RZ, {0}, {0.5}));
+    EXPECT_THROW(Gate(GateType::U3, {0}, {0.1}), UsageError); // needs 3
+}
+
+TEST(Gate, NamesAreStable)
+{
+    EXPECT_EQ(gateName(GateType::CX), "cx");
+    EXPECT_EQ(gateName(GateType::Sdg), "sdg");
+    EXPECT_EQ(gateName(GateType::U3), "u3");
+    EXPECT_EQ(gateName(GateType::Measure), "measure");
+}
+
+TEST(Gate, UnitaryClassification)
+{
+    EXPECT_TRUE(isUnitaryGate(GateType::H));
+    EXPECT_TRUE(isUnitaryGate(GateType::CX));
+    EXPECT_FALSE(isUnitaryGate(GateType::Measure));
+    EXPECT_FALSE(isUnitaryGate(GateType::Delay));
+    EXPECT_FALSE(isUnitaryGate(GateType::Barrier));
+}
+
+TEST(Gate, CliffordClassification)
+{
+    EXPECT_TRUE(Gate(GateType::H, {0}).isClifford());
+    EXPECT_TRUE(Gate(GateType::CX, {0, 1}).isClifford());
+    EXPECT_FALSE(Gate(GateType::T, {0}).isClifford());
+    // Parameter-dependent membership.
+    EXPECT_TRUE(Gate(GateType::RZ, {0}, {kPi / 2.0}).isClifford());
+    EXPECT_TRUE(Gate(GateType::RZ, {0}, {-kPi}).isClifford());
+    EXPECT_TRUE(Gate(GateType::RZ, {0}, {2.0 * kPi}).isClifford());
+    EXPECT_FALSE(Gate(GateType::RZ, {0}, {kPi / 4.0}).isClifford());
+    EXPECT_TRUE(Gate(GateType::RX, {0}, {kPi}).isClifford());
+    EXPECT_FALSE(Gate(GateType::RY, {0}, {0.9}).isClifford());
+}
+
+TEST(Gate, DelayDuration)
+{
+    const Gate d(GateType::Delay, {2}, {150.0});
+    EXPECT_NEAR(d.delayDuration(), 150.0, 1e-12);
+    EXPECT_THROW(Gate(GateType::X, {0}).delayDuration(), UsageError);
+}
+
+/** Every unitary gate type's matrix must actually be unitary. */
+class GateMatrixTest : public ::testing::TestWithParam<GateType>
+{
+};
+
+TEST_P(GateMatrixTest, MatrixIsUnitary)
+{
+    const GateType type = GetParam();
+    std::vector<double> params;
+    for (int i = 0; i < gateParamCount(type); i++)
+        params.push_back(0.37 + 0.51 * i);
+    EXPECT_TRUE(gateMatrix(type, params).isUnitary(1e-9))
+        << gateName(type);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSingleQubit, GateMatrixTest,
+    ::testing::Values(GateType::I, GateType::X, GateType::Y, GateType::Z,
+                      GateType::H, GateType::S, GateType::Sdg,
+                      GateType::T, GateType::Tdg, GateType::SX,
+                      GateType::SXdg, GateType::RX, GateType::RY,
+                      GateType::RZ, GateType::U1, GateType::U2,
+                      GateType::U3));
+
+TEST(GateMatrices, KnownIdentities)
+{
+    // S^2 = Z, T^2 = S, SX^2 = X, H^2 = I.
+    const auto close = [](const Matrix2 &a, const Matrix2 &b) {
+        return a.equalsUpToPhase(b, 1e-9);
+    };
+    EXPECT_TRUE(close(gateMatrix(GateType::S) * gateMatrix(GateType::S),
+                      gateMatrix(GateType::Z)));
+    EXPECT_TRUE(close(gateMatrix(GateType::T) * gateMatrix(GateType::T),
+                      gateMatrix(GateType::S)));
+    EXPECT_TRUE(close(gateMatrix(GateType::SX) * gateMatrix(GateType::SX),
+                      gateMatrix(GateType::X)));
+    EXPECT_TRUE(close(gateMatrix(GateType::H) * gateMatrix(GateType::H),
+                      Matrix2::identity()));
+    // Sdg * S = I, SXdg * SX = I.
+    EXPECT_TRUE(close(gateMatrix(GateType::Sdg) * gateMatrix(GateType::S),
+                      Matrix2::identity()));
+    EXPECT_TRUE(close(
+        gateMatrix(GateType::SXdg) * gateMatrix(GateType::SX),
+        Matrix2::identity()));
+}
+
+TEST(GateMatrices, U3GeneralizesNamedGates)
+{
+    // U3(pi/2, 0, pi) = H, U3(0, 0, lambda) = U1(lambda).
+    EXPECT_TRUE(gateMatrix(GateType::U3, {kPi / 2.0, 0.0, kPi})
+                    .equalsUpToPhase(gateMatrix(GateType::H), 1e-9));
+    EXPECT_TRUE(gateMatrix(GateType::U3, {0.0, 0.0, 0.77})
+                    .equalsUpToPhase(gateMatrix(GateType::U1, {0.77}),
+                                     1e-9));
+    EXPECT_TRUE(gateMatrix(GateType::U2, {0.0, kPi})
+                    .equalsUpToPhase(gateMatrix(GateType::H), 1e-9));
+}
+
+// -------------------------------------------------------------- Circuit
+
+TEST(CircuitTest, BuildersAppendGates)
+{
+    Circuit c(3);
+    c.h(0);
+    c.cx(0, 1);
+    c.rz(0.3, 2);
+    c.measureAll();
+    EXPECT_EQ(c.size(), 6u);
+    EXPECT_EQ(c.countOf(GateType::Measure), 3);
+    EXPECT_EQ(c.gateCount(), 3);
+    EXPECT_EQ(c.twoQubitGateCount(), 1);
+}
+
+TEST(CircuitTest, RejectsOutOfRangeQubits)
+{
+    Circuit c(2);
+    EXPECT_THROW(c.h(2), UsageError);
+    EXPECT_THROW(c.cx(0, 5), UsageError);
+    EXPECT_THROW(c.cx(1, 1), UsageError);
+}
+
+TEST(CircuitTest, DepthCountsLongestChain)
+{
+    Circuit c(3);
+    c.h(0);
+    c.h(1);      // parallel with the first H
+    c.cx(0, 1);  // depth 2
+    c.cx(1, 2);  // depth 3
+    c.h(0);      // depth 3 (parallel with second CX)
+    EXPECT_EQ(c.depth(), 3);
+}
+
+TEST(CircuitTest, BarrierSynchronizesDepth)
+{
+    Circuit c(2);
+    c.h(0);
+    c.barrier();
+    c.h(1); // after the barrier: must start at level 1
+    EXPECT_EQ(c.depth(), 2);
+}
+
+TEST(CircuitTest, MeasureClbitMapping)
+{
+    Circuit c(3, 2);
+    c.measure(2, 0);
+    c.measure(0, 1);
+    EXPECT_EQ(c.gates()[0].clbit, 0);
+    EXPECT_EQ(c.gates()[1].clbit, 1);
+    EXPECT_THROW(c.measure(1, 5), UsageError);
+}
+
+TEST(CircuitTest, IsCliffordDetection)
+{
+    Circuit clifford(2);
+    clifford.h(0);
+    clifford.cx(0, 1);
+    clifford.s(1);
+    clifford.measureAll();
+    EXPECT_TRUE(clifford.isClifford());
+
+    Circuit non_clifford(2);
+    non_clifford.h(0);
+    non_clifford.t(0);
+    EXPECT_FALSE(non_clifford.isClifford());
+}
+
+TEST(CircuitTest, AppendConcatenates)
+{
+    Circuit a(2), b(2);
+    a.h(0);
+    b.cx(0, 1);
+    a.append(b);
+    EXPECT_EQ(a.size(), 2u);
+    EXPECT_EQ(a.gates()[1].type, GateType::CX);
+}
+
+TEST(CircuitTest, ToStringListsOps)
+{
+    Circuit c(2);
+    c.h(0);
+    c.cx(0, 1);
+    const std::string s = c.toString();
+    EXPECT_NE(s.find("h q0"), std::string::npos);
+    EXPECT_NE(s.find("cx q0, q1"), std::string::npos);
+}
+
+// --------------------------------------------------------- Clifford1Q
+
+TEST(Clifford1Q, GroupHas24Elements)
+{
+    EXPECT_EQ(clifford1QGroup().size(), 24u);
+}
+
+TEST(Clifford1Q, ElementsAreDistinctUpToPhase)
+{
+    const auto &group = clifford1QGroup();
+    for (size_t i = 0; i < group.size(); i++) {
+        for (size_t j = i + 1; j < group.size(); j++) {
+            EXPECT_FALSE(group[i].matrix.equalsUpToPhase(
+                group[j].matrix, 1e-9))
+                << "elements " << i << " and " << j << " coincide";
+        }
+    }
+}
+
+TEST(Clifford1Q, SequencesReproduceMatrices)
+{
+    for (const auto &element : clifford1QGroup()) {
+        Matrix2 product = Matrix2::identity();
+        for (GateType type : element.gates)
+            product = gateMatrix(type) * product;
+        EXPECT_TRUE(product.equalsUpToPhase(element.matrix, 1e-9));
+    }
+}
+
+TEST(Clifford1Q, GroupIsClosed)
+{
+    const auto &group = clifford1QGroup();
+    // Spot-check closure on a subset (full 24x24 is fine too).
+    for (size_t i = 0; i < group.size(); i += 5) {
+        for (size_t j = 0; j < group.size(); j += 7) {
+            const Matrix2 prod = group[i].matrix * group[j].matrix;
+            bool found = false;
+            for (const auto &member : group) {
+                if (member.matrix.equalsUpToPhase(prod, 1e-9)) {
+                    found = true;
+                    break;
+                }
+            }
+            EXPECT_TRUE(found);
+        }
+    }
+}
+
+TEST(Clifford1Q, NearestCliffordOfCliffordIsExact)
+{
+    for (GateType type : {GateType::H, GateType::S, GateType::X,
+                          GateType::SX, GateType::Z}) {
+        const Matrix2 u = gateMatrix(type);
+        EXPECT_NEAR(distanceToCliffordGroup(u), 0.0, 1e-9)
+            << gateName(type);
+    }
+}
+
+TEST(Clifford1Q, TGateSnapsToZRotation)
+{
+    // Nearest Clifford to T = RZ(pi/4) must be a diagonal Clifford
+    // (I or S), at distance 2 sin(pi/16).
+    const Clifford1Q &nearest = nearestClifford(gateMatrix(GateType::T));
+    const Matrix2 &m = nearest.matrix;
+    EXPECT_LT(std::abs(m(0, 1)), 1e-9);
+    EXPECT_LT(std::abs(m(1, 0)), 1e-9);
+    EXPECT_NEAR(distanceToCliffordGroup(gateMatrix(GateType::T)),
+                2.0 * std::sin(kPi / 16.0), 1e-9);
+}
+
+TEST(Clifford1Q, RzRoundsToNearestQuarterTurn)
+{
+    // RZ(1.0) is closest to RZ(pi/2) = S among Cliffords (1.0 is past
+    // the pi/4 midpoint between I and S).
+    const Matrix2 rz = gateMatrix(GateType::RZ, {1.0});
+    const Clifford1Q &nearest = nearestClifford(rz);
+    EXPECT_TRUE(nearest.matrix.equalsUpToPhase(
+        gateMatrix(GateType::S), 1e-9));
+}
+
+TEST(Clifford1Q, NearestCliffordRejectsNonUnitary)
+{
+    EXPECT_THROW(nearestClifford(Matrix2(1, 0, 0, 2)), UsageError);
+}

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Tests for DD sequence construction and insertion: pulse placement,
+ * protocol timing (Eq. 4), mask semantics, and the invariant that DD
+ * is logically an identity (it never changes the noise-free output).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "dd/sequences.hh"
+#include "device/device.hh"
+#include "noise/machine.hh"
+#include "sim/statevector.hh"
+#include "transpile/decompose.hh"
+#include "transpile/transpiler.hh"
+#include "workloads/benchmarks.hh"
+
+using namespace adapt;
+
+namespace
+{
+
+ScheduledCircuit
+idleSchedule(const Device &d, TimeNs idle_ns)
+{
+    Circuit c(2, 1);
+    c.x(0);
+    c.delay(idle_ns, 0);
+    c.x(0);
+    c.measure(0, 0);
+    return schedule(c, d.topology(), d.calibration(0),
+                    ScheduleMode::Asap);
+}
+
+} // namespace
+
+TEST(DdSequence, ProtocolNames)
+{
+    EXPECT_EQ(ddProtocolName(DDProtocol::XY4), "xy4");
+    EXPECT_EQ(ddProtocolName(DDProtocol::IbmqDD), "ibmq-dd");
+    EXPECT_EQ(ddProtocolName(DDProtocol::CPMG), "cpmg");
+    EXPECT_EQ(ddProtocolName(DDProtocol::None), "none");
+}
+
+TEST(DdSequence, Xy4FillsWindowWithPulseQuadruples)
+{
+    const Device d = Device::ibmqRome();
+    const Calibration cal = d.calibration(0);
+    const IdleWindow window{0, 1000.0, 1000.0 + 1800.0};
+    DDOptions opt; // XY4
+    const auto pulses = ddPulsesForWindow(window, cal, opt);
+    // Pulse length 45 ns -> one rep 180 ns -> 10 reps fit in 1800 ns.
+    EXPECT_EQ(pulses.size(), 40u);
+    // Alternating X, Y.
+    for (size_t i = 0; i < pulses.size(); i++) {
+        EXPECT_EQ(pulses[i].gate.type,
+                  i % 2 == 0 ? GateType::X : GateType::Y);
+        EXPECT_TRUE(pulses[i].ddPulse);
+        EXPECT_GE(pulses[i].start, window.start - 1e-9);
+        EXPECT_LE(pulses[i].end, window.end + 1e-9);
+    }
+    // Back-to-back: no overlaps, no gaps inside the train.
+    for (size_t i = 1; i < pulses.size(); i++)
+        EXPECT_NEAR(pulses[i].start, pulses[i - 1].end, 1e-9);
+}
+
+TEST(DdSequence, Xy4CentersTrainInWindow)
+{
+    const Device d = Device::ibmqRome();
+    const Calibration cal = d.calibration(0);
+    const IdleWindow window{0, 0.0, 450.0}; // 2 reps = 360, margin 90
+    DDOptions opt;
+    const auto pulses = ddPulsesForWindow(window, cal, opt);
+    ASSERT_EQ(pulses.size(), 8u);
+    const double lead = pulses.front().start - window.start;
+    const double tail = window.end - pulses.back().end;
+    EXPECT_NEAR(lead, tail, 1e-9);
+}
+
+TEST(DdSequence, WindowBelowThresholdGetsNothing)
+{
+    const Device d = Device::ibmqRome();
+    const Calibration cal = d.calibration(0);
+    DDOptions opt;
+    const IdleWindow tiny{0, 0.0, 200.0}; // < 210 ns threshold
+    EXPECT_TRUE(ddPulsesForWindow(tiny, cal, opt).empty());
+}
+
+TEST(DdSequence, IbmqDdPlacesPulsesAtQuarterPoints)
+{
+    const Device d = Device::ibmqRome();
+    const Calibration cal = d.calibration(0);
+    const double span = 4000.0;
+    const IdleWindow window{0, 0.0, span};
+    DDOptions opt;
+    opt.protocol = DDProtocol::IbmqDD;
+    opt.ibmqDdChunkNs = 1e9; // single pair
+    const auto pulses = ddPulsesForWindow(window, cal, opt);
+    ASSERT_EQ(pulses.size(), 2u);
+    const double pulse_len = 45.0;
+    const double tau4 = (span - 2.0 * pulse_len) / 4.0; // Eq. 4
+    EXPECT_NEAR(pulses[0].start, tau4, 1e-9);
+    EXPECT_NEAR(pulses[1].start, 3.0 * tau4 + pulse_len, 1e-9);
+    // Symmetric trailing delay.
+    EXPECT_NEAR(span - pulses[1].end, tau4, 1e-9);
+}
+
+TEST(DdSequence, IbmqDdConservativeRepeatsPerChunk)
+{
+    const Device d = Device::ibmqRome();
+    const Calibration cal = d.calibration(0);
+    const IdleWindow window{0, 0.0, 6000.0};
+    DDOptions opt;
+    opt.protocol = DDProtocol::IbmqDD;
+    opt.ibmqDdChunkNs = 2000.0;
+    const auto pulses = ddPulsesForWindow(window, cal, opt);
+    EXPECT_EQ(pulses.size(), 6u); // 3 chunks x 2 pulses
+}
+
+TEST(DdSequence, CpmgUsesOnlyXPulses)
+{
+    const Device d = Device::ibmqRome();
+    const Calibration cal = d.calibration(0);
+    const IdleWindow window{0, 0.0, 900.0};
+    DDOptions opt;
+    opt.protocol = DDProtocol::CPMG;
+    const auto pulses = ddPulsesForWindow(window, cal, opt);
+    EXPECT_FALSE(pulses.empty());
+    EXPECT_EQ(pulses.size() % 2, 0u);
+    for (const TimedOp &p : pulses)
+        EXPECT_EQ(p.gate.type, GateType::X);
+}
+
+TEST(DdInsertion, MaskControlsWhichQubitsGetDd)
+{
+    const Device d = Device::ibmqRome();
+    const Calibration cal = d.calibration(0);
+    Circuit c(3, 2);
+    c.x(0);
+    c.delay(2000.0, 0);
+    c.x(0);
+    c.measure(0, 0);
+    c.x(2);
+    c.delay(2000.0, 2);
+    c.x(2);
+    c.measure(2, 1);
+    const auto sched =
+        schedule(c, d.topology(), cal, ScheduleMode::Asap);
+
+    std::vector<bool> mask(3, false);
+    mask[2] = true;
+    const auto with_dd = insertDD(sched, cal, DDOptions{}, mask);
+    for (const TimedOp &op : with_dd.ops()) {
+        if (op.ddPulse)
+            EXPECT_EQ(op.gate.qubit(), 2);
+    }
+    EXPECT_GT(ddPulseCount(with_dd), 0);
+    EXPECT_EQ(ddPulseCount(sched), 0);
+}
+
+TEST(DdInsertion, AllDdCoversEveryIdleQubit)
+{
+    const Device d = Device::ibmqGuadalupe();
+    const Calibration cal = d.calibration(0);
+    const CompiledProgram p =
+        transpile(makeQft(5, QftState::A), d, cal);
+    const auto with_dd = insertDDAll(p.schedule, cal, DDOptions{});
+    EXPECT_GT(ddPulseCount(with_dd), 10);
+    // Total op count grows by exactly the pulse count.
+    EXPECT_EQ(with_dd.ops().size(),
+              p.schedule.ops().size() +
+                  static_cast<size_t>(ddPulseCount(with_dd)));
+}
+
+TEST(DdInsertion, PulsesStayInsideTheirWindows)
+{
+    const Device d = Device::ibmqGuadalupe();
+    const Calibration cal = d.calibration(0);
+    const CompiledProgram p =
+        transpile(makeQaoa(8, QaoaGraph::A), d, cal);
+    const auto with_dd = insertDDAll(p.schedule, cal, DDOptions{});
+    // No two ops on the same qubit may overlap after insertion.
+    for (QubitId q = 0; q < with_dd.numQubits(); q++) {
+        TimeNs cursor = -1.0;
+        for (int idx : with_dd.qubitOps(q)) {
+            const TimedOp &op = with_dd.ops()[idx];
+            if (op.gate.type == GateType::Delay)
+                continue;
+            EXPECT_GE(op.start, cursor - 1e-6) << "qubit " << q;
+            cursor = std::max(cursor, op.end);
+        }
+    }
+    // Makespan unchanged: DD fits inside existing idle windows.
+    EXPECT_NEAR(with_dd.makespan(), p.schedule.makespan(), 1e-6);
+}
+
+TEST(DdInsertion, DdIsLogicallyIdentity)
+{
+    // On a noise-free machine, DD must not change the output: the
+    // pulse train multiplies to the identity.
+    const Device d = Device::ibmqGuadalupe();
+    const Calibration cal = d.calibration(0);
+    const CompiledProgram p =
+        transpile(makeBernsteinVazirani(6, 0b10110), d, cal);
+    const NoisyMachine ideal_machine(d, 0, NoiseFlags::none());
+
+    const Distribution without =
+        ideal_machine.run(p.schedule, 3000, 21);
+    const Distribution with = ideal_machine.run(
+        insertDDAll(p.schedule, cal, DDOptions{}), 3000, 21);
+    EXPECT_LT(totalVariationDistance(without, with), 0.03);
+
+    DDOptions ibmq;
+    ibmq.protocol = DDProtocol::IbmqDD;
+    const Distribution with_ibmq = ideal_machine.run(
+        insertDDAll(p.schedule, cal, ibmq), 3000, 21);
+    EXPECT_LT(totalVariationDistance(without, with_ibmq), 0.03);
+}
+
+TEST(DdInsertion, MoreIdleMeansMorePulses)
+{
+    const Device d = Device::ibmqRome();
+    const Calibration cal = d.calibration(0);
+    const auto short_sched = idleSchedule(d, 1000.0);
+    const auto long_sched = idleSchedule(d, 8000.0);
+    std::vector<bool> mask(2, true);
+    const int short_pulses =
+        ddPulseCount(insertDD(short_sched, cal, DDOptions{}, mask));
+    const int long_pulses =
+        ddPulseCount(insertDD(long_sched, cal, DDOptions{}, mask));
+    EXPECT_GT(long_pulses, 4 * short_pulses);
+}

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Tests for topologies and calibration snapshots: the coupling-map
+ * invariants the paper's characterization counts rely on (224 / 700
+ * spectator combinations) and calibration determinism / drift.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "device/device.hh"
+
+using namespace adapt;
+
+TEST(Topology, GuadalupeShape)
+{
+    const Topology t = Topology::ibmqGuadalupe();
+    EXPECT_EQ(t.numQubits(), 16);
+    EXPECT_EQ(t.numLinks(), 16);
+    // Sec. 3.2: 224 spectator (qubit, link) combinations.
+    EXPECT_EQ(t.spectatorCombos().size(), 224u);
+    EXPECT_TRUE(t.isConnected());
+}
+
+TEST(Topology, TorontoAndParisShape)
+{
+    for (const Topology &t :
+         {Topology::ibmqToronto(), Topology::ibmqParis()}) {
+        EXPECT_EQ(t.numQubits(), 27);
+        EXPECT_EQ(t.numLinks(), 28);
+        // Sec. 3.3: 700 qubit-link combinations.
+        EXPECT_EQ(t.spectatorCombos().size(), 700u);
+        EXPECT_TRUE(t.isConnected());
+    }
+}
+
+TEST(Topology, FiveQubitMachines)
+{
+    const Topology rome = Topology::ibmqRome();
+    EXPECT_EQ(rome.numQubits(), 5);
+    EXPECT_EQ(rome.numLinks(), 4);
+    EXPECT_TRUE(rome.connected(0, 1));
+    EXPECT_FALSE(rome.connected(0, 2));
+
+    const Topology london = Topology::ibmqLondon();
+    EXPECT_EQ(london.numLinks(), 4);
+    EXPECT_EQ(london.neighbors(1).size(), 3u); // hub of the T
+}
+
+TEST(Topology, SyntheticGraphs)
+{
+    EXPECT_EQ(Topology::linear(6).numLinks(), 5);
+    EXPECT_EQ(Topology::ring(6).numLinks(), 6);
+    EXPECT_EQ(Topology::grid(3, 4).numLinks(), 3 * 3 + 2 * 4);
+    EXPECT_EQ(Topology::allToAll(6).numLinks(), 15);
+    EXPECT_TRUE(Topology::allToAll(6).connected(0, 5));
+}
+
+TEST(Topology, DistancesAreShortestPaths)
+{
+    const Topology t = Topology::linear(5);
+    EXPECT_EQ(t.distance(0, 0), 0);
+    EXPECT_EQ(t.distance(0, 4), 4);
+    EXPECT_EQ(t.distance(2, 4), 2);
+
+    const Topology g = Topology::ibmqGuadalupe();
+    // distance is symmetric.
+    for (QubitId a = 0; a < g.numQubits(); a++) {
+        for (QubitId b = 0; b < g.numQubits(); b++)
+            EXPECT_EQ(g.distance(a, b), g.distance(b, a));
+    }
+}
+
+TEST(Topology, DistanceToLink)
+{
+    const Topology t = Topology::linear(5);
+    const int link = t.linkIndex(0, 1);
+    ASSERT_GE(link, 0);
+    EXPECT_EQ(t.distanceToLink(0, link), 0);
+    EXPECT_EQ(t.distanceToLink(2, link), 1);
+    EXPECT_EQ(t.distanceToLink(4, link), 3);
+}
+
+TEST(Topology, RejectsMalformedEdges)
+{
+    EXPECT_THROW(Topology("bad", 2, {{0, 0}}), UsageError);
+    EXPECT_THROW(Topology("bad", 2, {{0, 5}}), UsageError);
+    EXPECT_THROW(Topology("bad", 2, {{0, 1}, {1, 0}}), UsageError);
+}
+
+TEST(Topology, SpectatorCombosExcludeEndpoints)
+{
+    const Topology t = Topology::ibmqGuadalupe();
+    for (const SpectatorCombo &combo : t.spectatorCombos())
+        EXPECT_FALSE(t.link(combo.linkIndex).contains(combo.spectator));
+}
+
+// ---------------------------------------------------------- Calibration
+
+TEST(CalibrationTest, DeterministicPerCycle)
+{
+    const Device d = Device::ibmqToronto();
+    const Calibration a = d.calibration(3);
+    const Calibration b = d.calibration(3);
+    EXPECT_EQ(a.qubits.size(), b.qubits.size());
+    for (size_t q = 0; q < a.qubits.size(); q++) {
+        EXPECT_DOUBLE_EQ(a.qubits[q].t1Us, b.qubits[q].t1Us);
+        EXPECT_DOUBLE_EQ(a.qubits[q].gateError1Q,
+                         b.qubits[q].gateError1Q);
+    }
+    for (size_t l = 0; l < a.links.size(); l++)
+        EXPECT_DOUBLE_EQ(a.links[l].cxLatencyNs, b.links[l].cxLatencyNs);
+}
+
+TEST(CalibrationTest, CyclesDiffer)
+{
+    const Device d = Device::ibmqToronto();
+    const Calibration a = d.calibration(0);
+    const Calibration b = d.calibration(1);
+    int changed = 0;
+    for (size_t q = 0; q < a.qubits.size(); q++)
+        changed += a.qubits[q].ouSigmaRadPerUs !=
+                   b.qubits[q].ouSigmaRadPerUs;
+    EXPECT_GT(changed, 20); // essentially all drift
+}
+
+TEST(CalibrationTest, ParametersNearTable3Means)
+{
+    const Device d = Device::ibmqGuadalupe();
+    const Calibration cal = d.calibration(0);
+    // Lognormal medians are the profile means; allow generous slack.
+    EXPECT_NEAR(cal.meanCxError(), 0.0127, 0.008);
+    EXPECT_NEAR(cal.meanMeasurementError(), 0.0186, 0.012);
+    EXPECT_NEAR(cal.meanT1Us(), 71.7, 35.0);
+    EXPECT_GT(cal.meanCxLatencyNs(), 250.0);
+    EXPECT_LT(cal.maxCxLatencyNs(), 901.0);
+}
+
+TEST(CalibrationTest, CrosstalkZeroOnLinkEndpoints)
+{
+    const Device d = Device::ibmqGuadalupe();
+    const Calibration cal = d.calibration(0);
+    const Topology &t = d.topology();
+    for (int li = 0; li < t.numLinks(); li++) {
+        EXPECT_DOUBLE_EQ(cal.crosstalk(li, t.link(li).a), 0.0);
+        EXPECT_DOUBLE_EQ(cal.crosstalk(li, t.link(li).b), 0.0);
+    }
+}
+
+TEST(CalibrationTest, CrosstalkDecaysWithDistanceOnAverage)
+{
+    const Device d = Device::ibmqToronto();
+    const Calibration cal = d.calibration(0);
+    const Topology &t = d.topology();
+    double near_sum = 0.0, far_sum = 0.0;
+    int near_n = 0, far_n = 0;
+    for (const SpectatorCombo &combo : t.spectatorCombos()) {
+        const double mag =
+            std::abs(cal.crosstalk(combo.linkIndex, combo.spectator));
+        const int dist =
+            t.distanceToLink(combo.spectator, combo.linkIndex);
+        if (dist == 1) {
+            near_sum += mag;
+            near_n++;
+        } else if (dist >= 3) {
+            far_sum += mag;
+            far_n++;
+        }
+    }
+    ASSERT_GT(near_n, 0);
+    ASSERT_GT(far_n, 0);
+    EXPECT_GT(near_sum / near_n, 5.0 * (far_sum / far_n));
+}
+
+TEST(CalibrationTest, ReadoutAsymmetry)
+{
+    const Device d = Device::ibmqParis();
+    const Calibration cal = d.calibration(0);
+    for (const auto &q : cal.qubits) {
+        // Reading |1> as 0 (relaxation) dominates reading |0> as 1.
+        EXPECT_GT(q.readoutError10, q.readoutError01);
+        EXPECT_LE(q.readoutError10, 0.5);
+    }
+}
+
+TEST(DeviceTest, FactoriesMatchTopologies)
+{
+    EXPECT_EQ(Device::ibmqGuadalupe().numQubits(), 16);
+    EXPECT_EQ(Device::ibmqToronto().numQubits(), 27);
+    EXPECT_EQ(Device::ibmqParis().numQubits(), 27);
+    EXPECT_EQ(Device::ibmqRome().numQubits(), 5);
+    EXPECT_EQ(Device::ibmqLondon().numQubits(), 5);
+    EXPECT_EQ(Device::ibmqGuadalupe().name(), "ibmq_guadalupe");
+}
+
+TEST(DeviceTest, SyntheticDeviceUsesGivenTopology)
+{
+    const Device d = Device::synthetic(Topology::allToAll(8));
+    EXPECT_EQ(d.numQubits(), 8);
+    EXPECT_EQ(d.calibration(0).links.size(), 28u);
+}
+
+TEST(DeviceTest, CalibrationRejectsNegativeCycle)
+{
+    EXPECT_THROW(Device::ibmqRome().calibration(-1), UsageError);
+}

@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Tests for the noise engine: OU process statistics, channel-by-
+ * channel behaviour of the NoisyMachine, and the DD echo physics the
+ * reproduction hinges on (refocusable vs non-refocusable noise).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "dd/sequences.hh"
+#include "experiments/characterization.hh"
+#include "noise/machine.hh"
+#include "sim/statevector.hh"
+#include "transpile/decompose.hh"
+#include "transpile/schedule.hh"
+
+using namespace adapt;
+
+// ------------------------------------------------------------ OuProcess
+
+TEST(OuProcessTest, StationaryVariance)
+{
+    Rng rng(1);
+    double sum_sq = 0.0;
+    const int n = 8000;
+    for (int i = 0; i < n; i++) {
+        Rng local = rng.fork(i);
+        OuProcess ou(0.5, 2.0, local);
+        sum_sq += std::pow(ou.at(10.0, local), 2);
+    }
+    EXPECT_NEAR(sum_sq / n, 0.25, 0.02);
+}
+
+TEST(OuProcessTest, ShortTimesAreCorrelated)
+{
+    Rng rng(2);
+    double corr_num = 0.0, var = 0.0;
+    const int n = 4000;
+    for (int i = 0; i < n; i++) {
+        Rng local = rng.fork(i);
+        OuProcess ou(1.0, 5.0, local);
+        const double v0 = ou.at(0.0, local);
+        const double v1 = ou.at(0.5, local); // 0.1 tau later
+        corr_num += v0 * v1;
+        var += v0 * v0;
+    }
+    // corr(0.5us) = exp(-0.1) ~ 0.905.
+    EXPECT_NEAR(corr_num / var, std::exp(-0.1), 0.05);
+}
+
+TEST(OuProcessTest, LongTimesDecorrelate)
+{
+    Rng rng(3);
+    double corr_num = 0.0, var = 0.0;
+    const int n = 4000;
+    for (int i = 0; i < n; i++) {
+        Rng local = rng.fork(i);
+        OuProcess ou(1.0, 1.0, local);
+        const double v0 = ou.at(0.0, local);
+        const double v1 = ou.at(10.0, local); // 10 tau later
+        corr_num += v0 * v1;
+        var += v0 * v0;
+    }
+    EXPECT_NEAR(corr_num / var, 0.0, 0.06);
+}
+
+TEST(OuProcessTest, RejectsTimeTravel)
+{
+    Rng rng(4);
+    OuProcess ou(1.0, 1.0, rng);
+    ou.at(5.0, rng);
+    EXPECT_THROW(ou.at(1.0, rng), UsageError);
+}
+
+// -------------------------------------------------------- NoisyMachine
+
+namespace
+{
+
+/** Schedule a tiny physical circuit on a device. */
+ScheduledCircuit
+scheduleOn(const Device &d, const Circuit &c,
+           ScheduleMode mode = ScheduleMode::Asap)
+{
+    return schedule(decompose(c), d.topology(), d.calibration(0), mode);
+}
+
+} // namespace
+
+TEST(Machine, NoiselessMatchesIdeal)
+{
+    const Device d = Device::ibmqRome();
+    Circuit c(3, 3);
+    c.h(0);
+    c.cx(0, 1);
+    c.cx(1, 2);
+    c.measureAll();
+    const NoisyMachine machine(d, 0, NoiseFlags::none());
+    const Distribution out =
+        machine.run(scheduleOn(d, c), 6000, 1);
+    const Distribution ideal = idealDistribution(decompose(c));
+    EXPECT_LT(totalVariationDistance(ideal, out), 0.03);
+}
+
+TEST(Machine, DeterministicForSameSeed)
+{
+    const Device d = Device::ibmqRome();
+    Circuit c(2, 2);
+    c.h(0);
+    c.cx(0, 1);
+    c.measureAll();
+    const NoisyMachine machine(d);
+    const auto sched = scheduleOn(d, c);
+    const Distribution a = machine.run(sched, 500, 9);
+    const Distribution b = machine.run(sched, 500, 9);
+    EXPECT_LT(totalVariationDistance(a, b), 1e-12);
+}
+
+TEST(Machine, SeedsChangeSampling)
+{
+    const Device d = Device::ibmqRome();
+    Circuit c(1, 1);
+    c.h(0);
+    c.measure(0, 0);
+    const NoisyMachine machine(d);
+    const auto sched = scheduleOn(d, c);
+    const Distribution a = machine.run(sched, 200, 1);
+    const Distribution b = machine.run(sched, 200, 2);
+    EXPECT_GT(totalVariationDistance(a, b), 0.0);
+}
+
+TEST(Machine, MeasurementErrorsFlipGroundState)
+{
+    const Device d = Device::ibmqRome();
+    Circuit c(1, 1);
+    c.measure(0, 0); // |0> measured directly
+    NoiseFlags flags = NoiseFlags::none();
+    flags.measurementErrors = true;
+    const NoisyMachine machine(d, 0, flags);
+    const Distribution out = machine.run(scheduleOn(d, c), 20000, 3);
+    const double flip_rate = out.probability(1);
+    const double expected =
+        machine.calibration().qubits[0].readoutError01;
+    EXPECT_NEAR(flip_rate, expected, 0.005);
+}
+
+TEST(Machine, T1DecaysExcitedStateOverIdle)
+{
+    const Device d = Device::ibmqRome();
+    const double idle_us = 20.0;
+    Circuit c(1, 1);
+    c.x(0);
+    c.delay(idle_us * 1000.0, 0);
+    c.x(0); // ends an idle window; |1> -> |0> if no decay
+    c.x(0); // back to |1>
+    c.measure(0, 0);
+    NoiseFlags flags = NoiseFlags::none();
+    flags.t1Damping = true;
+    const NoisyMachine machine(d, 0, flags);
+    const Distribution out = machine.run(scheduleOn(d, c), 8000, 4);
+    const double t1 = machine.calibration().qubits[0].t1Us;
+    const double expected_decay = 1.0 - std::exp(-idle_us / t1);
+    EXPECT_NEAR(out.probability(0), expected_decay, 0.03);
+}
+
+TEST(Machine, GateErrorsAccumulateWithLength)
+{
+    const Device d = Device::ibmqRome();
+    NoiseFlags flags = NoiseFlags::none();
+    flags.gateErrors = true;
+    const NoisyMachine machine(d, 0, flags);
+
+    auto error_rate = [&](int n_cx) {
+        Circuit c(2, 2);
+        for (int i = 0; i < n_cx; i++)
+            c.cx(0, 1);
+        c.measureAll(); // ideal output: 00
+        const Distribution out =
+            machine.run(scheduleOn(d, c), 4000, 5);
+        return 1.0 - out.probability(0);
+    };
+    const double short_err = error_rate(2);
+    const double long_err = error_rate(30);
+    EXPECT_GT(long_err, 3.0 * short_err);
+}
+
+// -------------------------------------------------- DD echo physics
+
+namespace
+{
+
+/** Fidelity of an idle |+>-like state with/without DD under specific
+ *  noise flags. */
+double
+idleFidelity(const Device &d, NoiseFlags flags, bool with_dd,
+             DDProtocol protocol, TimeNs idle_ns, uint64_t seed)
+{
+    const NoisyMachine machine(d, 0, flags);
+    CharacterizationConfig config;
+    config.spectator = 0;
+    config.drivenLink = -1;
+    config.theta = kPi / 2.0;
+    config.idleNs = idle_ns;
+    DDOptions dd;
+    dd.protocol = protocol;
+    return characterizationFidelity(machine, config, dd, with_dd, 3000,
+                                    seed);
+}
+
+} // namespace
+
+TEST(EchoPhysics, OuDephasingHurtsFreeEvolution)
+{
+    const Device d = Device::ibmqLondon();
+    NoiseFlags flags = NoiseFlags::none();
+    flags.ouDephasing = true;
+    const double fid =
+        idleFidelity(d, flags, false, DDProtocol::XY4, 8000.0, 11);
+    EXPECT_LT(fid, 0.97);
+}
+
+TEST(EchoPhysics, Xy4RefocusesOuDephasing)
+{
+    const Device d = Device::ibmqLondon();
+    NoiseFlags flags = NoiseFlags::none();
+    flags.ouDephasing = true;
+    const double free_fid =
+        idleFidelity(d, flags, false, DDProtocol::XY4, 8000.0, 12);
+    const double dd_fid =
+        idleFidelity(d, flags, true, DDProtocol::XY4, 8000.0, 12);
+    EXPECT_GT(dd_fid, free_fid + 0.01);
+    EXPECT_GT(dd_fid, 0.99); // near-perfect echo without gate errors
+}
+
+TEST(EchoPhysics, IbmqDdRefocusesButLessAtLongIdle)
+{
+    const Device d = Device::ibmqLondon();
+    NoiseFlags flags = NoiseFlags::none();
+    flags.ouDephasing = true;
+    DDOptions ibmq;
+    ibmq.protocol = DDProtocol::IbmqDD;
+    ibmq.ibmqDdChunkNs = 1e9; // single pair over the whole window
+    const NoisyMachine machine(d, 0, flags);
+    CharacterizationConfig config;
+    config.idleNs = 12000.0;
+    const double free_fid = characterizationFidelity(
+        machine, config, ibmq, false, 3000, 13);
+    const double ibmq_fid = characterizationFidelity(
+        machine, config, ibmq, true, 3000, 13);
+    DDOptions xy4;
+    const double xy4_fid = characterizationFidelity(
+        machine, config, xy4, true, 3000, 13);
+    // Both protocols help; XY4's tight spacing beats the sparse pair
+    // because the OU noise decorrelates between the two X pulses
+    // (Fig. 16 of the paper).
+    EXPECT_GT(ibmq_fid, free_fid);
+    EXPECT_GT(xy4_fid, ibmq_fid - 0.005);
+}
+
+TEST(EchoPhysics, WhiteDephasingIsNotRefocusable)
+{
+    const Device d = Device::ibmqLondon();
+    NoiseFlags flags = NoiseFlags::none();
+    flags.whiteDephasing = true;
+    const double free_fid =
+        idleFidelity(d, flags, false, DDProtocol::XY4, 20000.0, 14);
+    const double dd_fid =
+        idleFidelity(d, flags, true, DDProtocol::XY4, 20000.0, 14);
+    // DD must not help against Markovian dephasing.
+    EXPECT_NEAR(dd_fid, free_fid, 0.02);
+    EXPECT_LT(free_fid, 0.999);
+}
+
+TEST(EchoPhysics, GateErrorsMakeDdCostly)
+{
+    const Device d = Device::ibmqLondon();
+    NoiseFlags flags = NoiseFlags::none();
+    flags.gateErrors = true;
+    const double free_fid =
+        idleFidelity(d, flags, false, DDProtocol::XY4, 8000.0, 15);
+    const double dd_fid =
+        idleFidelity(d, flags, true, DDProtocol::XY4, 8000.0, 15);
+    // With only gate errors enabled, the DD pulse train strictly
+    // hurts (Sec. 2.6's drawback).
+    EXPECT_GT(free_fid, dd_fid);
+}
+
+TEST(EchoPhysics, CrosstalkAmplifiesIdleErrors)
+{
+    const Device d = Device::ibmqLondon();
+    NoiseFlags flags = NoiseFlags::none();
+    flags.crosstalk = true;
+    const NoisyMachine machine(d, 0, flags);
+    const Topology &t = d.topology();
+    // Spectator 0, driven link 3-4 (far end of the T).
+    const int link = t.linkIndex(3, 4);
+    ASSERT_GE(link, 0);
+
+    CharacterizationConfig quiet;
+    quiet.spectator = 0;
+    quiet.drivenLink = -1;
+    quiet.idleNs = 2400.0;
+    CharacterizationConfig driven = quiet;
+    driven.drivenLink = link;
+
+    DDOptions dd;
+    const double quiet_fid = characterizationFidelity(
+        machine, quiet, dd, false, 3000, 16);
+    const double driven_fid = characterizationFidelity(
+        machine, driven, dd, false, 3000, 16);
+    const double driven_dd_fid = characterizationFidelity(
+        machine, driven, dd, true, 3000, 16);
+    // CNOT activity on the link hurts the idle spectator (Sec. 3.2),
+    // and DD recovers most of it.
+    EXPECT_LT(driven_fid, quiet_fid - 0.005);
+    EXPECT_GT(driven_dd_fid, driven_fid);
+}
+
+TEST(EchoPhysics, CalibrationCyclesChangeDdBenefit)
+{
+    const Device d = Device::ibmqLondon();
+    std::vector<double> benefit;
+    for (int cycle = 0; cycle < 4; cycle++) {
+        const NoisyMachine machine(d, cycle);
+        CharacterizationConfig config;
+        config.idleNs = 4000.0;
+        DDOptions dd;
+        const double free_fid = characterizationFidelity(
+            machine, config, dd, false, 2000, 17);
+        const double dd_fid = characterizationFidelity(
+            machine, config, dd, true, 2000, 17);
+        benefit.push_back(dd_fid - free_fid);
+    }
+    // The benefit must not be constant across cycles (Fig. 6).
+    EXPECT_GT(maxOf(benefit) - minOf(benefit), 0.002);
+}

@@ -1,0 +1,510 @@
+/**
+ * @file
+ * Tests for the transpiler: decomposition equivalence, layout
+ * validity, routing correctness, scheduling / Gate Sequence Table
+ * invariants, and end-to-end semantic preservation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/logging.hh"
+#include "sim/statevector.hh"
+#include "transpile/decompose.hh"
+#include "transpile/transpiler.hh"
+#include "workloads/benchmarks.hh"
+
+using namespace adapt;
+
+namespace
+{
+
+/** Matrix of a single-qubit gate sequence applied in circuit order. */
+Matrix2
+sequenceMatrix(const std::vector<Gate> &gates)
+{
+    Matrix2 product = Matrix2::identity();
+    for (const Gate &g : gates)
+        product = gateMatrix(g) * product;
+    return product;
+}
+
+} // namespace
+
+// ------------------------------------------------------- decompose 1Q
+
+/** Every single-qubit gate type decomposes to an equivalent physical
+ *  sequence. */
+class Decompose1QTest : public ::testing::TestWithParam<GateType>
+{
+};
+
+TEST_P(Decompose1QTest, SequenceMatchesOriginalUpToPhase)
+{
+    const GateType type = GetParam();
+    std::vector<double> params;
+    for (int i = 0; i < gateParamCount(type); i++)
+        params.push_back(0.83 - 0.41 * i);
+    const Matrix2 u = gateMatrix(type, params);
+    const auto sequence = decompose1Q(u, 0);
+    for (const Gate &g : sequence)
+        EXPECT_TRUE(isPhysicalGate(g.type)) << g.toString();
+    EXPECT_TRUE(sequenceMatrix(sequence).equalsUpToPhase(u, 1e-9))
+        << gateName(type);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, Decompose1QTest,
+    ::testing::Values(GateType::I, GateType::X, GateType::Y, GateType::Z,
+                      GateType::H, GateType::S, GateType::Sdg,
+                      GateType::T, GateType::Tdg, GateType::SX,
+                      GateType::SXdg, GateType::RX, GateType::RY,
+                      GateType::RZ, GateType::U1, GateType::U2,
+                      GateType::U3));
+
+/** Random U3 angles: generic Euler path, at most 2 pulses. */
+class DecomposeU3Test : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DecomposeU3Test, RandomU3UsesAtMostTwoPulses)
+{
+    Rng rng(1000 + GetParam());
+    const double theta = rng.uniform(0.0, kPi);
+    const double phi = rng.uniform(-kPi, kPi);
+    const double lam = rng.uniform(-kPi, kPi);
+    const Matrix2 u = gateMatrix(GateType::U3, {theta, phi, lam});
+    const auto sequence = decompose1Q(u, 0);
+    int pulses = 0;
+    for (const Gate &g : sequence)
+        pulses += g.type == GateType::SX || g.type == GateType::X;
+    EXPECT_LE(pulses, 2);
+    EXPECT_TRUE(sequenceMatrix(sequence).equalsUpToPhase(u, 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, DecomposeU3Test,
+                         ::testing::Range(0, 25));
+
+TEST(Decompose, EulerAnglesRoundTrip)
+{
+    Rng rng(5);
+    for (int trial = 0; trial < 30; trial++) {
+        const double theta = rng.uniform(0.0, kPi);
+        const double phi = rng.uniform(-kPi, kPi);
+        const double lam = rng.uniform(-kPi, kPi);
+        const Matrix2 u = gateMatrix(GateType::U3, {theta, phi, lam});
+        const auto [t2, p2, l2] = eulerAngles(u);
+        const Matrix2 u2 = gateMatrix(GateType::U3, {t2, p2, l2});
+        EXPECT_TRUE(u.equalsUpToPhase(u2, 1e-9));
+    }
+}
+
+// -------------------------------------------------- decompose circuit
+
+TEST(Decompose, OutputIsPhysical)
+{
+    for (const Workload &w : paperBenchmarks()) {
+        const Circuit lowered = decompose(w.circuit);
+        EXPECT_TRUE(isPhysicalCircuit(lowered)) << w.name;
+    }
+}
+
+TEST(Decompose, PreservesSemantics)
+{
+    // Ideal output distribution must be identical pre/post lowering.
+    for (const Workload &w :
+         {paperBenchmarks()[0], paperBenchmarks()[2],
+          paperBenchmarks()[6], smallBenchmarks()[2]}) {
+        const Distribution before = idealDistribution(w.circuit);
+        const Distribution after =
+            idealDistribution(decompose(w.circuit));
+        EXPECT_LT(totalVariationDistance(before, after), 1e-9)
+            << w.name;
+    }
+}
+
+TEST(Decompose, MergesAdjacentRz)
+{
+    Circuit c(1);
+    c.rz(0.3, 0);
+    c.rz(0.4, 0);
+    c.s(0);
+    const Circuit lowered = decompose(c);
+    // 0.3 + 0.4 + pi/2 merge into a single RZ.
+    EXPECT_EQ(lowered.countOf(GateType::RZ), 1);
+    EXPECT_NEAR(lowered.gates()[0].params[0], 0.7 + kPi / 2.0, 1e-9);
+}
+
+TEST(Decompose, DropsIdentityRz)
+{
+    Circuit c(1);
+    c.rz(0.5, 0);
+    c.rz(-0.5, 0);
+    c.x(0);
+    const Circuit lowered = decompose(c);
+    EXPECT_EQ(lowered.countOf(GateType::RZ), 1); // merged to 0, kept
+    // The merged RZ carries angle ~0; the X survives.
+    EXPECT_EQ(lowered.countOf(GateType::X), 1);
+}
+
+TEST(Decompose, SwapBecomesThreeCx)
+{
+    Circuit c(2);
+    c.swap(0, 1);
+    const Circuit lowered = decompose(c);
+    EXPECT_EQ(lowered.countOf(GateType::CX), 3);
+    EXPECT_EQ(lowered.countOf(GateType::SWAP), 0);
+}
+
+TEST(Decompose, CzBecomesHadamardConjugatedCx)
+{
+    Circuit c(2);
+    c.h(0);
+    c.h(1);
+    c.cz(0, 1);
+    const Circuit lowered = decompose(c);
+    EXPECT_EQ(lowered.countOf(GateType::CX), 1);
+    EXPECT_EQ(lowered.countOf(GateType::CZ), 0);
+    // Semantics preserved: H0 H1 CZ is a Bell-like state generator.
+    Circuit measured = c;
+    measured.measureAll();
+    Circuit lowered_measured = lowered;
+    lowered_measured.measureAll();
+    EXPECT_LT(totalVariationDistance(idealDistribution(measured),
+                                     idealDistribution(lowered_measured)),
+              1e-9);
+}
+
+// --------------------------------------------------------------- layout
+
+TEST(LayoutTest, TrivialIsIdentity)
+{
+    const Layout l = trivialLayout(4, Topology::ibmqGuadalupe());
+    for (QubitId q = 0; q < 4; q++)
+        EXPECT_EQ(l.physical(q), q);
+    EXPECT_EQ(l.logical(2), 2);
+    EXPECT_EQ(l.logical(10), -1);
+}
+
+TEST(LayoutTest, NoiseAdaptiveIsInjective)
+{
+    const Device d = Device::ibmqToronto();
+    const Circuit qft = makeQft(6, QftState::A);
+    const Layout l = noiseAdaptiveLayout(decompose(qft), d.topology(),
+                                         d.calibration(0));
+    std::set<QubitId> used;
+    for (QubitId lq = 0; lq < 6; lq++) {
+        const QubitId p = l.physical(lq);
+        EXPECT_TRUE(used.insert(p).second);
+        EXPECT_EQ(l.logical(p), lq);
+    }
+}
+
+TEST(LayoutTest, InteractingQubitsPlacedNearby)
+{
+    const Device d = Device::ibmqToronto();
+    // BV: every data qubit interacts with the ancilla.
+    const Circuit bv = makeBernsteinVazirani(5, 0b1111);
+    const Layout l = noiseAdaptiveLayout(decompose(bv), d.topology(),
+                                         d.calibration(0));
+    // The ancilla (logical 4) should sit close to the data qubits.
+    double total_dist = 0.0;
+    for (QubitId lq = 0; lq < 4; lq++)
+        total_dist += d.topology().distance(l.physical(lq),
+                                            l.physical(4));
+    EXPECT_LE(total_dist / 4.0, 2.5);
+}
+
+TEST(LayoutTest, RejectsOversizedPrograms)
+{
+    EXPECT_THROW(trivialLayout(6, Topology::ibmqRome()), UsageError);
+}
+
+// -------------------------------------------------------------- routing
+
+TEST(Routing, AllCxRespectCouplingAfterRouting)
+{
+    const Topology t = Topology::ibmqGuadalupe();
+    const Circuit qft = decompose(makeQft(6, QftState::A));
+    const RoutingResult r = route(qft, t, trivialLayout(6, t));
+    for (const Gate &g : r.physical.gates()) {
+        // Both CX gates and the inserted SWAPs must sit on links.
+        if (g.type == GateType::CX || g.type == GateType::SWAP)
+            EXPECT_TRUE(t.connected(g.qubits[0], g.qubits[1]));
+    }
+    // After lowering, nothing but physical gates remain.
+    EXPECT_TRUE(isPhysicalCircuit(decompose(r.physical)));
+}
+
+TEST(Routing, LineTopologyNeedsSwaps)
+{
+    const Topology t = Topology::linear(5);
+    Circuit c(5);
+    c.cx(0, 4);
+    c.measureAll();
+    const RoutingResult r = route(c, t, trivialLayout(5, t));
+    EXPECT_GE(r.swapCount, 3);
+}
+
+TEST(Routing, AllToAllNeedsNoSwaps)
+{
+    const Topology t = Topology::allToAll(6);
+    const Circuit qft = decompose(makeQft(6, QftState::A));
+    const RoutingResult r = route(qft, t, trivialLayout(6, t));
+    EXPECT_EQ(r.swapCount, 0);
+}
+
+TEST(Routing, MeasureKeepsClassicalBit)
+{
+    const Topology t = Topology::linear(4);
+    Circuit c(4);
+    c.x(0);
+    c.cx(0, 3); // forces SWAPs that displace logical 0
+    c.measure(0, 0);
+    c.measure(3, 3);
+    const RoutingResult r = route(c, t, trivialLayout(4, t));
+    for (const Gate &g : r.physical.gates()) {
+        if (g.type == GateType::Measure)
+            EXPECT_TRUE(g.clbit == 0 || g.clbit == 3);
+    }
+}
+
+// ------------------------------------------------------------ schedule
+
+TEST(Schedule, NoOverlapPerQubit)
+{
+    const Device d = Device::ibmqGuadalupe();
+    const Calibration cal = d.calibration(0);
+    const CompiledProgram p =
+        transpile(makeQft(5, QftState::A), d, cal);
+    for (QubitId q = 0; q < p.schedule.numQubits(); q++) {
+        TimeNs cursor = -1.0;
+        for (int idx : p.schedule.qubitOps(q)) {
+            const TimedOp &op = p.schedule.ops()[idx];
+            EXPECT_GE(op.start, cursor - 1e-9);
+            cursor = std::max(cursor, op.end);
+        }
+    }
+}
+
+TEST(Schedule, AsapAndAlapShareMakespan)
+{
+    const Device d = Device::ibmqGuadalupe();
+    const Calibration cal = d.calibration(0);
+    const Circuit phys =
+        decompose(route(decompose(makeQft(5, QftState::A)),
+                        d.topology(),
+                        trivialLayout(5, d.topology())).physical);
+    const auto asap =
+        schedule(phys, d.topology(), cal, ScheduleMode::Asap);
+    const auto alap =
+        schedule(phys, d.topology(), cal, ScheduleMode::Alap);
+    EXPECT_NEAR(asap.makespan(), alap.makespan(), 1e-6);
+}
+
+TEST(Schedule, RzIsInstantaneousPulsesAreNot)
+{
+    const Device d = Device::ibmqRome();
+    const Calibration cal = d.calibration(0);
+    Circuit c(2);
+    c.rz(0.3, 0);
+    c.sx(0);
+    c.x(1);
+    c.measureAll();
+    const auto sched = schedule(c, d.topology(), cal);
+    for (const TimedOp &op : sched.ops()) {
+        if (op.gate.type == GateType::RZ)
+            EXPECT_NEAR(op.duration(), 0.0, 1e-12);
+        if (op.gate.type == GateType::SX || op.gate.type == GateType::X)
+            EXPECT_GT(op.duration(), 30.0);
+        if (op.gate.type == GateType::Measure)
+            EXPECT_NEAR(op.duration(), cal.measureLatencyNs, 1e-9);
+    }
+}
+
+TEST(Schedule, CxDurationIsPerLink)
+{
+    const Device d = Device::ibmqToronto();
+    const Calibration cal = d.calibration(0);
+    Circuit c(27);
+    c.cx(0, 1);
+    c.cx(1, 4);
+    c.measure(0, 0);
+    const auto sched = schedule(c, d.topology(), cal);
+    double dur01 = 0, dur14 = 0;
+    for (const TimedOp &op : sched.ops()) {
+        if (op.gate.type != GateType::CX)
+            continue;
+        if (op.gate.qubits[0] == 0)
+            dur01 = op.duration();
+        else
+            dur14 = op.duration();
+    }
+    EXPECT_GT(dur01, 0.0);
+    EXPECT_GT(dur14, 0.0);
+    EXPECT_NE(dur01, dur14); // per-link latency spread
+}
+
+TEST(Schedule, IdleWindowsBetweenOps)
+{
+    const Device d = Device::ibmqRome();
+    const Calibration cal = d.calibration(0);
+    Circuit c(2, 1);
+    c.x(0);
+    c.delay(1000.0, 0);
+    c.x(0);
+    c.measure(0, 0);
+    const auto sched =
+        schedule(c, d.topology(), cal, ScheduleMode::Asap);
+    const auto windows = sched.idleWindows(0);
+    ASSERT_EQ(windows.size(), 1u);
+    EXPECT_NEAR(windows[0].duration(), 1000.0, 1e-9);
+}
+
+TEST(Schedule, IdleWindowMinDurationFilter)
+{
+    const Device d = Device::ibmqRome();
+    const Calibration cal = d.calibration(0);
+    Circuit c(2, 1);
+    c.x(0);
+    c.delay(100.0, 0);
+    c.x(0);
+    c.measure(0, 0);
+    const auto sched =
+        schedule(c, d.topology(), cal, ScheduleMode::Asap);
+    EXPECT_EQ(sched.idleWindows(0, 210.0).size(), 0u);
+    EXPECT_EQ(sched.idleWindows(0, 50.0).size(), 1u);
+}
+
+TEST(Schedule, AlapDelaysInitialGates)
+{
+    // Fig. 3(a): late initialization — a qubit whose only ops come
+    // late should have its prep gate pushed next to its use.
+    const Device d = Device::ibmqRome();
+    const Calibration cal = d.calibration(0);
+    Circuit c(2, 2);
+    c.x(0);
+    c.x(0);
+    c.x(0);
+    c.x(0);
+    c.x(1);      // single op on qubit 1
+    c.cx(0, 1);
+    c.measureAll();
+    const auto alap = schedule(c, d.topology(), cal, ScheduleMode::Alap);
+    // Qubit 1's X should start right before the CX, not at t=0.
+    const TimedOp &x1 = alap.ops()[alap.qubitOps(1)[0]];
+    EXPECT_GT(x1.start, 0.0);
+}
+
+TEST(Schedule, LinkActivityTracksCx)
+{
+    const Device d = Device::ibmqRome();
+    const Calibration cal = d.calibration(0);
+    Circuit c(3, 1);
+    c.cx(0, 1);
+    c.cx(0, 1);
+    c.measure(2, 0);
+    const auto sched = schedule(c, d.topology(), cal);
+    const int link = d.topology().linkIndex(0, 1);
+    EXPECT_EQ(sched.linkActivity(link).size(), 2u);
+}
+
+TEST(Schedule, IdleFractionInUnitRange)
+{
+    const Device d = Device::ibmqGuadalupe();
+    const Calibration cal = d.calibration(0);
+    const CompiledProgram p =
+        transpile(makeQft(5, QftState::A), d, cal);
+    for (QubitId q : p.schedule.activeQubits()) {
+        const double f = p.schedule.idleFraction(q);
+        EXPECT_GE(f, 0.0);
+        EXPECT_LE(f, 1.0);
+    }
+}
+
+TEST(Schedule, GateSequenceTableRenders)
+{
+    const Device d = Device::ibmqRome();
+    const Calibration cal = d.calibration(0);
+    Circuit c(3, 3);
+    c.h(0);
+    c.cx(0, 1);
+    c.measureAll();
+    const auto sched = schedule(decompose(c), d.topology(), cal);
+    const std::string table = sched.toTable();
+    EXPECT_NE(table.find("Layer"), std::string::npos);
+    EXPECT_NE(table.find("cx"), std::string::npos);
+}
+
+TEST(Schedule, RejectsUnroutedCircuits)
+{
+    const Device d = Device::ibmqRome();
+    Circuit c(5, 1);
+    c.cx(0, 4); // not a physical link
+    c.measure(0, 0);
+    EXPECT_THROW(schedule(c, d.topology(), d.calibration(0)),
+                 UsageError);
+}
+
+// ---------------------------------------------------------- end-to-end
+
+/** Compilation preserves program semantics on every benchmark x
+ *  device pair. */
+class TranspileEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(TranspileEquivalenceTest, IdealOutputUnchanged)
+{
+    const auto [workload_idx, device_idx] = GetParam();
+    const Workload w = paperBenchmarks()[workload_idx];
+    const Device d = device_idx == 0 ? Device::ibmqGuadalupe()
+                                     : Device::ibmqToronto();
+    const CompiledProgram p = transpile(w.circuit, d, d.calibration(0));
+    const Distribution logical_ideal = idealDistribution(w.circuit);
+    const Distribution physical_ideal = idealDistribution(p.physical);
+    EXPECT_LT(totalVariationDistance(logical_ideal, physical_ideal),
+              1e-9)
+        << w.name << " on " << d.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SuiteByDevice, TranspileEquivalenceTest,
+    ::testing::Combine(::testing::Values(0, 2, 3, 6, 10),
+                       ::testing::Values(0, 1)));
+
+TEST(Transpile, DeterministicForFixedInputs)
+{
+    const Device d = Device::ibmqToronto();
+    const Calibration cal = d.calibration(0);
+    const Circuit qaoa = makeQaoa(8, QaoaGraph::B);
+    const CompiledProgram a = transpile(qaoa, d, cal);
+    const CompiledProgram b = transpile(qaoa, d, cal);
+    ASSERT_EQ(a.physical.size(), b.physical.size());
+    for (size_t i = 0; i < a.physical.size(); i++)
+        EXPECT_TRUE(a.physical.gates()[i] == b.physical.gates()[i]);
+}
+
+TEST(Transpile, SwapOverheadVanishesOnAllToAll)
+{
+    // Fig. 3(b): on a sparse topology, SWAP chains serialize the BV
+    // CNOT ladder and blow up idle time; all-to-all needs no SWAPs.
+    const Device line = Device::synthetic(Topology::linear(10), 3);
+    const Device full = Device::synthetic(Topology::allToAll(10), 3);
+    const Circuit bv = makeBernsteinVazirani(10, 0b111111111);
+    TranspileOptions opts;
+    opts.noiseAdaptive = false; // trivial layout isolates routing cost
+    const CompiledProgram on_line =
+        transpile(bv, line, line.calibration(0), opts);
+    const CompiledProgram on_full =
+        transpile(bv, full, full.calibration(0), opts);
+    EXPECT_EQ(on_full.swapCount, 0);
+    EXPECT_GT(on_line.swapCount, 5);
+    EXPECT_GT(on_line.schedule.meanIdleTime(),
+              2.0 * on_full.schedule.meanIdleTime());
+    EXPECT_GT(on_line.schedule.makespan(),
+              on_full.schedule.makespan());
+}
