@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Shot-execution throughput of the Monte-Carlo noise engine.
+ *
+ * The paper's every figure and table is an estimate over thousands of
+ * noisy shots, so shots/second through NoisyMachine::run *is* the
+ * repo's end-to-end speed.  This binary measures it on a 10-qubit
+ * QAOA workload at 4096 shots per run — the acceptance workload for
+ * the parallel engine — across thread counts (1 = the serial
+ * baseline), plus the single-shot statevector kernels underneath.
+ *
+ * Thread count is the benchmark argument; 0 means auto
+ * (ADAPT_NUM_THREADS or hardware concurrency).
+ */
+
+#include "bench_common.hh"
+
+#include <thread>
+
+#include "common/parallel.hh"
+#include "noise/machine.hh"
+#include "transpile/transpiler.hh"
+
+using namespace adapt;
+
+namespace
+{
+
+constexpr int kShots = 4096;
+
+/** One shared device so transpilation and execution see the same
+ *  calibration. */
+const Device &
+device()
+{
+    static const Device d = Device::ibmqToronto();
+    return d;
+}
+
+/** The acceptance workload: QAOA-10 compiled for ibmq_toronto. */
+const CompiledProgram &
+program()
+{
+    static const CompiledProgram p =
+        transpile(makeQaoa(10, QaoaGraph::A), device(),
+                  device().calibration(0));
+    return p;
+}
+
+const NoisyMachine &
+machine()
+{
+    static const NoisyMachine m(device());
+    return m;
+}
+
+void
+BM_ShotThroughput(benchmark::State &state)
+{
+    const int threads = static_cast<int>(state.range(0));
+    const ScheduledCircuit &sched = program().schedule;
+    uint64_t seed = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            machine().run(sched, kShots, ++seed, threads));
+    }
+    state.SetItemsProcessed(state.iterations() * kShots);
+    state.counters["shots_per_sec"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) * kShots,
+        benchmark::Counter::kIsRate);
+}
+
+/** Ideal-distribution path: fused 1Q gates + flat accumulation. */
+void
+BM_IdealDistribution(benchmark::State &state)
+{
+    const Circuit &physical = program().physical;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(idealDistribution(physical));
+}
+
+/** Single-qubit kernel, stride-1 (q = 0) vs. strided (high qubit). */
+void
+BM_Apply1Q(benchmark::State &state)
+{
+    const auto q = static_cast<QubitId>(state.range(0));
+    StateVector sv(16);
+    const Matrix2 h = gateMatrix(GateType::H);
+    for (auto _ : state) {
+        sv.apply1Q(h, q);
+        benchmark::DoNotOptimize(sv.amplitude(0));
+    }
+}
+
+void
+registerBenchmarks()
+{
+    auto *shot = benchmark::RegisterBenchmark("BM_ShotThroughput",
+                                              BM_ShotThroughput);
+    shot->Unit(benchmark::kMillisecond)->UseRealTime();
+    shot->Arg(1); // serial baseline
+    const int hw = defaultThreads();
+    for (int t = 2; t <= hw; t *= 2)
+        shot->Arg(t);
+    if (hw > 1)
+        shot->Arg(0); // auto
+    benchmark::RegisterBenchmark("BM_IdealDistribution",
+                                 BM_IdealDistribution)
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark("BM_Apply1Q", BM_Apply1Q)
+        ->Arg(0)
+        ->Arg(15)
+        ->Unit(benchmark::kMicrosecond);
+}
+
+void
+runExperiment()
+{
+    banner("Shot throughput",
+           "parallel Monte-Carlo engine, QAOA-10 on ibmq_toronto");
+    std::printf("shots per run: %d, hardware threads: %u, "
+                "ADAPT_NUM_THREADS resolves to %d\n",
+                kShots, std::thread::hardware_concurrency(),
+                defaultThreads());
+    registerBenchmarks();
+}
+
+} // namespace
+
+ADAPT_BENCH_MAIN(runExperiment)

@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "sim/statevector.hh"
 
 namespace adapt
@@ -42,11 +43,21 @@ std::vector<SuiteRow>
 evaluateSuite(const std::vector<Workload> &suite, const Device &device,
               DDProtocol protocol, const SuiteOptions &options)
 {
-    std::vector<SuiteRow> rows;
-    rows.reserve(suite.size());
-    for (const Workload &workload : suite)
-        rows.push_back(evaluateWorkload(workload, device, protocol,
-                                        options));
+    // Workloads are independent (each compiles and runs its own
+    // circuit), so the suite fans out across the pool; rows land at
+    // their workload's index, keeping the output order and content
+    // identical to a serial evaluation.  Shot-level parallelism
+    // inside NoisyMachine::run degrades to serial within these
+    // workers, so the pool is never oversubscribed.
+    std::vector<SuiteRow> rows(suite.size());
+    parallelFor(0, static_cast<int64_t>(suite.size()), options.threads,
+                [&](int64_t lo, int64_t hi, int) {
+        for (int64_t i = lo; i < hi; i++) {
+            rows[static_cast<size_t>(i)] = evaluateWorkload(
+                suite[static_cast<size_t>(i)], device, protocol,
+                options);
+        }
+    });
     return rows;
 }
 

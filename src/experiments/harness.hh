@@ -53,6 +53,13 @@ struct SuiteOptions
 
     /** Calibration cycle. */
     int cycle = 0;
+
+    /**
+     * Concurrent workloads in evaluateSuite(); <= 0 (default) uses
+     * ADAPT_NUM_THREADS or the hardware concurrency.  Results are
+     * identical at any setting.
+     */
+    int threads = 0;
 };
 
 /**

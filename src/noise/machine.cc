@@ -6,7 +6,9 @@
 #include <optional>
 #include <vector>
 
+#include "common/flat_accumulator.hh"
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "sim/statevector.hh"
 
 namespace adapt
@@ -66,75 +68,87 @@ applyRandomPauli2Q(StateVector &state, QubitId a, QubitId b, Rng &rng)
     apply_one(code >> 2, b);
 }
 
-} // namespace
-
-Distribution
-NoisyMachine::run(const ScheduledCircuit &sched, int shots,
-                  uint64_t run_seed) const
+/** One pulse of a fused single-qubit train. */
+struct Pulse
 {
-    require(shots > 0, "NoisyMachine::run requires at least one shot");
+    Matrix2 matrix;
+    double errorProb;
+};
+
+/** One step of the pre-compiled execution plan. */
+struct PlanStep
+{
+    enum class Kind { Fused1Q, TwoQubit, Meas } kind;
+    int q = -1;
+    int q2 = -1;
+    TimeNs start = 0.0;
+    TimeNs end = 0.0;
+    std::vector<Pulse> pulses;       // Fused1Q
+    GateType twoQubitType = GateType::CX;
+    double cxError = 0.0;            // TwoQubit
+    int clbit = 0;                   // Meas
+    double err01 = 0.0, err10 = 0.0; // Meas
+};
+
+/**
+ * The shot-invariant execution plan: the schedule lowered onto dense
+ * qubit indices, with calibration data baked into every step and
+ * crosstalk sources precomputed per spectator.  Built once per run()
+ * and shared read-only by all shot workers.
+ */
+struct ExecutionPlan
+{
+    std::vector<QubitId> active; //!< dense index -> physical qubit
+    std::vector<std::vector<CrosstalkSource>> xtalk; //!< per dense q
+    std::vector<PlanStep> steps;
+};
+
+ExecutionPlan
+buildPlan(const ScheduledCircuit &sched, const Calibration &cal,
+          const NoiseFlags &flags)
+{
+    ExecutionPlan plan;
 
     // Dense-qubit relabelling: only qubits that execute ops occupy
     // state-vector space.
     const int n_phys = sched.numQubits();
     std::vector<int> dense(static_cast<size_t>(n_phys), -1);
-    std::vector<QubitId> active;
     for (QubitId q = 0; q < n_phys; q++) {
         if (!sched.qubitOps(q).empty()) {
             dense[static_cast<size_t>(q)] =
-                static_cast<int>(active.size());
-            active.push_back(q);
+                static_cast<int>(plan.active.size());
+            plan.active.push_back(q);
         }
     }
-    require(!active.empty(), "cannot run an empty schedule");
+    require(!plan.active.empty(), "cannot run an empty schedule");
 
     // Crosstalk sources per active qubit: every CX interval on a link
     // with a non-negligible coupling to this spectator.
-    std::vector<std::vector<CrosstalkSource>> xtalk(active.size());
-    if (flags_.crosstalk) {
-        const int n_links = static_cast<int>(cal_.links.size());
+    plan.xtalk.resize(plan.active.size());
+    if (flags.crosstalk) {
+        const int n_links = static_cast<int>(cal.links.size());
         for (int li = 0; li < n_links; li++) {
             const auto intervals = sched.linkActivity(li);
             if (intervals.empty())
                 continue;
-            for (size_t ai = 0; ai < active.size(); ai++) {
-                const double rate = cal_.crosstalk(li, active[ai]);
+            for (size_t ai = 0; ai < plan.active.size(); ai++) {
+                const double rate = cal.crosstalk(li, plan.active[ai]);
                 if (std::abs(rate) < 1e-6)
                     continue;
                 for (const auto &[t0, t1] : intervals)
-                    xtalk[ai].push_back({t0, t1, rate});
+                    plan.xtalk[ai].push_back({t0, t1, rate});
             }
         }
     }
 
-    // ---- Execution plan -------------------------------------------
     // Back-to-back single-qubit ops (decomposed gates, DD pulse
     // trains) are fused into one step: per-pulse *errors* are still
     // sampled individually, but the state vector is touched once per
     // train instead of once per pulse.  This keeps dense XY4 fills
     // (1000+ pulses on long idle windows) affordable.
-    struct Pulse
-    {
-        Matrix2 matrix;
-        double errorProb;
-    };
-    struct PlanStep
-    {
-        enum class Kind { Fused1Q, TwoQubit, Meas } kind;
-        int q = -1;
-        int q2 = -1;
-        TimeNs start = 0.0;
-        TimeNs end = 0.0;
-        std::vector<Pulse> pulses;       // Fused1Q
-        GateType twoQubitType = GateType::CX;
-        double cxError = 0.0;            // TwoQubit
-        int clbit = 0;                   // Meas
-        double err01 = 0.0, err10 = 0.0; // Meas
-    };
-
-    std::vector<PlanStep> plan;
-    plan.reserve(sched.ops().size());
-    std::vector<int> open(active.size(), -1);
+    std::vector<PlanStep> &steps = plan.steps;
+    steps.reserve(sched.ops().size());
+    std::vector<int> open(plan.active.size(), -1);
 
     for (const TimedOp &op : sched.ops()) {
         const Gate &gate = op.gate;
@@ -153,10 +167,10 @@ NoisyMachine::run(const ScheduledCircuit &sched, int shots,
             step.clbit = gate.clbit < 0 ? static_cast<int>(gate.qubit())
                                         : gate.clbit;
             const auto &qc =
-                cal_.qubits[static_cast<size_t>(gate.qubit())];
+                cal.qubits[static_cast<size_t>(gate.qubit())];
             step.err01 = qc.readoutError01;
             step.err10 = qc.readoutError10;
-            plan.push_back(std::move(step));
+            steps.push_back(std::move(step));
             continue;
         }
 
@@ -176,10 +190,10 @@ NoisyMachine::run(const ScheduledCircuit &sched, int shots,
                     "scheduled CX without a link index");
             step.cxError =
                 op.linkIndex >= 0
-                    ? cal_.links[static_cast<size_t>(op.linkIndex)]
+                    ? cal.links[static_cast<size_t>(op.linkIndex)]
                           .cxError
                     : 0.0;
-            plan.push_back(std::move(step));
+            steps.push_back(std::move(step));
             continue;
         }
 
@@ -191,17 +205,17 @@ NoisyMachine::run(const ScheduledCircuit &sched, int shots,
             gate.type == GateType::SX || gate.type == GateType::SXdg;
         const double p_err =
             physical_pulse
-                ? cal_.qubits[static_cast<size_t>(gate.qubit())]
+                ? cal.qubits[static_cast<size_t>(gate.qubit())]
                       .gateError1Q
                 : 0.0;
         Pulse pulse{gateMatrix(gate), p_err};
         const int open_idx = open[static_cast<size_t>(dq)];
         if (open_idx >= 0 &&
-            op.start - plan[static_cast<size_t>(open_idx)].end < 1e-3) {
-            plan[static_cast<size_t>(open_idx)].pulses.push_back(
+            op.start - steps[static_cast<size_t>(open_idx)].end < 1e-3) {
+            steps[static_cast<size_t>(open_idx)].pulses.push_back(
                 std::move(pulse));
-            plan[static_cast<size_t>(open_idx)].end =
-                std::max(plan[static_cast<size_t>(open_idx)].end,
+            steps[static_cast<size_t>(open_idx)].end =
+                std::max(steps[static_cast<size_t>(open_idx)].end,
                          op.end);
             continue;
         }
@@ -211,154 +225,190 @@ NoisyMachine::run(const ScheduledCircuit &sched, int shots,
         step.start = op.start;
         step.end = op.end;
         step.pulses.push_back(std::move(pulse));
-        open[static_cast<size_t>(dq)] = static_cast<int>(plan.size());
-        plan.push_back(std::move(step));
+        open[static_cast<size_t>(dq)] = static_cast<int>(steps.size());
+        steps.push_back(std::move(step));
+    }
+    return plan;
+}
+
+/**
+ * One Monte-Carlo trajectory.  All randomness comes from streams
+ * forked off @p shot_rng, so a shot's outcome depends only on its
+ * index — never on which thread runs it or in which order.
+ */
+uint64_t
+runShot(const ExecutionPlan &plan, const Calibration &cal,
+        const NoiseFlags &flags, const Rng &shot_rng)
+{
+    const std::vector<QubitId> &active = plan.active;
+    Rng gate_rng = shot_rng.fork(0x6a7e);
+
+    // Per-qubit OU detuning processes with private streams.
+    std::vector<std::optional<OuProcess>> ou(active.size());
+    std::vector<Rng> qubit_rng;
+    qubit_rng.reserve(active.size());
+    for (size_t ai = 0; ai < active.size(); ai++) {
+        qubit_rng.push_back(shot_rng.fork(0x0b5e + ai));
+        const auto &qc = cal.qubits[static_cast<size_t>(active[ai])];
+        if (flags.ouDephasing) {
+            ou[ai].emplace(qc.ouSigmaRadPerUs, qc.ouTauUs,
+                           qubit_rng[ai]);
+        }
     }
 
+    StateVector state(static_cast<int>(active.size()));
+    std::vector<TimeNs> last_end(active.size(), -1.0);
+    uint64_t outcome = 0;
+
+    // Coherent (refocusable) idle noise for qubit ai over [t0, t1):
+    // slow OU detuning plus crosstalk from concurrent CNOTs.  Only
+    // *idle* gaps accrue coherent Z phase — during a pulse the drive
+    // dominates the dynamics.
+    auto coherent_idle_noise = [&](size_t ai, TimeNs t0, TimeNs t1) {
+        if (t1 - t0 <= 1e-9)
+            return;
+        const double dt_us = (t1 - t0) * kNsToUs;
+
+        double phase = 0.0;
+        if (flags.ouDephasing) {
+            const double mid_us = (t0 + t1) / 2.0 * kNsToUs;
+            phase += ou[ai]->at(mid_us, qubit_rng[ai]) * dt_us;
+        }
+        if (flags.crosstalk) {
+            for (const CrosstalkSource &src : plan.xtalk[ai]) {
+                phase += src.radPerUs *
+                         overlapUs(t0, t1, src.start, src.end);
+            }
+        }
+        if (phase != 0.0)
+            state.applyPhase(static_cast<int>(ai), phase);
+    };
+
+    // Markovian noise (T1 relaxation, white dephasing) acts on
+    // wall-clock time — *including* gate and DD pulse durations, so a
+    // dense pulse train cannot shelter a qubit from it.
+    auto markovian_noise = [&](size_t ai, double dt_us) {
+        if (dt_us <= 0.0)
+            return;
+        const int dq = static_cast<int>(ai);
+        const auto &qc =
+            cal.qubits[static_cast<size_t>(active[ai])];
+
+        if (flags.t1Damping) {
+            // Thinned jump sampling: fire the relaxation jump with
+            // probability gamma * P(|1>); the O(gamma^2) no-jump
+            // reweighting is negligible at these rates.
+            const double gamma = 1.0 - std::exp(-dt_us / qc.t1Us);
+            if (qubit_rng[ai].bernoulli(gamma) &&
+                qubit_rng[ai].bernoulli(state.populationOne(dq))) {
+                state.applyDecayJump(dq);
+            }
+        }
+        if (flags.whiteDephasing) {
+            const double p_flip =
+                0.5 * (1.0 - std::exp(-dt_us / qc.t2WhiteUs));
+            if (qubit_rng[ai].bernoulli(p_flip))
+                state.apply1Q(gateMatrix(GateType::Z), dq);
+        }
+    };
+
+    // Noise catch-up for one operand of a step: coherent noise over
+    // the idle gap, Markovian noise over gap + step.
+    auto catch_up = [&](int dq, const PlanStep &step) {
+        const auto ai = static_cast<size_t>(dq);
+        if (last_end[ai] >= 0.0) {
+            coherent_idle_noise(ai, last_end[ai], step.start);
+            markovian_noise(ai, (step.end - last_end[ai]) * kNsToUs);
+        } else {
+            markovian_noise(ai, (step.end - step.start) * kNsToUs);
+        }
+        last_end[ai] = step.end;
+    };
+
+    for (const PlanStep &step : plan.steps) {
+        switch (step.kind) {
+          case PlanStep::Kind::Meas: {
+            catch_up(step.q, step);
+            bool bit = state.measureCollapse(step.q, gate_rng);
+            if (flags.measurementErrors) {
+                const double p_flip = bit ? step.err10 : step.err01;
+                if (gate_rng.bernoulli(p_flip))
+                    bit = !bit;
+            }
+            if (bit)
+                outcome |= uint64_t{1} << step.clbit;
+            break;
+          }
+          case PlanStep::Kind::TwoQubit: {
+            catch_up(step.q, step);
+            catch_up(step.q2, step);
+            Gate mapped(step.twoQubitType, {step.q, step.q2});
+            state.applyGate(mapped);
+            if (flags.gateErrors && gate_rng.bernoulli(step.cxError)) {
+                applyRandomPauli2Q(state, step.q, step.q2, gate_rng);
+            }
+            break;
+          }
+          case PlanStep::Kind::Fused1Q: {
+            catch_up(step.q, step);
+            // Compose pulses; only materialize the product onto the
+            // state when an error fires (or at the end).
+            Matrix2 product = Matrix2::identity();
+            for (const Pulse &pulse : step.pulses) {
+                product = pulse.matrix * product;
+                if (flags.gateErrors && pulse.errorProb > 0.0 &&
+                    gate_rng.bernoulli(pulse.errorProb)) {
+                    state.apply1Q(product, step.q);
+                    applyRandomPauli1Q(state, step.q, gate_rng);
+                    product = Matrix2::identity();
+                }
+            }
+            state.apply1Q(product, step.q);
+            break;
+          }
+        }
+    }
+    return outcome;
+}
+
+} // namespace
+
+Distribution
+NoisyMachine::run(const ScheduledCircuit &sched, int shots,
+                  uint64_t run_seed, int threads) const
+{
+    require(shots > 0, "NoisyMachine::run requires at least one shot");
+
+    const ExecutionPlan plan = buildPlan(sched, cal_, flags_);
     const Rng base(run_seed ^ 0xadab7dd);
+
+    // Shots are embarrassingly parallel: every shot's RNG streams are
+    // forked from (base, shot index) alone, so any partition of the
+    // shot range yields the same per-shot outcomes.  Each chunk
+    // counts outcomes into its own flat histogram; merging the
+    // histograms in chunk order (integer counts — exact addition)
+    // reproduces the serial result bit for bit at any thread count.
+    const int chunks =
+        std::min(resolveThreads(threads), shots);
+    std::vector<FlatAccumulator> histograms(
+        static_cast<size_t>(chunks));
+    parallelFor(0, shots, chunks,
+                [&](int64_t lo, int64_t hi, int chunk) {
+        FlatAccumulator &hist =
+            histograms[static_cast<size_t>(chunk)];
+        for (int64_t shot = lo; shot < hi; shot++) {
+            const Rng shot_rng =
+                base.fork(static_cast<uint64_t>(shot) + 1);
+            hist.add(runShot(plan, cal_, flags_, shot_rng), 1.0);
+        }
+    });
+
     Distribution dist;
-
-    for (int shot = 0; shot < shots; shot++) {
-        Rng shot_rng = base.fork(static_cast<uint64_t>(shot) + 1);
-        Rng gate_rng = shot_rng.fork(0x6a7e);
-
-        // Per-qubit OU detuning processes with private streams.
-        std::vector<std::optional<OuProcess>> ou(active.size());
-        std::vector<Rng> qubit_rng;
-        qubit_rng.reserve(active.size());
-        for (size_t ai = 0; ai < active.size(); ai++) {
-            qubit_rng.push_back(shot_rng.fork(0x0b5e + ai));
-            const auto &qc =
-                cal_.qubits[static_cast<size_t>(active[ai])];
-            if (flags_.ouDephasing) {
-                ou[ai].emplace(qc.ouSigmaRadPerUs, qc.ouTauUs,
-                               qubit_rng[ai]);
-            }
+    for (const FlatAccumulator &hist : histograms) {
+        for (const auto &[outcome, count] : hist.sortedItems()) {
+            dist.addSamples(outcome,
+                            static_cast<uint64_t>(std::llround(count)));
         }
-
-        StateVector state(static_cast<int>(active.size()));
-        std::vector<TimeNs> last_end(active.size(), -1.0);
-        uint64_t outcome = 0;
-
-        // Coherent (refocusable) idle noise for qubit ai over
-        // [t0, t1): slow OU detuning plus crosstalk from concurrent
-        // CNOTs.  Only *idle* gaps accrue coherent Z phase — during
-        // a pulse the drive dominates the dynamics.
-        auto coherent_idle_noise = [&](size_t ai, TimeNs t0,
-                                       TimeNs t1) {
-            if (t1 - t0 <= 1e-9)
-                return;
-            const QubitId phys = active[ai];
-            const int dq = dense[static_cast<size_t>(phys)];
-            const double dt_us = (t1 - t0) * kNsToUs;
-
-            double phase = 0.0;
-            if (flags_.ouDephasing) {
-                const double mid_us = (t0 + t1) / 2.0 * kNsToUs;
-                phase +=
-                    ou[ai]->at(mid_us, qubit_rng[ai]) * dt_us;
-            }
-            if (flags_.crosstalk) {
-                for (const CrosstalkSource &src : xtalk[ai]) {
-                    phase += src.radPerUs *
-                             overlapUs(t0, t1, src.start, src.end);
-                }
-            }
-            if (phase != 0.0)
-                state.applyPhase(dq, phase);
-        };
-
-        // Markovian noise (T1 relaxation, white dephasing) acts on
-        // wall-clock time — *including* gate and DD pulse durations,
-        // so a dense pulse train cannot shelter a qubit from it.
-        auto markovian_noise = [&](size_t ai, double dt_us) {
-            if (dt_us <= 0.0)
-                return;
-            const QubitId phys = active[ai];
-            const int dq = dense[static_cast<size_t>(phys)];
-            const auto &qc = cal_.qubits[static_cast<size_t>(phys)];
-
-            if (flags_.t1Damping) {
-                // Thinned jump sampling: fire the relaxation jump
-                // with probability gamma * P(|1>); the O(gamma^2)
-                // no-jump reweighting is negligible at these rates.
-                const double gamma =
-                    1.0 - std::exp(-dt_us / qc.t1Us);
-                if (qubit_rng[ai].bernoulli(gamma) &&
-                    qubit_rng[ai].bernoulli(
-                        state.populationOne(dq))) {
-                    state.applyDecayJump(dq);
-                }
-            }
-            if (flags_.whiteDephasing) {
-                const double p_flip =
-                    0.5 * (1.0 - std::exp(-dt_us / qc.t2WhiteUs));
-                if (qubit_rng[ai].bernoulli(p_flip))
-                    state.apply1Q(gateMatrix(GateType::Z), dq);
-            }
-        };
-
-        // Noise catch-up for one operand of a step: coherent noise
-        // over the idle gap, Markovian noise over gap + step.
-        auto catch_up = [&](int dq, const PlanStep &step) {
-            const auto ai = static_cast<size_t>(dq);
-            if (last_end[ai] >= 0.0) {
-                coherent_idle_noise(ai, last_end[ai], step.start);
-                markovian_noise(ai,
-                                (step.end - last_end[ai]) * kNsToUs);
-            } else {
-                markovian_noise(ai,
-                                (step.end - step.start) * kNsToUs);
-            }
-            last_end[ai] = step.end;
-        };
-
-        for (const PlanStep &step : plan) {
-            switch (step.kind) {
-              case PlanStep::Kind::Meas: {
-                catch_up(step.q, step);
-                bool bit = state.measureCollapse(step.q, gate_rng);
-                if (flags_.measurementErrors) {
-                    const double p_flip = bit ? step.err10 : step.err01;
-                    if (gate_rng.bernoulli(p_flip))
-                        bit = !bit;
-                }
-                if (bit)
-                    outcome |= uint64_t{1} << step.clbit;
-                break;
-              }
-              case PlanStep::Kind::TwoQubit: {
-                catch_up(step.q, step);
-                catch_up(step.q2, step);
-                Gate mapped(step.twoQubitType, {step.q, step.q2});
-                state.applyGate(mapped);
-                if (flags_.gateErrors &&
-                    gate_rng.bernoulli(step.cxError)) {
-                    applyRandomPauli2Q(state, step.q, step.q2,
-                                       gate_rng);
-                }
-                break;
-              }
-              case PlanStep::Kind::Fused1Q: {
-                catch_up(step.q, step);
-                // Compose pulses; only materialize the product onto
-                // the state when an error fires (or at the end).
-                Matrix2 product = Matrix2::identity();
-                for (const Pulse &pulse : step.pulses) {
-                    product = pulse.matrix * product;
-                    if (flags_.gateErrors && pulse.errorProb > 0.0 &&
-                        gate_rng.bernoulli(pulse.errorProb)) {
-                        state.apply1Q(product, step.q);
-                        applyRandomPauli1Q(state, step.q, gate_rng);
-                        product = Matrix2::identity();
-                    }
-                }
-                state.apply1Q(product, step.q);
-                break;
-              }
-            }
-        }
-        dist.addSample(outcome);
     }
     return dist;
 }

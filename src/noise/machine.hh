@@ -43,13 +43,21 @@ class NoisyMachine
     /**
      * Execute @p sched for @p shots trajectories.
      *
+     * Shots run in parallel across the process thread pool.  Every
+     * shot draws from RNG streams forked from (run_seed, shot index)
+     * alone, so the output distribution is bit-identical for any
+     * thread count, including a serial run.
+     *
      * @param run_seed Seed for this job; identical seeds reproduce
      *                 identical output distributions.
+     * @param threads Shot parallelism; >= 1 forces that many chunks,
+     *                <= 0 (default) uses ADAPT_NUM_THREADS or the
+     *                hardware concurrency.
      * @return Sampled distribution over the executable's classical
      *         bits.
      */
     Distribution run(const ScheduledCircuit &sched, int shots,
-                     uint64_t run_seed = 1) const;
+                     uint64_t run_seed = 1, int threads = 0) const;
 
   private:
     const Device &device_;

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 
+#include "common/flat_accumulator.hh"
 #include "common/logging.hh"
 
 namespace adapt
@@ -14,6 +14,68 @@ namespace
 
 /** Largest register the dense simulator will allocate (16 GiB). */
 constexpr int kMaxDenseQubits = 26;
+
+/**
+ * Visit every basis index with @p bit set, in ascending order.
+ *
+ * Indices with a given bit set form dim/2 contiguous runs of length
+ * bit; iterating the runs directly touches exactly the indices the
+ * kernel needs instead of branching on all 2^n of them.
+ */
+template <typename Fn>
+inline void
+forEachSet(uint64_t dim, uint64_t bit, Fn &&fn)
+{
+    for (uint64_t base = bit; base < dim; base += 2 * bit) {
+        for (uint64_t i = base; i < base + bit; i++)
+            fn(i);
+    }
+}
+
+/** Visit every basis index with @p bit clear, in ascending order. */
+template <typename Fn>
+inline void
+forEachClear(uint64_t dim, uint64_t bit, Fn &&fn)
+{
+    for (uint64_t base = 0; base < dim; base += 2 * bit) {
+        for (uint64_t i = base; i < base + bit; i++)
+            fn(i);
+    }
+}
+
+/** Visit every basis index with both @p abit and @p bbit set. */
+template <typename Fn>
+inline void
+forEachBothSet(uint64_t dim, uint64_t abit, uint64_t bbit, Fn &&fn)
+{
+    const uint64_t hi = std::max(abit, bbit);
+    const uint64_t lo = std::min(abit, bbit);
+    for (uint64_t a = hi; a < dim; a += 2 * hi) {
+        for (uint64_t b = lo; b < hi; b += 2 * lo) {
+            for (uint64_t i = 0; i < lo; i++)
+                fn(a + b + i);
+        }
+    }
+}
+
+/** Visit every basis index with @p set_bit set and @p clear_bit
+ *  clear (the canonical member of each two-qubit swap pair). */
+template <typename Fn>
+inline void
+forEachSetClear(uint64_t dim, uint64_t set_bit, uint64_t clear_bit,
+                Fn &&fn)
+{
+    const uint64_t hi = std::max(set_bit, clear_bit);
+    const uint64_t lo = std::min(set_bit, clear_bit);
+    const uint64_t a0 = set_bit > clear_bit ? hi : 0;
+    const uint64_t b0 = set_bit > clear_bit ? 0 : lo;
+    for (uint64_t a = a0; a < dim; a += 2 * hi) {
+        for (uint64_t b = b0; b < hi; b += 2 * lo) {
+            for (uint64_t i = 0; i < lo; i++)
+                fn(a + b + i);
+        }
+    }
+}
 
 } // namespace
 
@@ -31,16 +93,32 @@ StateVector::StateVector(int num_qubits) : numQubits_(num_qubits)
 void
 StateVector::apply1Q(const Matrix2 &u, QubitId q)
 {
-    const uint64_t stride = uint64_t{1} << q;
+    touch();
     const uint64_t dim = amps_.size();
+    const Complex u00 = u(0, 0), u01 = u(0, 1);
+    const Complex u10 = u(1, 0), u11 = u(1, 1);
+
+    if (q == 0) {
+        // Stride-1 specialization: amplitude pairs are adjacent, so
+        // the whole state streams through in one sequential pass.
+        for (uint64_t i = 0; i < dim; i += 2) {
+            const Complex a0 = amps_[i];
+            const Complex a1 = amps_[i + 1];
+            amps_[i] = u00 * a0 + u01 * a1;
+            amps_[i + 1] = u10 * a0 + u11 * a1;
+        }
+        return;
+    }
+
+    const uint64_t stride = uint64_t{1} << q;
     for (uint64_t base = 0; base < dim; base += 2 * stride) {
         for (uint64_t offset = 0; offset < stride; offset++) {
             const uint64_t i0 = base + offset;
             const uint64_t i1 = i0 + stride;
             const Complex a0 = amps_[i0];
             const Complex a1 = amps_[i1];
-            amps_[i0] = u(0, 0) * a0 + u(0, 1) * a1;
-            amps_[i1] = u(1, 0) * a0 + u(1, 1) * a1;
+            amps_[i0] = u00 * a0 + u01 * a1;
+            amps_[i1] = u10 * a0 + u11 * a1;
         }
     }
 }
@@ -48,62 +126,55 @@ StateVector::apply1Q(const Matrix2 &u, QubitId q)
 void
 StateVector::applyPhase(QubitId q, double phi)
 {
-    const uint64_t bit = uint64_t{1} << q;
+    touch();
     const Complex factor = std::exp(kImag * phi);
-    for (uint64_t i = 0; i < amps_.size(); i++) {
-        if (i & bit)
-            amps_[i] *= factor;
-    }
+    forEachSet(amps_.size(), uint64_t{1} << q,
+               [&](uint64_t i) { amps_[i] *= factor; });
 }
 
 void
 StateVector::applyDecayJump(QubitId q)
 {
+    touch();
     const uint64_t bit = uint64_t{1} << q;
-    for (uint64_t i = 0; i < amps_.size(); i++) {
-        if (i & bit) {
-            amps_[i & ~bit] = amps_[i];
-            amps_[i] = 0.0;
-        }
-    }
+    forEachSet(amps_.size(), bit, [&](uint64_t i) {
+        amps_[i & ~bit] = amps_[i];
+        amps_[i] = 0.0;
+    });
     normalize();
 }
 
 void
 StateVector::applyCX(QubitId control, QubitId target)
 {
+    touch();
     const uint64_t cbit = uint64_t{1} << control;
     const uint64_t tbit = uint64_t{1} << target;
-    const uint64_t dim = amps_.size();
-    for (uint64_t i = 0; i < dim; i++) {
-        // Visit each swapped pair once via the target=0 member.
-        if ((i & cbit) && !(i & tbit))
-            std::swap(amps_[i], amps_[i | tbit]);
-    }
+    // Each swapped pair is visited once via its target=0 member.
+    forEachSetClear(amps_.size(), cbit, tbit, [&](uint64_t i) {
+        std::swap(amps_[i], amps_[i | tbit]);
+    });
 }
 
 void
 StateVector::applyCZ(QubitId a, QubitId b)
 {
+    touch();
     const uint64_t abit = uint64_t{1} << a;
     const uint64_t bbit = uint64_t{1} << b;
-    const uint64_t dim = amps_.size();
-    for (uint64_t i = 0; i < dim; i++) {
-        if ((i & abit) && (i & bbit))
-            amps_[i] = -amps_[i];
-    }
+    forEachBothSet(amps_.size(), abit, bbit,
+                   [&](uint64_t i) { amps_[i] = -amps_[i]; });
 }
 
 void
 StateVector::applySwap(QubitId a, QubitId b)
 {
+    touch();
     const uint64_t abit = uint64_t{1} << a;
     const uint64_t bbit = uint64_t{1} << b;
-    const uint64_t dim = amps_.size();
-    for (uint64_t i = 0; i < dim; i++) {
-        if ((i & abit) && !(i & bbit))
-            std::swap(amps_[i], amps_[(i & ~abit) | bbit]);
-    }
+    forEachSetClear(amps_.size(), abit, bbit, [&](uint64_t i) {
+        std::swap(amps_[i], amps_[(i & ~abit) | bbit]);
+    });
 }
 
 void
@@ -131,6 +202,49 @@ StateVector::applyGate(const Gate &gate)
     }
 }
 
+void
+StateVector::applyFused(const std::vector<Gate> &gates)
+{
+    // Runs of consecutive single-qubit unitaries on the same qubit
+    // collapse into one Matrix2 product, so the 2^n-amplitude sweep
+    // happens once per run instead of once per gate.
+    QubitId pending_q = -1;
+    Matrix2 pending = Matrix2::identity();
+    auto flush = [&] {
+        if (pending_q >= 0) {
+            apply1Q(pending, pending_q);
+            pending_q = -1;
+            pending = Matrix2::identity();
+        }
+    };
+
+    for (const Gate &gate : gates) {
+        switch (gate.type) {
+          case GateType::I:
+          case GateType::Barrier:
+          case GateType::Delay:
+            continue;
+          case GateType::Measure:
+            panic("StateVector::applyFused cannot apply Measure");
+          case GateType::CX:
+          case GateType::CZ:
+          case GateType::SWAP:
+            flush();
+            applyGate(gate);
+            continue;
+          default: {
+            const QubitId q = gate.qubit();
+            if (q != pending_q)
+                flush();
+            pending = gateMatrix(gate) * pending;
+            pending_q = q;
+            continue;
+          }
+        }
+    }
+    flush();
+}
+
 double
 StateVector::probability(uint64_t basis) const
 {
@@ -149,25 +263,47 @@ StateVector::probabilities() const
 double
 StateVector::populationOne(QubitId q) const
 {
-    const uint64_t bit = uint64_t{1} << q;
     double p = 0.0;
-    for (uint64_t i = 0; i < amps_.size(); i++) {
-        if (i & bit)
-            p += std::norm(amps_[i]);
-    }
+    forEachSet(amps_.size(), uint64_t{1} << q,
+               [&](uint64_t i) { p += std::norm(amps_[i]); });
     return p;
+}
+
+void
+StateVector::buildSampleCache() const
+{
+    cumulative_.resize(amps_.size());
+    double total = 0.0;
+    lastNonzero_ = 0;
+    for (uint64_t i = 0; i < amps_.size(); i++) {
+        const double p = std::norm(amps_[i]);
+        if (p > 0.0)
+            lastNonzero_ = i;
+        total += p;
+        cumulative_[i] = total;
+    }
+    require(total > 0.0, "cannot sample a zero state");
+    sampleCacheValid_ = true;
 }
 
 uint64_t
 StateVector::sample(Rng &rng) const
 {
-    double draw = rng.uniform();
-    for (uint64_t i = 0; i < amps_.size(); i++) {
-        draw -= std::norm(amps_[i]);
-        if (draw <= 0.0)
-            return i;
+    // Repeated draws from an unchanged state reuse the cumulative
+    // weights: O(2^n) once, then O(n) binary search per draw instead
+    // of a full rescan.
+    if (!sampleCacheValid_)
+        buildSampleCache();
+    const double draw = rng.uniform() * cumulative_.back();
+    const auto it = std::upper_bound(cumulative_.begin(),
+                                     cumulative_.end(), draw);
+    if (it == cumulative_.end()) {
+        // Numerical round-off pushed the draw past the total weight;
+        // fall back to the last state with non-zero probability (the
+        // final *slot* may hold probability zero).
+        return lastNonzero_;
     }
-    return amps_.size() - 1; // numerical round-off: last state
+    return static_cast<uint64_t>(it - cumulative_.begin());
 }
 
 bool
@@ -175,12 +311,13 @@ StateVector::measureCollapse(QubitId q, Rng &rng)
 {
     const double p1 = populationOne(q);
     const bool outcome = rng.bernoulli(p1);
+    touch();
     const uint64_t bit = uint64_t{1} << q;
-    for (uint64_t i = 0; i < amps_.size(); i++) {
-        const bool is_one = (i & bit) != 0;
-        if (is_one != outcome)
-            amps_[i] = 0.0;
-    }
+    auto zero = [&](uint64_t i) { amps_[i] = 0.0; };
+    if (outcome)
+        forEachClear(amps_.size(), bit, zero);
+    else
+        forEachSet(amps_.size(), bit, zero);
     normalize();
     return outcome;
 }
@@ -194,22 +331,19 @@ StateVector::applyAmplitudeDamping(QubitId q, double gamma, Rng &rng)
         return;
     const double p1 = populationOne(q);
     const double p_decay = gamma * p1;
+    touch();
     const uint64_t bit = uint64_t{1} << q;
     if (rng.bernoulli(p_decay)) {
         // K1 branch: |1> component collapses to |0>.
-        for (uint64_t i = 0; i < amps_.size(); i++) {
-            if (i & bit) {
-                amps_[i & ~bit] = amps_[i];
-                amps_[i] = 0.0;
-            }
-        }
+        forEachSet(amps_.size(), bit, [&](uint64_t i) {
+            amps_[i & ~bit] = amps_[i];
+            amps_[i] = 0.0;
+        });
     } else {
         // K0 branch: |1> component shrinks by sqrt(1 - gamma).
         const double scale = std::sqrt(1.0 - gamma);
-        for (uint64_t i = 0; i < amps_.size(); i++) {
-            if (i & bit)
-                amps_[i] *= scale;
-        }
+        forEachSet(amps_.size(), bit,
+                   [&](uint64_t i) { amps_[i] *= scale; });
     }
     normalize();
 }
@@ -226,6 +360,7 @@ StateVector::norm() const
 void
 StateVector::normalize()
 {
+    touch();
     const double n = norm();
     require(n > 1e-300, "cannot normalize a zero state");
     const double inv = 1.0 / n;
@@ -267,6 +402,8 @@ idealDistribution(const Circuit &circuit)
     // (measured qubit, classical bit) pairs, applied to the final
     // state; all workloads measure terminally.
     std::vector<std::pair<QubitId, int>> measures;
+    std::vector<Gate> unitaries;
+    unitaries.reserve(reduced.gates().size());
     for (const Gate &gate : reduced.gates()) {
         if (gate.type == GateType::Measure) {
             measures.emplace_back(gate.qubit(),
@@ -274,26 +411,30 @@ idealDistribution(const Circuit &circuit)
                                       ? static_cast<int>(gate.qubit())
                                       : gate.clbit);
         } else if (isUnitaryGate(gate.type)) {
-            state.applyGate(gate);
+            unitaries.push_back(gate);
         }
     }
     require(!measures.empty(),
             "idealDistribution requires at least one Measure gate");
+    state.applyFused(unitaries);
 
-    std::map<uint64_t, double> acc;
-    const auto probs = state.probabilities();
-    for (uint64_t basis = 0; basis < probs.size(); basis++) {
-        if (probs[basis] <= 0.0)
+    FlatAccumulator acc(measures.size() <= 16
+                            ? size_t{1} << measures.size()
+                            : size_t{1} << 16);
+    const uint64_t dim = state.dim();
+    for (uint64_t basis = 0; basis < dim; basis++) {
+        const double prob = state.probability(basis);
+        if (prob <= 0.0)
             continue;
         uint64_t outcome = 0;
         for (const auto &[q, c] : measures) {
             if (basis & (uint64_t{1} << q))
                 outcome |= uint64_t{1} << c;
         }
-        acc[outcome] += probs[basis];
+        acc.add(outcome, prob);
     }
     Distribution dist;
-    for (const auto &[outcome, prob] : acc)
+    for (const auto &[outcome, prob] : acc.sortedItems())
         dist.setProbability(outcome, prob);
     return dist;
 }

@@ -62,6 +62,17 @@ class StateVector
     /** Apply any unitary Gate (dispatches on arity). */
     void applyGate(const Gate &gate);
 
+    /**
+     * Apply a sequence of unitary gates, fusing each run of
+     * consecutive single-qubit gates on the same qubit into one 2x2
+     * matrix product before touching the state.  Equivalent to
+     * calling applyGate() per gate (to floating-point round-off),
+     * but sweeps the 2^n amplitudes once per run instead of once per
+     * gate.  Non-unitary gates other than I/Barrier/Delay (which are
+     * skipped) are rejected.
+     */
+    void applyFused(const std::vector<Gate> &gates);
+
     /** Probability of measuring the full-register basis state. */
     double probability(uint64_t basis) const;
 
@@ -71,7 +82,14 @@ class StateVector
     /** Probability that qubit @p q reads 1. */
     double populationOne(QubitId q) const;
 
-    /** Sample one full-register outcome (does not collapse). */
+    /**
+     * Sample one full-register outcome (does not collapse).
+     *
+     * The first draw after any state mutation builds a cumulative
+     * weight table (O(2^n)); subsequent draws binary-search it
+     * (O(n)), so repeated sampling of a fixed state is cheap.  Never
+     * returns a zero-probability basis state.
+     */
     uint64_t sample(Rng &rng) const;
 
     /**
@@ -94,8 +112,19 @@ class StateVector
     void normalize();
 
   private:
+    /** Invalidate sampling caches; call before any amplitude write. */
+    void touch() { sampleCacheValid_ = false; }
+
+    void buildSampleCache() const;
+
     int numQubits_;
     std::vector<Complex> amps_;
+
+    /** Lazily built inclusive prefix sums of basis probabilities
+     *  (see sample()); valid only while sampleCacheValid_. */
+    mutable std::vector<double> cumulative_;
+    mutable uint64_t lastNonzero_ = 0;
+    mutable bool sampleCacheValid_ = false;
 };
 
 /**
