@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Backend scaling on Clifford decoy workloads (the Table 2-style
+ * scalability experiment).
+ *
+ * A DD-padded Clifford decoy executable is run through
+ * NoisyMachine::run on both backends across device widths: the dense
+ * state vector pays O(2^n) per gate and stops at ~20-26 qubits, while
+ * the Pauli-frame/stabilizer fast path pays O(n) words per gate and
+ * completes the same noisy workload at 100 qubits — the regime the
+ * paper's decoy-scalability argument (Sec. 4.2) lives in.  Noise is
+ * the full Pauli-expressible model (gate depolarizing, measurement
+ * flips, T1 jumps, white dephasing), which both backends simulate
+ * exactly, so the comparison is apples to apples.
+ *
+ * The artefact prints seconds/shot per (width, backend) and the
+ * stabilizer speedup; the registered microbenchmarks re-measure the
+ * headline points under google-benchmark.
+ */
+
+#include "bench_common.hh"
+
+#include <chrono>
+#include <memory>
+
+#include "dd/sequences.hh"
+#include "noise/machine.hh"
+#include "transpile/decompose.hh"
+#include "transpile/schedule.hh"
+
+using namespace adapt;
+
+namespace
+{
+
+/**
+ * Brick-pattern Clifford decoy stand-in: random 1q Cliffords plus
+ * alternating neighbour CNOT layers on a line, with the full register
+ * terminally measured (outputs beyond 64 clbits get OutcomePacker
+ * fingerprint keys).
+ */
+Circuit
+cliffordDecoyWorkload(int n, uint64_t seed)
+{
+    Rng rng(seed);
+    const int measured = n;
+    Circuit c(n, measured);
+    const int layers = 12;
+    for (int layer = 0; layer < layers; layer++) {
+        for (QubitId q = 0; q < n; q++) {
+            switch (rng.uniformInt(5)) {
+              case 0: c.h(q); break;
+              case 1: c.s(q); break;
+              case 2: c.sx(q); break;
+              case 3: c.x(q); break;
+              default: c.z(q); break;
+            }
+        }
+        for (QubitId q = layer % 2; q + 1 < n; q += 2)
+            c.cx(q, q + 1);
+    }
+    for (int q = 0; q < measured; q++)
+        c.measure(q, q);
+    return c;
+}
+
+/** One width's compiled setup, shared by artefact and benchmarks.
+ *  Heap-allocated and never moved: NoisyMachine keeps a reference to
+ *  its Device. */
+struct ScalingPoint
+{
+    int width;
+    Device device;
+    NoisyMachine machine;
+    ScheduledCircuit sched;
+
+    explicit ScalingPoint(int n)
+        : width(n),
+          device(Device::synthetic(Topology::linear(n), 100 + n)),
+          machine(device, 0, NoiseFlags::pauliOnly()),
+          sched(makeSchedule())
+    {
+    }
+
+  private:
+    ScheduledCircuit
+    makeSchedule() const
+    {
+        const Calibration cal = device.calibration(0);
+        const ScheduledCircuit bare =
+            schedule(decompose(cliffordDecoyWorkload(width, 7)),
+                     device.topology(), cal, ScheduleMode::Alap);
+        return insertDDAll(bare, cal, DDOptions{});
+    }
+};
+
+const std::vector<std::unique_ptr<ScalingPoint>> &
+points()
+{
+    static const std::vector<std::unique_ptr<ScalingPoint>> p = [] {
+        std::vector<std::unique_ptr<ScalingPoint>> v;
+        for (int n : {12, 16, 20, 27, 50, 100})
+            v.push_back(std::make_unique<ScalingPoint>(n));
+        return v;
+    }();
+    return p;
+}
+
+double
+secondsPerShot(const ScalingPoint &point, int shots, BackendKind kind)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(
+        point.machine.run(point.sched, shots, 7, 1, kind));
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count() / shots;
+}
+
+void
+BM_StabilizerShot(benchmark::State &state)
+{
+    const ScalingPoint &point =
+        *points()[static_cast<size_t>(state.range(0))];
+    constexpr int kShots = 64;
+    uint64_t seed = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(point.machine.run(
+            point.sched, kShots, ++seed, 1,
+            BackendKind::Stabilizer));
+    }
+    state.SetItemsProcessed(state.iterations() * kShots);
+    state.counters["qubits"] =
+        static_cast<double>(point.width);
+    state.counters["shots_per_sec"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) * kShots,
+        benchmark::Counter::kIsRate);
+}
+
+void
+BM_DenseShot(benchmark::State &state)
+{
+    const ScalingPoint &point =
+        *points()[static_cast<size_t>(state.range(0))];
+    constexpr int kShots = 2;
+    uint64_t seed = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            point.machine.run(point.sched, kShots, ++seed, 1,
+                              BackendKind::Dense));
+    }
+    state.SetItemsProcessed(state.iterations() * kShots);
+    state.counters["qubits"] =
+        static_cast<double>(point.width);
+    state.counters["shots_per_sec"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) * kShots,
+        benchmark::Counter::kIsRate);
+}
+
+void
+runExperiment()
+{
+    banner("Backend scaling",
+           "noisy Clifford decoy workloads, dense vs stabilizer");
+    std::printf("%7s %7s %15s %15s %10s\n", "qubits", "gates",
+                "dense s/shot", "stab s/shot", "speedup");
+    for (size_t i = 0; i < points().size(); i++) {
+        const ScalingPoint &point = *points()[i];
+        const auto gates =
+            static_cast<int>(point.sched.ops().size());
+        const double stab = secondsPerShot(
+            point, point.width <= 50 ? 256 : 64,
+            BackendKind::Stabilizer);
+        if (point.width <= 20) {
+            const double dense =
+                secondsPerShot(point, 4, BackendKind::Dense);
+            std::printf("%7d %7d %15.6f %15.6f %9.1fx\n", point.width,
+                        gates, dense, stab, dense / stab);
+        } else {
+            std::printf("%7d %7d %15s %15.6f %10s\n", point.width,
+                        gates, "(2^n blowup)", stab, "-");
+        }
+    }
+    std::printf("\nAuto dispatch on these executables resolves to: "
+                "%s\n",
+                backendKindName(
+                    points()[0]->machine.chooseBackend(
+                        points()[0]->sched))
+                    .c_str());
+}
+
+void
+registerBenchmarks()
+{
+    // Headline points: both backends at 20 qubits (the speedup
+    // acceptance), stabilizer alone at 27 / 100 (dense-impossible).
+    auto *dense =
+        benchmark::RegisterBenchmark("BM_DenseShot", BM_DenseShot);
+    dense->Unit(benchmark::kMillisecond)->UseRealTime()->Arg(2);
+    auto *stab = benchmark::RegisterBenchmark("BM_StabilizerShot",
+                                              BM_StabilizerShot);
+    stab->Unit(benchmark::kMillisecond)->UseRealTime();
+    stab->Arg(2)->Arg(3)->Arg(5);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    runExperiment();
+    registerBenchmarks();
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

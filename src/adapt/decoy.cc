@@ -6,8 +6,7 @@
 #include "circuit/clifford1q.hh"
 #include "common/logging.hh"
 #include "transpile/decompose.hh"
-#include "sim/stabilizer.hh"
-#include "sim/statevector.hh"
+#include "sim/backend.hh"
 
 namespace adapt
 {
@@ -97,16 +96,10 @@ makeDecoy(const Circuit &physical, const DecoyOptions &options)
 
 Distribution
 decoyIdealOutput(const Circuit &circuit, int stabilizer_shots,
-                 uint64_t seed)
+                 uint64_t seed, BackendKind backend)
 {
-    const Circuit reduced = restrictToActiveQubits(circuit);
-    if (reduced.numQubits() <= kDenseIdealLimit)
-        return idealDistribution(reduced);
-    require(reduced.isClifford(),
-            "wide non-Clifford decoy: ideal output not computable "
-            "(reduce seed count or program width)");
-    Rng rng(seed);
-    return cliffordSample(reduced, stabilizer_shots, rng);
+    return idealOutputDistribution(circuit, stabilizer_shots, seed,
+                                   backend, kDenseIdealLimit);
 }
 
 } // namespace adapt

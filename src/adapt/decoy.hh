@@ -26,6 +26,7 @@
 #include "circuit/circuit.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
+#include "sim/backend.hh"
 
 namespace adapt
 {
@@ -80,16 +81,19 @@ struct Decoy
 Decoy makeDecoy(const Circuit &physical, const DecoyOptions &options);
 
 /**
- * Noise-free output distribution of a (decoy) circuit: exact dense
- * simulation when the active-qubit count is small, stabilizer
- * sampling otherwise (Clifford circuits only).
+ * Noise-free output distribution of a (decoy) circuit, via the
+ * simulator-backend layer: Auto uses exact dense simulation when the
+ * active-qubit count is small and stabilizer sampling otherwise
+ * (Clifford circuits only).
  *
  * @param stabilizer_shots Shots used when falling back to the
  *        tableau simulator.
+ * @param backend Backend override (Auto recommended).
  */
 Distribution decoyIdealOutput(const Circuit &circuit,
                               int stabilizer_shots = 20000,
-                              uint64_t seed = 12345);
+                              uint64_t seed = 12345,
+                              BackendKind backend = BackendKind::Auto);
 
 } // namespace adapt
 

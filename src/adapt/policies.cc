@@ -48,7 +48,8 @@ runWithMask(Policy policy, const CompiledProgram &program,
                             options.adapt.dd);
     }
     outcome.ddPulses = ddPulseCount(sched);
-    outcome.output = machine.run(sched, options.shots, seed);
+    outcome.output = machine.run(sched, options.shots, seed,
+                                 /*threads=*/0, options.adapt.backend);
     outcome.fidelity = fidelity(ideal, outcome.output);
     return outcome;
 }

@@ -66,7 +66,8 @@ adaptSearch(const CompiledProgram &program, const NoisyMachine &machine,
                      liftMask(program, logical_mask));
         const Distribution out = machine.run(
             with_dd, options.decoyShots,
-            options.seed + static_cast<uint64_t>(eval_index) * 7919);
+            options.seed + static_cast<uint64_t>(eval_index) * 7919,
+            /*threads=*/0, options.backend);
         eval_index++;
         return fidelity(result.decoy.idealOutput, out);
     };

@@ -47,6 +47,14 @@ struct AdaptOptions
 
     /** Seed for the decoy executions. */
     uint64_t seed = 2021;
+
+    /**
+     * Simulator backend for decoy (and program) executions.  Auto
+     * routes all-Clifford decoys with Pauli-expressible noise to the
+     * stabilizer fast path — the Sec. 4.2 scalability argument —
+     * and falls back to dense otherwise.
+     */
+    BackendKind backend = BackendKind::Auto;
 };
 
 /** Search outcome. */

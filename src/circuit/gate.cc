@@ -135,18 +135,29 @@ Gate::delayDuration() const
     return params.at(0);
 }
 
-namespace
-{
-
-/** True if angle is congruent to a multiple of pi/2 (mod 2 pi). */
 bool
-isQuarterTurn(double angle)
+isCliffordAngle(double angle)
 {
+    if (!std::isfinite(angle))
+        return false;
     const double quarter = angle / (kPi / 2.0);
     return std::abs(quarter - std::round(quarter)) < 1e-9;
 }
 
-} // namespace
+int
+cliffordQuarterTurns(double angle)
+{
+    require(std::isfinite(angle),
+            "rotation angle is not finite");
+    require(isCliffordAngle(angle),
+            "rotation angle " + std::to_string(angle) +
+            " is not Clifford (not a multiple of pi/2)");
+    const double rounded = std::round(angle / (kPi / 2.0));
+    int k = static_cast<int>(std::fmod(rounded, 4.0));
+    if (k < 0)
+        k += 4;
+    return k;
+}
 
 bool
 Gate::isClifford() const
@@ -158,14 +169,16 @@ Gate::isClifford() const
       case GateType::RY:
       case GateType::RZ:
       case GateType::U1:
-        return isQuarterTurn(params.at(0));
+        return isCliffordAngle(params.at(0));
       case GateType::U2:
         // U2(phi, lambda) = RZ(phi) SX-like; Clifford iff both Euler
         // angles are quarter turns.
-        return isQuarterTurn(params.at(0)) && isQuarterTurn(params.at(1));
+        return isCliffordAngle(params.at(0)) &&
+               isCliffordAngle(params.at(1));
       case GateType::U3:
-        return isQuarterTurn(params.at(0)) && isQuarterTurn(params.at(1)) &&
-               isQuarterTurn(params.at(2));
+        return isCliffordAngle(params.at(0)) &&
+               isCliffordAngle(params.at(1)) &&
+               isCliffordAngle(params.at(2));
       default:
         return false;
     }

@@ -75,6 +75,23 @@ bool isTwoQubitGate(GateType type);
 bool isCliffordType(GateType type);
 
 /**
+ * True if @p angle is a multiple of pi/2 within the library-wide
+ * tolerance (1e-9 quarter turns).  Non-finite angles are never
+ * Clifford.
+ */
+bool isCliffordAngle(double angle);
+
+/**
+ * Quarter turns of a Clifford rotation angle, reduced to [0, 4).
+ *
+ * Throws UsageError for non-finite angles and for angles that are
+ * not a multiple of pi/2 — nothing is silently rounded onto the
+ * group.  Shared by every consumer that maps rotation angles onto
+ * Clifford generators (Gate::isClifford, the stabilizer simulator).
+ */
+int cliffordQuarterTurns(double angle);
+
+/**
  * One operation instance: a gate type, its qubit operands, and its
  * angle parameters.
  */

@@ -89,6 +89,65 @@ Distribution::mode() const
     return best;
 }
 
+OutcomePacker::OutcomePacker(int num_clbits)
+    : numClbits_(num_clbits)
+{
+    require(num_clbits > 0,
+            "OutcomePacker requires at least one classical bit");
+    if (num_clbits > 64)
+        words_.assign(static_cast<size_t>((num_clbits + 63) / 64), 0);
+}
+
+void
+OutcomePacker::set(int clbit, bool value)
+{
+    require(clbit >= 0 && clbit < numClbits_,
+            "clbit " + std::to_string(clbit) + " out of range");
+    if (words_.empty()) {
+        const uint64_t mask = uint64_t{1} << clbit;
+        direct_ = value ? (direct_ | mask) : (direct_ & ~mask);
+        return;
+    }
+    uint64_t &word = words_[static_cast<size_t>(clbit) / 64];
+    const uint64_t mask = uint64_t{1} << (clbit % 64);
+    word = value ? (word | mask) : (word & ~mask);
+}
+
+namespace
+{
+
+/** splitmix64 finalizer: the mixing step of the fingerprint fold. */
+uint64_t
+mix64(uint64_t v)
+{
+    v ^= v >> 30;
+    v *= 0xbf58476d1ce4e5b9ULL;
+    v ^= v >> 27;
+    v *= 0x94d049bb133111ebULL;
+    v ^= v >> 31;
+    return v;
+}
+
+} // namespace
+
+uint64_t
+OutcomePacker::key() const
+{
+    if (words_.empty())
+        return direct_;
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (size_t w = 0; w < words_.size(); w++)
+        h = mix64(h ^ mix64(words_[w] + w * 0x9e3779b97f4a7c15ULL));
+    return h;
+}
+
+void
+OutcomePacker::clear()
+{
+    direct_ = 0;
+    std::fill(words_.begin(), words_.end(), 0);
+}
+
 double
 totalVariationDistance(const Distribution &p, const Distribution &q)
 {

@@ -66,6 +66,39 @@ class Distribution
 };
 
 /**
+ * Packs per-clbit measurement outcomes into a Distribution key.
+ *
+ * Registers up to 64 classical bits map bit-for-bit (bit i of the key
+ * is clbit i), preserving the library's historical keying.  Wider
+ * registers — the 100-qubit decoy scalability runs — cannot fit a
+ * 64-bit key, so their bitstring is folded into a deterministic
+ * splitmix64-mixed fingerprint: distinct bitstrings collide with
+ * probability ~ support^2 / 2^64, so supports, entropies, and TVDs
+ * over sampled outputs remain faithful, while individual keys are no
+ * longer decodable back into bitstrings.
+ */
+class OutcomePacker
+{
+  public:
+    explicit OutcomePacker(int num_clbits);
+
+    /** Record one measured bit. @pre 0 <= clbit < num_clbits */
+    void set(int clbit, bool value);
+
+    /** Key of the accumulated bitstring (identity packing for <= 64
+     *  clbits, fingerprint beyond). */
+    uint64_t key() const;
+
+    /** Forget all recorded bits (start of a new shot). */
+    void clear();
+
+  private:
+    int numClbits_;
+    uint64_t direct_ = 0;          //!< <= 64 clbits
+    std::vector<uint64_t> words_;  //!< > 64 clbits
+};
+
+/**
  * Total Variation Distance between two distributions:
  *   TVD(P, Q) = 1/2 * sum_i |P_i - Q_i|
  */

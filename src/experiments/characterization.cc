@@ -68,7 +68,8 @@ characterizationFidelity(const NoisyMachine &machine,
         sched = insertDD(sched, cal, dd, mask);
     }
 
-    const Distribution out = machine.run(sched, shots, seed);
+    const Distribution out =
+        machine.run(sched, shots, seed, /*threads=*/0, config.backend);
     return out.probability(0);
 }
 

@@ -34,6 +34,11 @@ struct CharacterizationConfig
 
     /** Idle period (nanoseconds). */
     TimeNs idleNs = 1200.0;
+
+    /** Simulator backend for the characterization runs.  Auto routes
+     *  Clifford preparations (theta a multiple of pi/2) with
+     *  Pauli-expressible noise to the stabilizer fast path. */
+    BackendKind backend = BackendKind::Auto;
 };
 
 /**

@@ -9,7 +9,7 @@
 #include "common/flat_accumulator.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
-#include "sim/statevector.hh"
+#include "sim/backend.hh"
 
 namespace adapt
 {
@@ -42,35 +42,24 @@ overlapUs(TimeNs a0, TimeNs a1, TimeNs b0, TimeNs b1)
 
 /** Apply a uniformly random single-qubit Pauli. */
 void
-applyRandomPauli1Q(StateVector &state, QubitId q, Rng &rng)
+applyRandomPauli1Q(SimBackend &state, QubitId q, Rng &rng)
 {
-    switch (rng.uniformInt(3)) {
-      case 0: state.apply1Q(gateMatrix(GateType::X), q); break;
-      case 1: state.apply1Q(gateMatrix(GateType::Y), q); break;
-      default: state.apply1Q(gateMatrix(GateType::Z), q); break;
-    }
+    state.applyPauli(static_cast<int>(rng.uniformInt(3)) + 1, q);
 }
 
 /** Apply a random non-identity two-qubit Pauli pair. */
 void
-applyRandomPauli2Q(StateVector &state, QubitId a, QubitId b, Rng &rng)
+applyRandomPauli2Q(SimBackend &state, QubitId a, QubitId b, Rng &rng)
 {
     const auto code = static_cast<int>(rng.uniformInt(15)) + 1;
-    auto apply_one = [&](int pauli, QubitId q) {
-        switch (pauli) {
-          case 1: state.apply1Q(gateMatrix(GateType::X), q); break;
-          case 2: state.apply1Q(gateMatrix(GateType::Y), q); break;
-          case 3: state.apply1Q(gateMatrix(GateType::Z), q); break;
-          default: break;
-        }
-    };
-    apply_one(code & 3, a);
-    apply_one(code >> 2, b);
+    state.applyPauli(code & 3, a);
+    state.applyPauli(code >> 2, b);
 }
 
 /** One pulse of a fused single-qubit train. */
 struct Pulse
 {
+    Gate gate; //!< dense-relabelled operands (tableau replay)
     Matrix2 matrix;
     double errorProb;
 };
@@ -101,6 +90,13 @@ struct ExecutionPlan
     std::vector<QubitId> active; //!< dense index -> physical qubit
     std::vector<std::vector<CrosstalkSource>> xtalk; //!< per dense q
     std::vector<PlanStep> steps;
+
+    /** Every gate Clifford: eligible for the stabilizer fast path. */
+    bool clifford = true;
+
+    /** Highest classical bit written; > 63 switches the outcome keys
+     *  to OutcomePacker fingerprints (wide stabilizer registers). */
+    int maxClbit = 0;
 };
 
 ExecutionPlan
@@ -166,6 +162,7 @@ buildPlan(const ScheduledCircuit &sched, const Calibration &cal,
             step.end = op.end;
             step.clbit = gate.clbit < 0 ? static_cast<int>(gate.qubit())
                                         : gate.clbit;
+            plan.maxClbit = std::max(plan.maxClbit, step.clbit);
             const auto &qc =
                 cal.qubits[static_cast<size_t>(gate.qubit())];
             step.err01 = qc.readoutError01;
@@ -208,7 +205,10 @@ buildPlan(const ScheduledCircuit &sched, const Calibration &cal,
                 ? cal.qubits[static_cast<size_t>(gate.qubit())]
                       .gateError1Q
                 : 0.0;
-        Pulse pulse{gateMatrix(gate), p_err};
+        plan.clifford = plan.clifford && gate.isClifford();
+        Gate mapped = gate;
+        mapped.qubits[0] = dq;
+        Pulse pulse{std::move(mapped), gateMatrix(gate), p_err};
         const int open_idx = open[static_cast<size_t>(dq)];
         if (open_idx >= 0 &&
             op.start - steps[static_cast<size_t>(open_idx)].end < 1e-3) {
@@ -232,13 +232,16 @@ buildPlan(const ScheduledCircuit &sched, const Calibration &cal,
 }
 
 /**
- * One Monte-Carlo trajectory.  All randomness comes from streams
- * forked off @p shot_rng, so a shot's outcome depends only on its
- * index — never on which thread runs it or in which order.
+ * One Monte-Carlo trajectory on @p state.  All randomness comes from
+ * streams forked off @p shot_rng, so a shot's outcome depends only on
+ * its index — never on which thread runs it or in which order.  On
+ * the dense backend the draw sequence (and hence every trajectory) is
+ * identical to the historical dense-only engine.
  */
 uint64_t
 runShot(const ExecutionPlan &plan, const Calibration &cal,
-        const NoiseFlags &flags, const Rng &shot_rng)
+        const NoiseFlags &flags, SimBackend &state,
+        OutcomePacker &packer, const Rng &shot_rng)
 {
     const std::vector<QubitId> &active = plan.active;
     Rng gate_rng = shot_rng.fork(0x6a7e);
@@ -256,9 +259,9 @@ runShot(const ExecutionPlan &plan, const Calibration &cal,
         }
     }
 
-    StateVector state(static_cast<int>(active.size()));
+    state.init();
+    packer.clear();
     std::vector<TimeNs> last_end(active.size(), -1.0);
-    uint64_t outcome = 0;
 
     // Coherent (refocusable) idle noise for qubit ai over [t0, t1):
     // slow OU detuning plus crosstalk from concurrent CNOTs.  Only
@@ -280,8 +283,20 @@ runShot(const ExecutionPlan &plan, const Calibration &cal,
                          overlapUs(t0, t1, src.start, src.end);
             }
         }
-        if (phase != 0.0)
-            state.applyPhase(static_cast<int>(ai), phase);
+        if (phase != 0.0) {
+            if (flags.twirlCoherent) {
+                // Pauli twirl of the accrued phase, applied by the
+                // engine so both backends sample the identical
+                // (approximate) law under this flag.
+                const double half = 0.5 * phase;
+                const double p_z = std::sin(half) * std::sin(half);
+                if (qubit_rng[ai].bernoulli(p_z))
+                    state.applyPauli(3, static_cast<int>(ai)); // Z
+            } else {
+                state.applyIdlePhase(static_cast<int>(ai), phase,
+                                     qubit_rng[ai]);
+            }
+        }
     };
 
     // Markovian noise (T1 relaxation, white dephasing) acts on
@@ -308,7 +323,7 @@ runShot(const ExecutionPlan &plan, const Calibration &cal,
             const double p_flip =
                 0.5 * (1.0 - std::exp(-dt_us / qc.t2WhiteUs));
             if (qubit_rng[ai].bernoulli(p_flip))
-                state.apply1Q(gateMatrix(GateType::Z), dq);
+                state.applyPauli(3, dq); // Z
         }
     };
 
@@ -329,14 +344,13 @@ runShot(const ExecutionPlan &plan, const Calibration &cal,
         switch (step.kind) {
           case PlanStep::Kind::Meas: {
             catch_up(step.q, step);
-            bool bit = state.measureCollapse(step.q, gate_rng);
+            bool bit = state.measure(step.q, gate_rng);
             if (flags.measurementErrors) {
                 const double p_flip = bit ? step.err10 : step.err01;
                 if (gate_rng.bernoulli(p_flip))
                     bit = !bit;
             }
-            if (bit)
-                outcome |= uint64_t{1} << step.clbit;
+            packer.set(step.clbit, bit);
             break;
           }
           case PlanStep::Kind::TwoQubit: {
@@ -351,35 +365,86 @@ runShot(const ExecutionPlan &plan, const Calibration &cal,
           }
           case PlanStep::Kind::Fused1Q: {
             catch_up(step.q, step);
-            // Compose pulses; only materialize the product onto the
-            // state when an error fires (or at the end).
-            Matrix2 product = Matrix2::identity();
-            for (const Pulse &pulse : step.pulses) {
-                product = pulse.matrix * product;
-                if (flags.gateErrors && pulse.errorProb > 0.0 &&
-                    gate_rng.bernoulli(pulse.errorProb)) {
-                    state.apply1Q(product, step.q);
-                    applyRandomPauli1Q(state, step.q, gate_rng);
-                    product = Matrix2::identity();
+            if (state.fusesMatrices()) {
+                // Compose pulses; only materialize the product onto
+                // the state when an error fires (or at the end).
+                Matrix2 product = Matrix2::identity();
+                for (const Pulse &pulse : step.pulses) {
+                    product = pulse.matrix * product;
+                    if (flags.gateErrors && pulse.errorProb > 0.0 &&
+                        gate_rng.bernoulli(pulse.errorProb)) {
+                        state.apply1Q(product, step.q);
+                        applyRandomPauli1Q(state, step.q, gate_rng);
+                        product = Matrix2::identity();
+                    }
+                }
+                state.apply1Q(product, step.q);
+            } else {
+                // Tableau replay: gates are cheap, so apply them one
+                // by one; the error draws follow the same sequence as
+                // the fused path.
+                for (const Pulse &pulse : step.pulses) {
+                    state.applyGate(pulse.gate);
+                    if (flags.gateErrors && pulse.errorProb > 0.0 &&
+                        gate_rng.bernoulli(pulse.errorProb)) {
+                        applyRandomPauli1Q(state, step.q, gate_rng);
+                    }
                 }
             }
-            state.apply1Q(product, step.q);
             break;
           }
         }
     }
-    return outcome;
+    return packer.key();
+}
+
+/**
+ * Resolve the backend for an executable: Auto takes the stabilizer
+ * fast path exactly when it simulates the job faithfully — every
+ * gate Clifford and every enabled noise channel Pauli-expressible.
+ * Forcing the stabilizer on an ineligible job is a usage error.
+ */
+BackendKind
+resolveBackend(BackendKind requested, const ExecutionPlan &plan,
+               const NoiseFlags &flags)
+{
+    const bool eligible = plan.clifford && flags.pauliExpressible();
+    switch (requested) {
+      case BackendKind::Auto:
+        return eligible ? BackendKind::Stabilizer : BackendKind::Dense;
+      case BackendKind::Stabilizer:
+        require(plan.clifford,
+                "stabilizer backend requires an all-Clifford "
+                "executable");
+        require(flags.pauliExpressible(),
+                "stabilizer backend requires Pauli-expressible noise "
+                "(disable OU dephasing / crosstalk, or opt into "
+                "NoiseFlags::twirlCoherent)");
+        return requested;
+      case BackendKind::Dense:
+        return requested;
+    }
+    panic("unreachable backend kind");
 }
 
 } // namespace
 
+BackendKind
+NoisyMachine::chooseBackend(const ScheduledCircuit &sched) const
+{
+    const ExecutionPlan plan = buildPlan(sched, cal_, flags_);
+    return resolveBackend(BackendKind::Auto, plan, flags_);
+}
+
 Distribution
 NoisyMachine::run(const ScheduledCircuit &sched, int shots,
-                  uint64_t run_seed, int threads) const
+                  uint64_t run_seed, int threads,
+                  BackendKind backend) const
 {
     require(shots > 0, "NoisyMachine::run requires at least one shot");
 
     const ExecutionPlan plan = buildPlan(sched, cal_, flags_);
+    const BackendKind kind = resolveBackend(backend, plan, flags_);
     const Rng base(run_seed ^ 0xadab7dd);
 
     // Shots are embarrassingly parallel: every shot's RNG streams are
@@ -396,10 +461,15 @@ NoisyMachine::run(const ScheduledCircuit &sched, int shots,
                 [&](int64_t lo, int64_t hi, int chunk) {
         FlatAccumulator &hist =
             histograms[static_cast<size_t>(chunk)];
+        const std::unique_ptr<SimBackend> state =
+            makeBackend(kind, static_cast<int>(plan.active.size()));
+        OutcomePacker packer(plan.maxClbit + 1);
         for (int64_t shot = lo; shot < hi; shot++) {
             const Rng shot_rng =
                 base.fork(static_cast<uint64_t>(shot) + 1);
-            hist.add(runShot(plan, cal_, flags_, shot_rng), 1.0);
+            hist.add(runShot(plan, cal_, flags_, *state, packer,
+                             shot_rng),
+                     1.0);
         }
     });
 

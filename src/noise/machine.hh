@@ -5,10 +5,17 @@
  * This is the stand-in for the IBMQ hardware endpoint: it accepts a
  * scheduled executable (with or without DD pulses) and returns a
  * sampled output distribution.  Each shot is one Monte-Carlo
- * trajectory on the dense state-vector backend: idle dephasing is
- * applied as *coherent* RZ rotations interleaved in time with the
- * circuit's pulses, so DD echo physics (refocusing, pulse-spacing
- * sensitivity) emerges exactly rather than by construction.
+ * trajectory on a pluggable simulator backend (sim/backend.hh).
+ *
+ * On the dense backend, idle dephasing is applied as *coherent* RZ
+ * rotations interleaved in time with the circuit's pulses, so DD echo
+ * physics (refocusing, pulse-spacing sensitivity) emerges exactly
+ * rather than by construction.  All-Clifford executables whose
+ * enabled noise channels are Pauli-expressible — every DD-padded
+ * decoy and characterization circuit under the ablation flags — are
+ * automatically routed to the stabilizer tableau instead, which runs
+ * the same trajectories at polynomial cost (Sec. 4.2 / Table 2
+ * scalability).
  */
 
 #ifndef ADAPT_NOISE_MACHINE_HH
@@ -19,6 +26,7 @@
 #include "common/stats.hh"
 #include "device/device.hh"
 #include "noise/noise_model.hh"
+#include "sim/backend.hh"
 #include "transpile/schedule.hh"
 
 namespace adapt
@@ -48,16 +56,31 @@ class NoisyMachine
      * alone, so the output distribution is bit-identical for any
      * thread count, including a serial run.
      *
+     * The simulator backend is pluggable: BackendKind::Auto (default)
+     * inspects the executable — every gate Clifford, every enabled
+     * noise channel Pauli-expressible — and routes eligible jobs to
+     * the O(n*m)-per-shot stabilizer fast path, falling back to the
+     * dense state vector otherwise.  Forcing
+     * BackendKind::Stabilizer on an ineligible job throws UsageError.
+     *
      * @param run_seed Seed for this job; identical seeds reproduce
      *                 identical output distributions.
      * @param threads Shot parallelism; >= 1 forces that many chunks,
      *                <= 0 (default) uses ADAPT_NUM_THREADS or the
      *                hardware concurrency.
+     * @param backend Simulator backend selection.
      * @return Sampled distribution over the executable's classical
      *         bits.
      */
     Distribution run(const ScheduledCircuit &sched, int shots,
-                     uint64_t run_seed = 1, int threads = 0) const;
+                     uint64_t run_seed = 1, int threads = 0,
+                     BackendKind backend = BackendKind::Auto) const;
+
+    /**
+     * The backend Auto would pick for @p sched under this machine's
+     * noise flags (introspection for logs / benches / tests).
+     */
+    BackendKind chooseBackend(const ScheduledCircuit &sched) const;
 
   private:
     const Device &device_;

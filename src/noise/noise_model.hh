@@ -24,7 +24,21 @@
 namespace adapt
 {
 
-/** Per-channel enable bits, for the noise-decomposition ablation. */
+/**
+ * Per-channel enable bits, for the noise-decomposition ablation.
+ *
+ * The channels split into two families:
+ *  - Pauli-expressible: depolarizing gate errors, measurement bit
+ *    flips, thinned T1 jumps, and white dephasing are stochastic
+ *    Pauli/collapse events, exactly representable on both the dense
+ *    and the stabilizer backend.
+ *  - Coherent: OU detuning and crosstalk accrue continuous Z phases
+ *    that interfere (DD refocusing lives here); they are exact only
+ *    on the dense backend.  twirlCoherent opts into the Pauli-twirl
+ *    approximation (Z with probability sin^2(phi/2) per idle gap) so
+ *    wide Clifford workloads can keep them on the stabilizer fast
+ *    path — at the cost of losing the refocusing physics.
+ */
 struct NoiseFlags
 {
     bool gateErrors = true;
@@ -33,6 +47,24 @@ struct NoiseFlags
     bool whiteDephasing = true;
     bool ouDephasing = true;
     bool crosstalk = true;
+
+    /** Approximate the coherent channels by their Pauli twirl (see
+     *  above); off by default — it changes the physics.  The twirl
+     *  is applied by the trajectory engine itself, so dense and
+     *  stabilizer backends sample the same (approximate) law. */
+    bool twirlCoherent = false;
+
+    /** True if any coherent (interference-carrying) channel is on. */
+    bool anyCoherent() const { return ouDephasing || crosstalk; }
+
+    /** True when every enabled channel can be simulated as stochastic
+     *  Pauli/collapse events — the precondition for the stabilizer
+     *  fast path (BackendKind::Auto dispatch). */
+    bool
+    pauliExpressible() const
+    {
+        return !anyCoherent() || twirlCoherent;
+    }
 
     /** Everything off: the machine becomes an ideal simulator. */
     static NoiseFlags
@@ -43,6 +75,14 @@ struct NoiseFlags
 
     /** Everything on (default experimental condition). */
     static NoiseFlags all() { return {}; }
+
+    /** Only the Pauli-expressible channels (coherent ones off): the
+     *  strongest noise model the stabilizer backend runs exactly. */
+    static NoiseFlags
+    pauliOnly()
+    {
+        return {true, true, true, true, false, false};
+    }
 };
 
 /**

@@ -1,5 +1,6 @@
 #include "sim/stabilizer.hh"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 
@@ -20,8 +21,37 @@ StabilizerState::StabilizerState(int num_qubits)
     // Destabilizer i = X_i, stabilizer n+i = Z_i.
     for (int i = 0; i < num_qubits; i++) {
         setX(i, i, true);
-        setZ(num_qubits + i, i, true);
+        setZ(numQubits_ + i, i, true);
     }
+}
+
+void
+StabilizerState::reset()
+{
+    std::fill(x_.begin(), x_.end(), 0);
+    std::fill(z_.begin(), z_.end(), 0);
+    std::fill(r_.begin(), r_.end(), 0);
+    for (int i = 0; i < numQubits_; i++) {
+        setX(i, i, true);
+        setZ(numQubits_ + i, i, true);
+    }
+}
+
+bool
+StabilizerState::operator==(const StabilizerState &other) const
+{
+    if (numQubits_ != other.numQubits_)
+        return false;
+    // Compare the 2n tableau rows only; the scratch row is working
+    // storage whose content depends on past queries.
+    const size_t tableau_words =
+        static_cast<size_t>(2 * numQubits_) * words_;
+    return std::equal(x_.begin(), x_.begin() + tableau_words,
+                      other.x_.begin()) &&
+           std::equal(z_.begin(), z_.begin() + tableau_words,
+                      other.z_.begin()) &&
+           std::equal(r_.begin(), r_.begin() + 2 * numQubits_,
+                      other.r_.begin());
 }
 
 bool
@@ -188,25 +218,6 @@ StabilizerState::applySwap(QubitId a, QubitId b)
     applyCX(a, b);
 }
 
-namespace
-{
-
-/** Quarter turns of an angle mod 4; fatal if not a multiple of pi/2. */
-int
-quarterTurns(double angle)
-{
-    const double quarters = angle / (kPi / 2.0);
-    const double rounded = std::round(quarters);
-    require(std::abs(quarters - rounded) < 1e-9,
-            "rotation angle is not Clifford (not a multiple of pi/2)");
-    int k = static_cast<int>(std::fmod(rounded, 4.0));
-    if (k < 0)
-        k += 4;
-    return k;
-}
-
-} // namespace
-
 void
 StabilizerState::applyGate(const Gate &gate)
 {
@@ -234,7 +245,7 @@ StabilizerState::applyGate(const Gate &gate)
         return;
       case GateType::RZ:
       case GateType::U1: {
-        switch (quarterTurns(gate.params[0])) {
+        switch (cliffordQuarterTurns(gate.params[0])) {
           case 1: applyS(gate.qubit()); return;
           case 2: applyZ(gate.qubit()); return;
           case 3: applySdg(gate.qubit()); return;
@@ -242,7 +253,7 @@ StabilizerState::applyGate(const Gate &gate)
         }
       }
       case GateType::RX: {
-        switch (quarterTurns(gate.params[0])) {
+        switch (cliffordQuarterTurns(gate.params[0])) {
           case 1: applySX(gate.qubit()); return;
           case 2: applyX(gate.qubit()); return;
           case 3: applySXdg(gate.qubit()); return;
@@ -250,7 +261,7 @@ StabilizerState::applyGate(const Gate &gate)
         }
       }
       case GateType::RY: {
-        switch (quarterTurns(gate.params[0])) {
+        switch (cliffordQuarterTurns(gate.params[0])) {
           case 1: applyH(gate.qubit()); applyX(gate.qubit()); return;
           case 2: applyY(gate.qubit()); return;
           case 3: applyX(gate.qubit()); applyH(gate.qubit()); return;
@@ -352,43 +363,78 @@ StabilizerState::isDeterministic(QubitId q) const
     return true;
 }
 
-bool
-StabilizerState::measure(QubitId q, Rng &rng)
+int
+StabilizerState::measurePivot(QubitId q) const
 {
-    const int n = numQubits_;
-    int pivot = -1;
-    for (int p = n; p < 2 * n; p++) {
-        if (getX(p, q)) {
-            pivot = p;
-            break;
-        }
+    for (int p = numQubits_; p < 2 * numQubits_; p++) {
+        if (getX(p, q))
+            return p;
     }
+    return -1;
+}
 
-    if (pivot >= 0) {
-        // Random outcome.
-        for (int i = 0; i < 2 * n; i++) {
-            if (i != pivot && getX(i, q))
-                rowMult(i, pivot);
-        }
-        rowCopy(pivot - n, pivot);
-        rowSetZ(pivot, q);
-        const bool outcome = rng.bernoulli(0.5);
-        r_[static_cast<size_t>(pivot)] = outcome ? 1 : 0;
-        return outcome;
+void
+StabilizerState::collapse(QubitId q, int pivot, bool outcome)
+{
+    for (int i = 0; i < 2 * numQubits_; i++) {
+        if (i != pivot && getX(i, q))
+            rowMult(i, pivot);
     }
+    rowCopy(pivot - numQubits_, pivot);
+    rowSetZ(pivot, q);
+    r_[static_cast<size_t>(pivot)] = outcome ? 1 : 0;
+}
 
-    // Deterministic outcome: accumulate into the scratch row.
-    const int scratch = 2 * n;
+bool
+StabilizerState::deterministicOutcome(QubitId q)
+{
+    // Accumulate the product of stabilizers whose destabilizer
+    // partner anticommutes with Z_q into the scratch row; its sign is
+    // the outcome.
+    const int scratch = 2 * numQubits_;
     for (int w = 0; w < words_; w++) {
         x_[static_cast<size_t>(scratch) * words_ + w] = 0;
         z_[static_cast<size_t>(scratch) * words_ + w] = 0;
     }
     r_[static_cast<size_t>(scratch)] = 0;
-    for (int i = 0; i < n; i++) {
+    for (int i = 0; i < numQubits_; i++) {
         if (getX(i, q))
-            rowMult(scratch, i + n);
+            rowMult(scratch, i + numQubits_);
     }
     return r_[static_cast<size_t>(scratch)] != 0;
+}
+
+bool
+StabilizerState::measure(QubitId q, Rng &rng)
+{
+    const int pivot = measurePivot(q);
+    if (pivot >= 0) {
+        const bool outcome = rng.bernoulli(0.5);
+        collapse(q, pivot, outcome);
+        return outcome;
+    }
+    return deterministicOutcome(q);
+}
+
+void
+StabilizerState::postselect(QubitId q, bool outcome)
+{
+    const int pivot = measurePivot(q);
+    if (pivot >= 0) {
+        collapse(q, pivot, outcome);
+        return;
+    }
+    require(deterministicOutcome(q) == outcome,
+            "postselect on a zero-probability outcome of q" +
+            std::to_string(q));
+}
+
+double
+StabilizerState::populationOne(QubitId q)
+{
+    if (measurePivot(q) >= 0)
+        return 0.5;
+    return deterministicOutcome(q) ? 1.0 : 0.0;
 }
 
 Distribution
@@ -403,10 +449,15 @@ cliffordSample(const Circuit &circuit, int shots, Rng &rng)
     StabilizerState prefix(circuit.numQubits());
     std::vector<const Gate *> suffix;
     bool measuring = false;
+    int max_clbit = 0;
     for (const Gate &gate : circuit.gates()) {
         if (gate.type == GateType::Measure) {
             measuring = true;
             suffix.push_back(&gate);
+            max_clbit = std::max(
+                max_clbit, gate.clbit < 0
+                               ? static_cast<int>(gate.qubit())
+                               : gate.clbit);
             continue;
         }
         if (!isUnitaryGate(gate.type))
@@ -420,21 +471,24 @@ cliffordSample(const Circuit &circuit, int shots, Rng &rng)
             "cliffordSample requires at least one Measure gate");
 
     Distribution dist;
+    // Measured clbits beyond bit 63 switch the keys to fingerprints
+    // (OutcomePacker) so wide Table 2-style decoys still produce
+    // faithful supports / entropies / TVDs.
+    OutcomePacker packer(max_clbit + 1);
     for (int shot = 0; shot < shots; shot++) {
         StabilizerState state = prefix;
-        uint64_t outcome = 0;
+        packer.clear();
         for (const Gate *gate : suffix) {
             if (gate->type == GateType::Measure) {
                 const int clbit = gate->clbit < 0
                                       ? static_cast<int>(gate->qubit())
                                       : gate->clbit;
-                if (state.measure(gate->qubit(), rng))
-                    outcome |= uint64_t{1} << clbit;
+                packer.set(clbit, state.measure(gate->qubit(), rng));
             } else {
                 state.applyGate(*gate);
             }
         }
-        dist.addSample(outcome);
+        dist.addSample(packer.key());
     }
     return dist;
 }

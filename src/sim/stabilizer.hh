@@ -33,6 +33,9 @@ class StabilizerState
     /** Initialize to |0...0>. */
     explicit StabilizerState(int num_qubits);
 
+    /** Rewind to |0...0> without reallocating. */
+    void reset();
+
     int numQubits() const { return numQubits_; }
 
     /** @name Clifford generators @{ */
@@ -53,6 +56,10 @@ class StabilizerState
      * Apply any Clifford gate instance, including RZ / RX / RY / U1
      * whose angles are multiples of pi/2.
      *
+     * Non-Clifford instances — including rotation angles that merely
+     * come close to a quarter turn — throw UsageError; nothing is
+     * ever silently rounded onto the group.
+     *
      * @pre gate.isClifford()
      */
     void applyGate(const Gate &gate);
@@ -64,10 +71,32 @@ class StabilizerState
     bool measure(QubitId q, Rng &rng);
 
     /**
+     * Collapse qubit @p q onto the given measurement outcome without
+     * consuming randomness (the post-selected branch of measure()).
+     *
+     * @pre The outcome has non-zero probability.
+     */
+    void postselect(QubitId q, bool outcome);
+
+    /**
      * True if measuring @p q would give a deterministic outcome
      * (i.e. Z_q commutes with the stabilizer group).
      */
     bool isDeterministic(QubitId q) const;
+
+    /** Probability that qubit @p q reads 1: always 0, 1/2, or 1 for
+     *  a stabilizer state.  Uses the scratch row; logical state is
+     *  untouched. */
+    double populationOne(QubitId q);
+
+    /**
+     * Representation equality: identical destabilizer / stabilizer
+     * rows and signs (the scratch row is ignored).  Two equal gate
+     * sequences — or sequences equal up to global phase — produce
+     * representation-equal tableaus, so this is the workhorse of the
+     * conjugation-identity property tests.
+     */
+    bool operator==(const StabilizerState &other) const;
 
   private:
     int numQubits_;
@@ -87,6 +116,16 @@ class StabilizerState
     void rowMult(int dst, int src); //!< dst := dst * src (group law)
     void rowSetZ(int row, int col); //!< row := +Z_col
     int clifford_phase(int row, int src) const;
+
+    /** Stabilizer row index with X on @p q, or -1 (deterministic). */
+    int measurePivot(QubitId q) const;
+
+    /** Collapse a random-outcome measurement around @p pivot and
+     *  record @p outcome in its sign. */
+    void collapse(QubitId q, int pivot, bool outcome);
+
+    /** Outcome of a deterministic measurement (uses scratch row). */
+    bool deterministicOutcome(QubitId q);
 };
 
 /**

@@ -91,6 +91,14 @@ StateVector::StateVector(int num_qubits) : numQubits_(num_qubits)
 }
 
 void
+StateVector::reset()
+{
+    touch();
+    std::fill(amps_.begin(), amps_.end(), Complex{});
+    amps_[0] = 1.0;
+}
+
+void
 StateVector::apply1Q(const Matrix2 &u, QubitId q)
 {
     touch();

@@ -33,6 +33,9 @@ class StateVector
     /** Initialize to |0...0>. */
     explicit StateVector(int num_qubits);
 
+    /** Rewind to |0...0> without reallocating (per-shot reuse). */
+    void reset();
+
     int numQubits() const { return numQubits_; }
     size_t dim() const { return amps_.size(); }
 

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
 
 #include "common/logging.hh"
 #include "common/matrix2.hh"
@@ -380,4 +381,74 @@ TEST(HistogramTest, BinningAndClamping)
     EXPECT_EQ(h.count(3), 2u);
     EXPECT_EQ(h.totalCount(), 5u);
     EXPECT_NEAR(h.binCenter(0), 0.125, 1e-12);
+}
+
+// ---------------------------------------------------------- OutcomePacker
+
+TEST(OutcomePacker, NarrowRegistersPackBitForBit)
+{
+    OutcomePacker p(10);
+    p.set(0, true);
+    p.set(3, true);
+    p.set(9, true);
+    EXPECT_EQ(p.key(), (uint64_t{1} << 0) | (uint64_t{1} << 3) |
+                           (uint64_t{1} << 9));
+    p.set(3, false);
+    EXPECT_EQ(p.key(), (uint64_t{1} << 0) | (uint64_t{1} << 9));
+    p.clear();
+    EXPECT_EQ(p.key(), 0u);
+}
+
+TEST(OutcomePacker, SixtyFourBitRegisterStaysDirect)
+{
+    OutcomePacker p(64);
+    p.set(63, true);
+    EXPECT_EQ(p.key(), uint64_t{1} << 63);
+}
+
+TEST(OutcomePacker, WideRegistersFingerprintDeterministically)
+{
+    // Same bitstring -> same key; single-bit changes anywhere in the
+    // register -> different keys (the fold must see every word).
+    OutcomePacker a(100), b(100);
+    for (int c : {0, 5, 63, 64, 70, 99}) {
+        a.set(c, true);
+        b.set(c, true);
+    }
+    EXPECT_EQ(a.key(), b.key());
+
+    const uint64_t base = a.key();
+    a.set(99, false);
+    EXPECT_NE(a.key(), base);
+    a.set(99, true);
+    EXPECT_EQ(a.key(), base);
+    a.set(0, false);
+    EXPECT_NE(a.key(), base);
+
+    b.clear();
+    OutcomePacker fresh(100);
+    EXPECT_EQ(b.key(), fresh.key());
+}
+
+TEST(OutcomePacker, WideKeysRarelyCollide)
+{
+    // 4096 random 100-bit strings: any collision would be a fold bug
+    // (expected rate ~ 4096^2 / 2^64).
+    Rng rng(77);
+    std::set<uint64_t> keys;
+    for (int i = 0; i < 4096; i++) {
+        OutcomePacker p(100);
+        for (int c = 0; c < 100; c++)
+            p.set(c, rng.bernoulli(0.5));
+        keys.insert(p.key());
+    }
+    EXPECT_EQ(keys.size(), 4096u);
+}
+
+TEST(OutcomePacker, RejectsOutOfRangeBits)
+{
+    OutcomePacker p(10);
+    EXPECT_THROW(p.set(10, true), UsageError);
+    EXPECT_THROW(p.set(-1, true), UsageError);
+    EXPECT_THROW(OutcomePacker(0), UsageError);
 }

@@ -8,14 +8,18 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "adapt/policies.hh"
 #include "common/logging.hh"
 #include "experiments/characterization.hh"
 #include "experiments/harness.hh"
 #include "sim/statevector.hh"
+#include "test_util.hh"
 #include "workloads/benchmarks.hh"
 
 using namespace adapt;
+using namespace adapt::testutil;
 
 TEST(Integration, DdImprovesIdleDominatedWorkload)
 {
@@ -165,5 +169,33 @@ TEST(Integration, FullPipelineIsDeterministic)
     const PolicyOutcome b =
         evaluatePolicy(Policy::Adapt, p, machine, ideal, opt);
     EXPECT_EQ(a.logicalMask, b.logicalMask);
+    EXPECT_TRUE(distributionsIdentical(a.output, b.output));
     EXPECT_NEAR(a.fidelity, b.fidelity, 1e-12);
+}
+
+TEST(Integration, AblationWithoutCoherentNoiseTakesFastPath)
+{
+    // The noise-decomposition ablation with only Pauli channels on a
+    // Clifford workload (BV is all-Clifford) must auto-dispatch to
+    // the stabilizer backend and still order policies sensibly.
+    const Device device = Device::ibmqGuadalupe();
+    const Calibration cal = device.calibration(0);
+    const NoisyMachine machine(device, 0, NoiseFlags::pauliOnly());
+    const CompiledProgram p =
+        transpile(makeBernsteinVazirani(5, 0b1011), device, cal);
+    EXPECT_EQ(machine.chooseBackend(p.schedule),
+              BackendKind::Stabilizer);
+
+    const Distribution ideal = idealDistribution(p.physical);
+    PolicyOptions opt;
+    opt.shots = 2000;
+    const PolicyOutcome out =
+        evaluatePolicy(Policy::NoDD, p, machine, ideal, opt);
+    EXPECT_GT(out.fidelity, 0.3);
+    // Forcing the dense backend on the same job agrees in law.
+    PolicyOptions dense_opt = opt;
+    dense_opt.adapt.backend = BackendKind::Dense;
+    const PolicyOutcome dense_out =
+        evaluatePolicy(Policy::NoDD, p, machine, ideal, dense_opt);
+    EXPECT_LT(std::abs(out.fidelity - dense_out.fidelity), 0.05);
 }

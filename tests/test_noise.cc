@@ -14,10 +14,12 @@
 #include "experiments/characterization.hh"
 #include "noise/machine.hh"
 #include "sim/statevector.hh"
+#include "test_util.hh"
 #include "transpile/decompose.hh"
 #include "transpile/schedule.hh"
 
 using namespace adapt;
+using namespace adapt::testutil;
 
 // ------------------------------------------------------------ OuProcess
 
@@ -102,7 +104,8 @@ TEST(Machine, NoiselessMatchesIdeal)
     const Distribution out =
         machine.run(scheduleOn(d, c), 6000, 1);
     const Distribution ideal = idealDistribution(decompose(c));
-    EXPECT_LT(totalVariationDistance(ideal, out), 0.03);
+    EXPECT_LT(tvDistance(ideal, out), 0.03);
+    EXPECT_TRUE(distributionsMatch(out, ideal));
 }
 
 TEST(Machine, DeterministicForSameSeed)
@@ -116,7 +119,7 @@ TEST(Machine, DeterministicForSameSeed)
     const auto sched = scheduleOn(d, c);
     const Distribution a = machine.run(sched, 500, 9);
     const Distribution b = machine.run(sched, 500, 9);
-    EXPECT_LT(totalVariationDistance(a, b), 1e-12);
+    EXPECT_TRUE(distributionsIdentical(a, b));
 }
 
 TEST(Machine, SeedsChangeSampling)
@@ -129,7 +132,7 @@ TEST(Machine, SeedsChangeSampling)
     const auto sched = scheduleOn(d, c);
     const Distribution a = machine.run(sched, 200, 1);
     const Distribution b = machine.run(sched, 200, 2);
-    EXPECT_GT(totalVariationDistance(a, b), 0.0);
+    EXPECT_GT(tvDistance(a, b), 0.0);
 }
 
 TEST(Machine, MeasurementErrorsFlipGroundState)

@@ -8,12 +8,17 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <initializer_list>
+#include <limits>
+#include <utility>
 
 #include "common/logging.hh"
 #include "sim/stabilizer.hh"
 #include "sim/statevector.hh"
+#include "test_util.hh"
 
 using namespace adapt;
+using adapt::testutil::tvDistance;
 
 // ----------------------------------------------------------- StateVector
 
@@ -374,7 +379,7 @@ TEST_P(CliffordAgreementTest, SampledMatchesExact)
     const Distribution exact = idealDistribution(c);
     Rng sample_rng(77 + GetParam());
     const Distribution sampled = cliffordSample(c, 6000, sample_rng);
-    EXPECT_LT(totalVariationDistance(exact, sampled), 0.06);
+    EXPECT_LT(tvDistance(exact, sampled), 0.06);
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomCircuits, CliffordAgreementTest,
@@ -399,5 +404,265 @@ TEST(CliffordSample, HandlesCliffordRotations)
     const Distribution exact = idealDistribution(c);
     Rng rng(11);
     const Distribution sampled = cliffordSample(c, 4000, rng);
-    EXPECT_LT(totalVariationDistance(exact, sampled), 0.06);
+    EXPECT_LT(tvDistance(exact, sampled), 0.06);
+}
+
+// ------------------------------------------- tableau property tests
+
+namespace
+{
+
+/** Drive a tableau into a random stabilizer state. */
+void
+randomizeTableau(StabilizerState &s, int gates, Rng &rng)
+{
+    const int n = s.numQubits();
+    for (int i = 0; i < gates; i++) {
+        const auto q = static_cast<QubitId>(
+            rng.uniformInt(static_cast<uint64_t>(n)));
+        switch (rng.uniformInt(6)) {
+          case 0: s.applyH(q); break;
+          case 1: s.applyS(q); break;
+          case 2: s.applyX(q); break;
+          case 3: s.applySX(q); break;
+          case 4: s.applySdg(q); break;
+          default: {
+            if (n < 2)
+                break;
+            auto q2 = static_cast<QubitId>(
+                rng.uniformInt(static_cast<uint64_t>(n)));
+            if (q2 == q)
+                q2 = (q + 1) % n;
+            s.applyCX(q, q2);
+            break;
+          }
+        }
+    }
+}
+
+} // namespace
+
+/** Generator identities must hold exactly at the representation
+ *  level on random tableaus, including wide multi-word registers. */
+class TableauIdentityTest : public ::testing::TestWithParam<int>
+{
+  protected:
+    /** Widths cross the 64-qubit word boundary on the last cases. */
+    int
+    width() const
+    {
+        const int widths[] = {1, 2, 5, 8, 64, 65, 100};
+        return widths[GetParam() % 7];
+    }
+
+    StabilizerState
+    randomState() const
+    {
+        StabilizerState s(width());
+        Rng rng(4200 + GetParam());
+        randomizeTableau(s, 40 + 8 * width(), rng);
+        return s;
+    }
+};
+
+TEST_P(TableauIdentityTest, HTwiceIsIdentity)
+{
+    StabilizerState s = randomState();
+    const StabilizerState reference = s;
+    const QubitId q = width() - 1; // last qubit: top word
+    s.applyH(q);
+    EXPECT_FALSE(s == reference);
+    s.applyH(q);
+    EXPECT_TRUE(s == reference);
+}
+
+TEST_P(TableauIdentityTest, SFourTimesIsIdentity)
+{
+    StabilizerState s = randomState();
+    const StabilizerState reference = s;
+    const QubitId q = width() / 2;
+    for (int i = 0; i < 4; i++)
+        s.applyS(q);
+    EXPECT_TRUE(s == reference);
+}
+
+TEST_P(TableauIdentityTest, SdgUndoesSAndSXdgUndoesSX)
+{
+    StabilizerState s = randomState();
+    const StabilizerState reference = s;
+    const QubitId q = width() - 1;
+    s.applyS(q);
+    s.applySdg(q);
+    EXPECT_TRUE(s == reference);
+    s.applySX(q);
+    s.applySXdg(q);
+    EXPECT_TRUE(s == reference);
+}
+
+TEST_P(TableauIdentityTest, PauliConjugationThroughCx)
+{
+    if (width() < 2)
+        GTEST_SKIP() << "needs two qubits";
+    // CX (X_c ⊗ I) = (X_c ⊗ X_t) CX  and  CX (I ⊗ Z_t) = (Z_c ⊗ Z_t) CX.
+    const QubitId c = 0, t = width() - 1; // spans the word boundary
+    StabilizerState a = randomState();
+    StabilizerState b = a;
+
+    a.applyX(c);
+    a.applyCX(c, t);
+    b.applyCX(c, t);
+    b.applyX(c);
+    b.applyX(t);
+    EXPECT_TRUE(a == b);
+
+    a.applyZ(t);
+    a.applyCX(c, t);
+    b.applyCX(c, t);
+    b.applyZ(c);
+    b.applyZ(t);
+    EXPECT_TRUE(a == b);
+}
+
+TEST_P(TableauIdentityTest, CzIsSymmetricAndSelfInverse)
+{
+    if (width() < 2)
+        GTEST_SKIP() << "needs two qubits";
+    const QubitId p = 0, q = width() - 1;
+    StabilizerState a = randomState();
+    StabilizerState b = a;
+    const StabilizerState reference = a;
+
+    a.applyCZ(p, q);
+    b.applyCZ(q, p);
+    EXPECT_TRUE(a == b);
+    a.applyCZ(p, q);
+    EXPECT_TRUE(a == reference);
+}
+
+TEST_P(TableauIdentityTest, SwapConjugatesOperands)
+{
+    if (width() < 2)
+        GTEST_SKIP() << "needs two qubits";
+    // Swap(a,b) X_a = X_b Swap(a,b), and Swap is self-inverse.
+    const QubitId p = 0, q = width() - 1;
+    StabilizerState a = randomState();
+    StabilizerState b = a;
+    const StabilizerState reference = a;
+
+    a.applyX(p);
+    a.applySwap(p, q);
+    b.applySwap(p, q);
+    b.applyX(q);
+    EXPECT_TRUE(a == b);
+
+    a.applySwap(p, q); // cancels the first swap, leaving X_p
+    a.applyX(p);       // undo
+    a.applySwap(p, q);
+    a.applySwap(p, q);
+    EXPECT_TRUE(a == reference);
+}
+
+TEST_P(TableauIdentityTest, IsDeterministicConsistentWithMeasure)
+{
+    StabilizerState s = randomState();
+    Rng rng(77 + GetParam());
+    for (QubitId q = 0; q < width(); q++) {
+        const bool deterministic = s.isDeterministic(q);
+        const double p1 = s.populationOne(q);
+        EXPECT_EQ(deterministic, p1 == 0.0 || p1 == 1.0);
+        const bool first = s.measure(q, rng);
+        if (deterministic)
+            EXPECT_EQ(first, p1 == 1.0);
+        // After any measurement the qubit is collapsed: repeated
+        // measurement is deterministic and repeatable.
+        EXPECT_TRUE(s.isDeterministic(q));
+        EXPECT_EQ(s.measure(q, rng), first);
+        EXPECT_EQ(s.populationOne(q), first ? 1.0 : 0.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTableaus, TableauIdentityTest,
+                         ::testing::Range(0, 14));
+
+TEST(StabilizerWide, WordBoundaryEntanglement)
+{
+    // Bell pairs straddling the 64-qubit word boundary must show
+    // exact correlations, exercising the multi-word bit packing.
+    Rng rng(9);
+    for (const auto &[a, b] : std::initializer_list<
+             std::pair<QubitId, QubitId>>{{63, 64}, {0, 99}, {62, 65}}) {
+        for (int trial = 0; trial < 20; trial++) {
+            StabilizerState s(100);
+            s.applyH(a);
+            s.applyCX(a, b);
+            EXPECT_EQ(s.measure(a, rng), s.measure(b, rng));
+        }
+    }
+}
+
+TEST(StabilizerWide, PostselectForcesOutcome)
+{
+    StabilizerState s(100);
+    s.applyH(64);
+    s.postselect(64, true);
+    Rng rng(10);
+    EXPECT_TRUE(s.isDeterministic(64));
+    EXPECT_TRUE(s.measure(64, rng));
+    // Postselecting the impossible branch of a collapsed qubit throws.
+    EXPECT_THROW(s.postselect(64, false), UsageError);
+}
+
+TEST(StabilizerWide, ResetRestoresGroundState)
+{
+    StabilizerState s(70);
+    Rng rng(11);
+    randomizeTableau(s, 300, rng);
+    s.reset();
+    EXPECT_TRUE(s == StabilizerState(70));
+    for (QubitId q = 0; q < 70; q++)
+        EXPECT_EQ(s.populationOne(q), 0.0);
+}
+
+// -------------------------------------- non-Clifford angle rejection
+
+TEST(StabilizerRejection, NonQuarterRotationAnglesThrow)
+{
+    StabilizerState s(1);
+    // Regression: near-Clifford angles must throw, never be silently
+    // rounded onto the group.
+    EXPECT_THROW(s.applyGate({GateType::RZ, {0}, {0.3}}), UsageError);
+    EXPECT_THROW(s.applyGate({GateType::RX, {0}, {kPi / 2.0 + 1e-5}}),
+                 UsageError);
+    EXPECT_THROW(s.applyGate({GateType::RY, {0}, {kPi / 4.0}}),
+                 UsageError);
+    EXPECT_THROW(s.applyGate({GateType::U1, {0}, {1.0}}), UsageError);
+    EXPECT_THROW(
+        s.applyGate({GateType::U3, {0}, {kPi / 2.0 + 1e-5, 0.0, 0.0}}),
+        UsageError);
+    EXPECT_THROW(s.applyGate({GateType::T, {0}}), UsageError);
+}
+
+TEST(StabilizerRejection, NonFiniteAnglesThrow)
+{
+    StabilizerState s(1);
+    const double nan = std::nan("");
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_THROW(s.applyGate({GateType::RZ, {0}, {nan}}), UsageError);
+    EXPECT_THROW(s.applyGate({GateType::RX, {0}, {inf}}), UsageError);
+    EXPECT_FALSE(isCliffordAngle(nan));
+    EXPECT_FALSE(isCliffordAngle(inf));
+}
+
+TEST(StabilizerRejection, ExactQuarterTurnsStillApply)
+{
+    // The rejection must not break legal Clifford rotations.
+    Rng rng(12);
+    StabilizerState s(1);
+    s.applyGate({GateType::RX, {0}, {kPi}});
+    EXPECT_TRUE(s.measure(0, rng));
+    EXPECT_EQ(cliffordQuarterTurns(-kPi / 2.0), 3);
+    EXPECT_EQ(cliffordQuarterTurns(4.0 * kPi), 0);
+    // Angles within the documented 1e-9 quarter-turn tolerance count
+    // as exact quarter turns.
+    EXPECT_EQ(cliffordQuarterTurns(kPi / 2.0 + 1e-12), 1);
 }

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Shared distribution-comparison helpers for the test suites.
+ *
+ * Two layers of rigor:
+ *  - tvDistance(): the paper's own metric (1/2 L1), for tolerance
+ *    assertions against analytic references.
+ *  - chiSquared() / distributionsMatch(): a Pearson goodness-of-fit
+ *    test of a sampled distribution against reference probabilities,
+ *    for "these two backends sample the same law" assertions where a
+ *    fixed TVD tolerance would be either too loose or flaky.
+ */
+
+#ifndef ADAPT_TESTS_TEST_UTIL_HH
+#define ADAPT_TESTS_TEST_UTIL_HH
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/stats.hh"
+
+namespace adapt::testutil
+{
+
+/** Total variation distance (shared name so tests read uniformly). */
+inline double
+tvDistance(const Distribution &a, const Distribution &b)
+{
+    return totalVariationDistance(a, b);
+}
+
+/** Pearson chi-squared statistic plus its degrees of freedom. */
+struct ChiSquared
+{
+    double statistic = 0.0;
+    int dof = 0;
+};
+
+/**
+ * Chi-squared goodness of fit of @p sampled (counted samples) against
+ * @p reference (exact or high-count probabilities).  Outcomes whose
+ * expected count falls below 5 are pooled into one bin, the standard
+ * validity condition of the test.
+ *
+ * @pre sampled.totalSamples() > 0
+ */
+inline ChiSquared
+chiSquared(const Distribution &sampled, const Distribution &reference)
+{
+    const auto n = static_cast<double>(sampled.totalSamples());
+    ChiSquared result;
+    double pooled_expected = 0.0;
+    double pooled_observed = 0.0;
+    double accounted = 0.0;
+    for (const auto &[outcome, prob] : reference.probabilities()) {
+        const double expected = prob * n;
+        const double observed = sampled.probability(outcome) * n;
+        accounted += observed;
+        if (expected < 5.0) {
+            pooled_expected += expected;
+            pooled_observed += observed;
+            continue;
+        }
+        result.statistic +=
+            (observed - expected) * (observed - expected) / expected;
+        result.dof++;
+    }
+    // Sampled mass on outcomes the reference assigns zero probability
+    // joins the pooled bin; a tiny expected-count floor keeps the
+    // statistic finite while still flagging such mass as a gross
+    // misfit.
+    pooled_observed += n - accounted;
+    if (pooled_observed > 0.0 || pooled_expected > 0.0) {
+        const double expected = std::max(pooled_expected, 0.5);
+        result.statistic += (pooled_observed - expected) *
+                            (pooled_observed - expected) / expected;
+        result.dof++;
+    }
+    result.dof = result.dof > 1 ? result.dof - 1 : 1;
+    return result;
+}
+
+/**
+ * Assert-style check that @p sampled is consistent with @p reference:
+ * the chi-squared statistic must sit within @p z standard deviations
+ * of its expectation (mean dof, variance 2*dof).  z = 5 keeps the
+ * false-positive rate negligible across a large suite while still
+ * catching real distribution mismatches.
+ */
+inline ::testing::AssertionResult
+distributionsMatch(const Distribution &sampled,
+                   const Distribution &reference, double z = 5.0)
+{
+    if (sampled.totalSamples() == 0) {
+        return ::testing::AssertionFailure()
+               << "sampled distribution holds no samples";
+    }
+    const ChiSquared c = chiSquared(sampled, reference);
+    const double bound = c.dof + z * std::sqrt(2.0 * c.dof);
+    if (c.statistic <= bound)
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << "chi-squared " << c.statistic << " exceeds " << bound
+           << " (dof " << c.dof << ", TVD "
+           << tvDistance(sampled, reference) << ")";
+}
+
+/** Exact equality of two distributions (bit-identical samplers). */
+inline ::testing::AssertionResult
+distributionsIdentical(const Distribution &a, const Distribution &b)
+{
+    const std::map<uint64_t, double> pa = a.probabilities();
+    const std::map<uint64_t, double> pb = b.probabilities();
+    if (pa == pb)
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << "distributions differ (TVD " << tvDistance(a, b) << ")";
+}
+
+} // namespace adapt::testutil
+
+#endif // ADAPT_TESTS_TEST_UTIL_HH
