@@ -77,25 +77,33 @@ partGH()
     const auto combos = device.topology().spectatorCombos();
     std::printf("combos: %zu\n", combos.size());
 
-    Histogram free_hist(0.0, 1.0, 20), dd_hist(0.0, 1.0, 20);
-    std::vector<double> free_fids, dd_fids;
+    // All (combo, theta) points are independent executions, so both
+    // arms of the figure run as one batch across the pool.
+    std::vector<CharacterizationPoint> points;
     uint64_t seed = 1000;
     for (const SpectatorCombo &combo : combos) {
         for (int i = 1; i <= 5; i++) {
-            CharacterizationConfig config;
-            config.spectator = combo.spectator;
-            config.drivenLink = combo.linkIndex;
-            config.theta = kPi * i / 5.0;
-            config.idleNs = 8000.0;
-            const double free_fid = characterizationFidelity(
-                machine, config, dd, false, 250, ++seed);
-            const double dd_fid = characterizationFidelity(
-                machine, config, dd, true, 250, seed);
-            free_hist.add(free_fid);
-            dd_hist.add(dd_fid);
-            free_fids.push_back(free_fid);
-            dd_fids.push_back(dd_fid);
+            CharacterizationPoint point;
+            point.config.spectator = combo.spectator;
+            point.config.drivenLink = combo.linkIndex;
+            point.config.theta = kPi * i / 5.0;
+            point.config.idleNs = 8000.0;
+            point.seed = ++seed;
+            points.push_back(point);          // free-evolution arm
+            point.enableDd = true;
+            points.push_back(point);          // with-DD arm, same seed
         }
+    }
+    const std::vector<double> fids =
+        characterizationSweep(machine, points, dd, 250);
+
+    Histogram free_hist(0.0, 1.0, 20), dd_hist(0.0, 1.0, 20);
+    std::vector<double> free_fids, dd_fids;
+    for (size_t i = 0; i < fids.size(); i += 2) {
+        free_hist.add(fids[i]);
+        dd_hist.add(fids[i + 1]);
+        free_fids.push_back(fids[i]);
+        dd_fids.push_back(fids[i + 1]);
     }
     std::printf("without DD: mean %.3f  worst %.3f\n",
                 mean(free_fids), minOf(free_fids));

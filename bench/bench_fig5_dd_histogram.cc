@@ -22,21 +22,29 @@ runExperiment()
     DDOptions dd;
     const auto combos = device.topology().spectatorCombos();
 
+    // The 700 combos are independent executions: one batch, both
+    // arms, fanned out across the pool.
+    std::vector<CharacterizationPoint> points;
+    uint64_t seed = 50;
+    for (const SpectatorCombo &combo : combos) {
+        CharacterizationPoint point;
+        point.config.spectator = combo.spectator;
+        point.config.drivenLink = combo.linkIndex;
+        point.config.theta = kPi / 2.0;
+        point.config.idleNs = 8000.0;
+        point.seed = ++seed;
+        points.push_back(point);              // free-evolution arm
+        point.enableDd = true;
+        points.push_back(point);              // with-DD arm, same seed
+    }
+    const std::vector<double> fids =
+        characterizationSweep(machine, points, dd, 300);
+
     Histogram hist(0.0, 4.0, 40);
     int helps = 0, hurts = 0;
     double best = 0.0, worst = 1e9;
-    uint64_t seed = 50;
-    for (const SpectatorCombo &combo : combos) {
-        CharacterizationConfig config;
-        config.spectator = combo.spectator;
-        config.drivenLink = combo.linkIndex;
-        config.theta = kPi / 2.0;
-        config.idleNs = 8000.0;
-        const double free_fid = characterizationFidelity(
-            machine, config, dd, false, 300, ++seed);
-        const double dd_fid = characterizationFidelity(
-            machine, config, dd, true, 300, seed);
-        const double rel = dd_fid / std::max(free_fid, 1e-3);
+    for (size_t i = 0; i < fids.size(); i += 2) {
+        const double rel = fids[i + 1] / std::max(fids[i], 1e-3);
         hist.add(rel);
         helps += rel > 1.0;
         hurts += rel < 1.0;

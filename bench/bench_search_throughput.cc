@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Search throughput: serial vs batched ADAPT mask search.
+ *
+ * PR 1 parallelized the shots inside one execution and PR 2 made each
+ * decoy cheap; after that, the serial candidate loop of adaptSearch
+ * was the dominant wall-clock cost of Policy::Adapt.  The search now
+ * submits every neighbourhood's 2^k insertDD variants as one
+ * NoisyMachine::runBatch batch, so the full search scales with cores
+ * while returning bit-identical masks.  This artefact records the
+ * wall-clock of the same search at increasing job-level thread
+ * counts (threads=1 is the serial baseline; the recorded numbers
+ * live in BENCH_pr3.json).
+ */
+
+#include "bench_common.hh"
+
+#include <chrono>
+#include <thread>
+
+using namespace adapt;
+
+namespace
+{
+
+/** Shared compiled setup; lives at a stable address (function-local
+ *  static) because NoisyMachine keeps a reference to its Device. */
+struct Setup
+{
+    Device device;
+    NoisyMachine machine;
+    CompiledProgram program;
+
+    Setup()
+        : device(Device::ibmqToronto()),
+          machine(device),
+          program(transpile(makeQft(6, QftState::A), device,
+                            device.calibration(0)))
+    {
+    }
+};
+
+const Setup &
+setup()
+{
+    static const Setup s;
+    return s;
+}
+
+AdaptOptions
+searchOptions(int threads)
+{
+    AdaptOptions opt;
+    opt.decoyShots = 256;
+    opt.threads = threads;
+    return opt;
+}
+
+double
+searchSeconds(int threads)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(
+        adaptSearch(setup().program, setup().machine,
+                    searchOptions(threads)));
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+void
+runExperiment()
+{
+    banner("Search throughput",
+           "serial vs batched adaptSearch (QFT-6A on ibmq_toronto, "
+           "20 decoy executions per search)");
+    std::printf("hardware threads: %u\n",
+                std::thread::hardware_concurrency());
+
+    // Warm-up: decoy generation + first-touch allocations.
+    const AdaptResult reference =
+        adaptSearch(setup().program, setup().machine,
+                    searchOptions(1));
+
+    const double serial = searchSeconds(1);
+    std::printf("%-10s %12s %10s %8s\n", "threads", "seconds",
+                "speedup", "mask-ok");
+    std::printf("%-10d %12.3f %10s %8s\n", 1, serial, "1.00x", "ref");
+    for (int threads : {2, 4, 8, 0}) {
+        const double elapsed = searchSeconds(threads);
+        const AdaptResult result =
+            adaptSearch(setup().program, setup().machine,
+                        searchOptions(threads));
+        const bool identical =
+            result.logicalMask == reference.logicalMask &&
+            result.bestDecoyFidelity == reference.bestDecoyFidelity;
+        const std::string label =
+            threads == 0 ? "auto" : std::to_string(threads);
+        std::printf("%-10s %12.3f %9.2fx %8s\n", label.c_str(),
+                    elapsed, serial / elapsed,
+                    identical ? "yes" : "NO");
+    }
+}
+
+void
+BM_AdaptSearchSerial(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(adaptSearch(
+            setup().program, setup().machine, searchOptions(1)));
+}
+BENCHMARK(BM_AdaptSearchSerial)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+void
+BM_AdaptSearchBatched(benchmark::State &state)
+{
+    const int threads = static_cast<int>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(adaptSearch(
+            setup().program, setup().machine,
+            searchOptions(threads)));
+}
+BENCHMARK(BM_AdaptSearchBatched)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+} // namespace
+
+ADAPT_BENCH_MAIN(runExperiment)

@@ -1,6 +1,8 @@
 #include "adapt/policies.hh"
 
 #include <algorithm>
+#include <set>
+#include <utility>
 
 #include "common/logging.hh"
 
@@ -83,9 +85,16 @@ evaluatePolicy(Policy policy, const CompiledProgram &program,
       }
       case Policy::RuntimeBest: {
         // Oracle: try masks on the *real* program and keep the best.
+        // Programs with >= 64 logical qubits cannot enumerate (the
+        // 1 << n_log key would overflow before the budget comparison
+        // even happens), so they always take the sampled branch.
         std::vector<std::vector<bool>> candidates;
-        const uint64_t full = uint64_t{1} << n_log;
-        if (full <= static_cast<uint64_t>(options.runtimeBestBudget)) {
+        const bool enumerable =
+            program.logicalQubits < 64 &&
+            (uint64_t{1} << n_log) <=
+                static_cast<uint64_t>(options.runtimeBestBudget);
+        if (enumerable) {
+            const uint64_t full = uint64_t{1} << n_log;
             for (uint64_t bits = 0; bits < full; bits++) {
                 std::vector<bool> mask(n_log, false);
                 for (size_t b = 0; b < n_log; b++)
@@ -94,32 +103,66 @@ evaluatePolicy(Policy policy, const CompiledProgram &program,
             }
         } else {
             // Sampled enumeration: the exact oracle is exponential;
-            // keep the two structured masks plus random ones.
-            candidates.push_back(none);
-            candidates.push_back(all);
+            // keep the two structured masks plus random ones.  Masks
+            // are deduplicated so a repeated draw doesn't burn a slot
+            // of the budget on a candidate already being run; the
+            // budget is always reachable because this branch implies
+            // strictly more than runtimeBestBudget distinct masks
+            // exist.
+            std::set<std::vector<bool>> seen;
+            auto add_unique = [&](std::vector<bool> mask) {
+                if (seen.insert(mask).second)
+                    candidates.push_back(std::move(mask));
+            };
+            add_unique(none);
+            add_unique(all);
             Rng rng(options.seed ^ 0xbe57);
             while (static_cast<int>(candidates.size()) <
                    options.runtimeBestBudget) {
                 std::vector<bool> mask(n_log, false);
                 for (size_t b = 0; b < n_log; b++)
                     mask[b] = rng.bernoulli(0.5);
-                candidates.push_back(std::move(mask));
+                add_unique(std::move(mask));
+            }
+        }
+
+        // The candidates are independent program executions, so they
+        // run as one batch; seeds follow the historical serial
+        // derivation (one per candidate, in candidate order), and the
+        // first strictly-best fidelity wins, matching the serial
+        // loop's tie-breaking.
+        std::vector<ScheduledCircuit> scheds;
+        std::vector<uint64_t> seeds;
+        scheds.reserve(candidates.size());
+        seeds.reserve(candidates.size());
+        for (size_t i = 0; i < candidates.size(); i++) {
+            scheds.push_back(applyMask(program, machine,
+                                       options.adapt.dd,
+                                       candidates[i]));
+            seeds.push_back(options.seed +
+                            static_cast<uint64_t>(i) * 104729);
+        }
+        const std::vector<Distribution> outputs = machine.runBatch(
+            scheds, options.shots, seeds, options.adapt.threads,
+            options.adapt.backend);
+
+        size_t win = 0;
+        double best_fid = -1.0;
+        for (size_t i = 0; i < outputs.size(); i++) {
+            const double fid = fidelity(ideal, outputs[i]);
+            if (fid > best_fid) {
+                best_fid = fid;
+                win = i;
             }
         }
 
         PolicyOutcome best;
         best.policy = policy;
-        best.fidelity = -1.0;
-        int runs = 0;
-        for (const auto &mask : candidates) {
-            PolicyOutcome outcome = runWithMask(
-                policy, program, machine, ideal, options, mask,
-                options.seed + static_cast<uint64_t>(runs) * 104729);
-            runs++;
-            if (outcome.fidelity > best.fidelity)
-                best = std::move(outcome);
-        }
-        best.searchRuns = runs;
+        best.logicalMask = std::move(candidates[win]);
+        best.output = outputs[win];
+        best.fidelity = best_fid;
+        best.ddPulses = ddPulseCount(scheds[win]);
+        best.searchRuns = static_cast<int>(outputs.size());
         return best;
       }
     }

@@ -32,6 +32,12 @@ adaptSearch(const CompiledProgram &program, const NoisyMachine &machine,
 {
     require(options.neighborhoodSize >= 1,
             "neighbourhood size must be at least 1");
+    // 2^k candidates per neighbourhood: cap k well below the 32-bit
+    // combo shift so a wide-register misconfiguration fails loudly
+    // instead of overflowing.
+    require(options.neighborhoodSize <= 24,
+            "neighbourhood size above 24 would enumerate > 2^24 "
+            "decoy variants per neighbourhood");
 
     AdaptResult result;
     result.decoy = makeDecoy(program.physical, options.decoy);
@@ -60,18 +66,6 @@ adaptSearch(const CompiledProgram &program, const NoisyMachine &machine,
         });
 
     int eval_index = 0;
-    auto evaluate = [&](const std::vector<bool> &logical_mask) {
-        const ScheduledCircuit with_dd =
-            insertDD(decoy_sched, machine.calibration(), options.dd,
-                     liftMask(program, logical_mask));
-        const Distribution out = machine.run(
-            with_dd, options.decoyShots,
-            options.seed + static_cast<uint64_t>(eval_index) * 7919,
-            /*threads=*/0, options.backend);
-        eval_index++;
-        return fidelity(result.decoy.idealOutput, out);
-    };
-
     result.bestDecoyFidelity = -1.0;
     for (size_t group_start = 0;
          group_start < static_cast<size_t>(n_log);
@@ -81,20 +75,48 @@ adaptSearch(const CompiledProgram &program, const NoisyMachine &machine,
                          static_cast<size_t>(options.neighborhoodSize),
                      static_cast<size_t>(n_log));
         const int group_bits = static_cast<int>(group_end - group_start);
+        const uint32_t num_combos = uint32_t{1} << group_bits;
 
-        // Exhaustive sweep of this neighbourhood with all previously
-        // decided bits frozen.
-        uint32_t best_combo = 0, second_combo = 0;
-        double best_fid = -1.0, second_fid = -1.0;
-        for (uint32_t combo = 0;
-             combo < (uint32_t{1} << group_bits); combo++) {
+        // All candidates of this neighbourhood are independent once
+        // the previously decided bits are frozen, so build every
+        // insertDD variant up front and execute them as one batch.
+        // Seeds follow the historical serial derivation (one per
+        // evaluation, in combo order), so the batch is bit-identical
+        // to the old one-at-a-time loop at any thread count.
+        std::vector<ScheduledCircuit> variants;
+        std::vector<uint64_t> seeds;
+        variants.reserve(num_combos);
+        seeds.reserve(num_combos);
+        for (uint32_t combo = 0; combo < num_combos; combo++) {
             std::vector<bool> candidate = result.logicalMask;
             for (int b = 0; b < group_bits; b++) {
                 candidate[static_cast<size_t>(
                     order[group_start + static_cast<size_t>(b)])] =
                     (combo >> b) & 1;
             }
-            const double fid = evaluate(candidate);
+            variants.push_back(
+                insertDD(decoy_sched, machine.calibration(), options.dd,
+                         liftMask(program, candidate)));
+            seeds.push_back(options.seed +
+                            static_cast<uint64_t>(eval_index) * 7919);
+            eval_index++;
+        }
+        const std::vector<Distribution> outputs = machine.runBatch(
+            variants, options.decoyShots, seeds, options.threads,
+            options.backend);
+
+        std::vector<double> fids(num_combos);
+        for (uint32_t combo = 0; combo < num_combos; combo++) {
+            fids[combo] =
+                fidelity(result.decoy.idealOutput, outputs[combo]);
+        }
+
+        // Top-2 scan in combo order (first strictly-greater wins,
+        // matching the serial loop's tie-breaking).
+        uint32_t best_combo = 0, second_combo = 0;
+        double best_fid = -1.0, second_fid = -1.0;
+        for (uint32_t combo = 0; combo < num_combos; combo++) {
+            const double fid = fids[combo];
             if (fid > best_fid) {
                 second_fid = best_fid;
                 second_combo = best_combo;
@@ -107,7 +129,11 @@ adaptSearch(const CompiledProgram &program, const NoisyMachine &machine,
         }
 
         // Conservative estimate: union of the top-2 predictions
-        // (Sec. 4.3: "1001" + "1011" -> "1011").
+        // (Sec. 4.3: "1001" + "1011" -> "1011").  The union is itself
+        // one of the exhaustively enumerated combos, so the merged
+        // mask's true decoy fidelity comes straight out of the batch
+        // — no extra execution, and no reporting the pre-merge winner
+        // for a mask that was never measured.
         const uint32_t chosen =
             options.conservativeMerge && second_fid >= 0.0
                 ? (best_combo | second_combo)
@@ -117,8 +143,10 @@ adaptSearch(const CompiledProgram &program, const NoisyMachine &machine,
                 order[group_start + static_cast<size_t>(b)])] =
                 (chosen >> b) & 1;
         }
-        result.bestDecoyFidelity = std::max(result.bestDecoyFidelity,
-                                            best_fid);
+        // The final neighbourhood's chosen candidate *is* the
+        // returned mask (all earlier bits frozen at their final
+        // values), so after the loop this holds its true fidelity.
+        result.bestDecoyFidelity = fids[chosen];
     }
 
     result.decoysExecuted = eval_index;

@@ -10,6 +10,14 @@
  * candidates are OR-merged (the paper's conservative estimate).  The
  * total decoy budget is therefore at most 4N executions — linear in
  * the qubit count.
+ *
+ * The 2^k candidates of a neighbourhood are independent given the
+ * frozen bits, so each neighbourhood is submitted as one
+ * NoisyMachine::runBatch job batch: the variants execute across the
+ * thread pool while the sequential dependence between neighbourhoods
+ * is preserved.  Per-candidate seeds follow the same derivation as
+ * the historical serial loop, so masks and fidelities are
+ * bit-identical at any thread count.
  */
 
 #ifndef ADAPT_ADAPT_SEARCH_HH
@@ -49,6 +57,14 @@ struct AdaptOptions
     uint64_t seed = 2021;
 
     /**
+     * Job-level parallelism for the per-neighbourhood decoy batches
+     * (NoisyMachine::runBatch); <= 0 (default) uses
+     * ADAPT_NUM_THREADS or the hardware concurrency.  The chosen
+     * masks and fidelities are bit-identical at any setting.
+     */
+    int threads = 0;
+
+    /**
      * Simulator backend for decoy (and program) executions.  Auto
      * routes all-Clifford decoys with Pauli-expressible noise to the
      * stabilizer fast path — the Sec. 4.2 scalability argument —
@@ -69,7 +85,14 @@ struct AdaptResult
     /** Number of decoy circuits executed on the machine. */
     int decoysExecuted = 0;
 
-    /** Decoy fidelity of the winning mask. */
+    /**
+     * True decoy fidelity of the mask actually returned: the
+     * OR-merged candidate of the final neighbourhood, evaluated in
+     * that neighbourhood's batch with every frozen bit already at its
+     * final value.  (The merge can pick a combo that was not the
+     * per-neighbourhood winner, so this is not simply the best
+     * fidelity seen during the sweep.)
+     */
     double bestDecoyFidelity = 0.0;
 
     /** The decoy used (for correlation studies). */

@@ -44,11 +44,15 @@ makeCharacterizationCircuit(const CharacterizationConfig &config,
     return decompose(c);
 }
 
-double
-characterizationFidelity(const NoisyMachine &machine,
+namespace
+{
+
+/** Build the scheduled (optionally DD-padded) executable for one
+ *  characterization point. */
+ScheduledCircuit
+characterizationSchedule(const NoisyMachine &machine,
                          const CharacterizationConfig &config,
-                         const DDOptions &dd, bool enable_dd, int shots,
-                         uint64_t seed)
+                         const DDOptions &dd, bool enable_dd)
 {
     const Calibration &cal = machine.calibration();
     const Topology &topology = machine.device().topology();
@@ -67,10 +71,50 @@ characterizationFidelity(const NoisyMachine &machine,
         mask[static_cast<size_t>(config.spectator)] = true;
         sched = insertDD(sched, cal, dd, mask);
     }
+    return sched;
+}
 
+} // namespace
+
+double
+characterizationFidelity(const NoisyMachine &machine,
+                         const CharacterizationConfig &config,
+                         const DDOptions &dd, bool enable_dd, int shots,
+                         uint64_t seed)
+{
+    const ScheduledCircuit sched =
+        characterizationSchedule(machine, config, dd, enable_dd);
     const Distribution out =
         machine.run(sched, shots, seed, /*threads=*/0, config.backend);
     return out.probability(0);
+}
+
+std::vector<double>
+characterizationSweep(const NoisyMachine &machine,
+                      std::span<const CharacterizationPoint> points,
+                      const DDOptions &dd, int shots, int threads)
+{
+    if (points.empty())
+        return {};
+    const BackendKind backend = points.front().config.backend;
+    std::vector<ScheduledCircuit> scheds;
+    std::vector<uint64_t> seeds;
+    scheds.reserve(points.size());
+    seeds.reserve(points.size());
+    for (const CharacterizationPoint &point : points) {
+        require(point.config.backend == backend,
+                "characterizationSweep requires one backend kind "
+                "across all points");
+        scheds.push_back(characterizationSchedule(
+            machine, point.config, dd, point.enableDd));
+        seeds.push_back(point.seed);
+    }
+    const std::vector<Distribution> outputs =
+        machine.runBatch(scheds, shots, seeds, threads, backend);
+    std::vector<double> fidelities(points.size());
+    for (size_t i = 0; i < points.size(); i++)
+        fidelities[i] = outputs[i].probability(0);
+    return fidelities;
 }
 
 } // namespace adapt

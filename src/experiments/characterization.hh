@@ -12,6 +12,9 @@
 #ifndef ADAPT_EXPERIMENTS_CHARACTERIZATION_HH
 #define ADAPT_EXPERIMENTS_CHARACTERIZATION_HH
 
+#include <span>
+#include <vector>
+
 #include "circuit/circuit.hh"
 #include "dd/sequences.hh"
 #include "noise/machine.hh"
@@ -59,6 +62,36 @@ double characterizationFidelity(const NoisyMachine &machine,
                                 const CharacterizationConfig &config,
                                 const DDOptions &dd, bool enable_dd,
                                 int shots, uint64_t seed);
+
+/** One point of a batched characterization sweep. */
+struct CharacterizationPoint
+{
+    CharacterizationConfig config;
+
+    /** Insert DD on the spectator (the with-DD arm of a figure). */
+    bool enableDd = false;
+
+    /** Run seed for this point's execution. */
+    uint64_t seed = 0;
+};
+
+/**
+ * Evaluate many characterization points as one NoisyMachine::runBatch
+ * job batch (the figure sweeps run hundreds of independent points).
+ * Returns one P(outcome == 0) per point, in order; each result is
+ * bit-identical to the serial characterizationFidelity() call with
+ * the same config and seed, for any thread count.
+ *
+ * @pre Every point requests the same backend kind (Auto still
+ *      resolves per job, so mixed Clifford / non-Clifford sweeps are
+ *      fine under Auto).
+ * @param threads Job-level parallelism; <= 0 means the process
+ *                default.
+ */
+std::vector<double>
+characterizationSweep(const NoisyMachine &machine,
+                      std::span<const CharacterizationPoint> points,
+                      const DDOptions &dd, int shots, int threads = 0);
 
 } // namespace adapt
 

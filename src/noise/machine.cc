@@ -483,4 +483,31 @@ NoisyMachine::run(const ScheduledCircuit &sched, int shots,
     return dist;
 }
 
+std::vector<Distribution>
+NoisyMachine::runBatch(std::span<const ScheduledCircuit> jobs, int shots,
+                       std::span<const uint64_t> seeds, int threads,
+                       BackendKind backend) const
+{
+    require(jobs.size() == seeds.size(),
+            "runBatch requires one seed per job");
+    std::vector<Distribution> outputs(jobs.size());
+
+    // Jobs are independent, so they fan out across the pool; each
+    // output lands at its job's index.  run() itself is bit-identical
+    // across thread counts (its shot parallelism degrades to serial
+    // inside pool workers), so the batch reproduces jobs.size()
+    // serial run() calls exactly for any thread count.  A single-job
+    // batch dispatches inline, keeping run()'s own shot parallelism.
+    parallelFor(0, static_cast<int64_t>(jobs.size()), threads,
+                [&](int64_t lo, int64_t hi, int) {
+        for (int64_t i = lo; i < hi; i++) {
+            outputs[static_cast<size_t>(i)] =
+                run(jobs[static_cast<size_t>(i)], shots,
+                    seeds[static_cast<size_t>(i)], /*threads=*/0,
+                    backend);
+        }
+    });
+    return outputs;
+}
+
 } // namespace adapt

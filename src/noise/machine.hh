@@ -22,6 +22,8 @@
 #define ADAPT_NOISE_MACHINE_HH
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "common/stats.hh"
 #include "device/device.hh"
@@ -75,6 +77,40 @@ class NoisyMachine
     Distribution run(const ScheduledCircuit &sched, int shots,
                      uint64_t run_seed = 1, int threads = 0,
                      BackendKind backend = BackendKind::Auto) const;
+
+    /**
+     * Execute a batch of independent jobs, one distribution per job.
+     *
+     * Jobs fan out across the process thread pool (outer loop), and
+     * the shot parallelism inside run() degrades to serial within the
+     * pool workers, mirroring evaluateSuite — so a batch never
+     * oversubscribes, and a single-job batch transparently keeps full
+     * shot parallelism.  Every job draws from RNG streams forked from
+     * its own seed alone, so the output is bit-identical to
+     * jobs.size() serial run() calls (with the same seeds) at any
+     * thread count.
+     *
+     * This is the execution layer under the ADAPT mask search: all
+     * 2^k candidate masks of a neighbourhood are independent given
+     * the frozen bits, so the search submits each neighbourhood as
+     * one batch (adapt/search.cc), as do the Runtime-Best candidate
+     * sweep and the characterization sweeps.
+     *
+     * @param jobs Scheduled executables; may be empty (returns {}).
+     * @param shots Trajectories per job.
+     * @param seeds One run seed per job (same contract as run()).
+     *              @pre seeds.size() == jobs.size()
+     * @param threads Job-level parallelism; <= 0 (default) uses
+     *                ADAPT_NUM_THREADS or the hardware concurrency.
+     * @param backend Backend selection, resolved per job (Auto may
+     *                pick different backends for different jobs).
+     * @return outputs[i] == run(jobs[i], shots, seeds[i], ..) for
+     *         every i.
+     */
+    std::vector<Distribution>
+    runBatch(std::span<const ScheduledCircuit> jobs, int shots,
+             std::span<const uint64_t> seeds, int threads = 0,
+             BackendKind backend = BackendKind::Auto) const;
 
     /**
      * The backend Auto would pick for @p sched under this machine's

@@ -1,5 +1,6 @@
 #include "workloads/benchmarks.hh"
 
+#include <cmath>
 #include <set>
 
 #include "common/logging.hh"
@@ -50,8 +51,10 @@ qftRotations(Circuit &c, int n)
 {
     for (int i = n - 1; i >= 0; i--) {
         c.h(i);
+        // ldexp, not (1 << (i - j)): a rotation spanning >= 31 bits
+        // overflows the signed shift on wide registers.
         for (int j = i - 1; j >= 0; j--)
-            cp(c, kPi / static_cast<double>(1 << (i - j)), j, i);
+            cp(c, std::ldexp(kPi, -(i - j)), j, i);
     }
     for (int i = 0; i < n / 2; i++)
         c.swap(i, n - 1 - i);
@@ -65,7 +68,7 @@ inverseQftRotations(Circuit &c, int n)
         c.swap(i, n - 1 - i);
     for (int i = 0; i < n; i++) {
         for (int j = 0; j < i; j++)
-            cp(c, -kPi / static_cast<double>(1 << (i - j)), j, i);
+            cp(c, -std::ldexp(kPi, -(i - j)), j, i);
         c.h(i);
     }
 }
@@ -106,15 +109,16 @@ makeQft(int num_qubits, QftState state)
     // (a different input state with identical circuit structure).
     Circuit c(num_qubits);
     double x = 0.0;
+    // ldexp throughout: 64-bit shifts overflow once the register
+    // reaches 64 qubits (same class of bug as the rotation ladder).
     for (QubitId q = 0; q < num_qubits; q += 2)
-        x += static_cast<double>(uint64_t{1} << q);
+        x += std::ldexp(1.0, q);
     if (state == QftState::B)
         x = x / 2.0 + 0.37;
-    const double dim = static_cast<double>(uint64_t{1} << num_qubits);
+    const double dim = std::ldexp(1.0, num_qubits);
     for (QubitId q = 0; q < num_qubits; q++) {
         c.h(q);
-        const double phase =
-            2.0 * kPi * x * static_cast<double>(uint64_t{1} << q) / dim;
+        const double phase = 2.0 * kPi * x * std::ldexp(1.0, q) / dim;
         c.u1(phase, q);
     }
     inverseQftRotations(c, num_qubits);

@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "adapt/policies.hh"
 #include "common/logging.hh"
@@ -226,6 +228,79 @@ TEST(Search, NeighborhoodSizeOneIsGreedyPerQubit)
     EXPECT_EQ(result.decoysExecuted, 2 * 4); // 2 combos per qubit
 }
 
+TEST(Search, BatchedSweepMatchesSerialReplication)
+{
+    // Independently re-implement one exhaustive neighbourhood sweep
+    // with plain serial machine.run calls and check the batched
+    // search returns the identical mask — and that it reports the
+    // decoy fidelity of the *merged* mask actually returned, not of
+    // the pre-merge winner.
+    const Device d = Device::ibmqGuadalupe();
+    const NoisyMachine machine(d);
+    const CompiledProgram p =
+        compileOn({"QFT-4", makeQft(4, QftState::A)}, d);
+
+    AdaptOptions opt;
+    opt.neighborhoodSize = 4; // single exhaustive neighbourhood
+    opt.decoyShots = 150;
+    const AdaptResult result = adaptSearch(p, machine, opt);
+    ASSERT_EQ(result.decoysExecuted, 16);
+
+    // Same search order as adaptSearch: logical qubits by descending
+    // idle time of their physical host.
+    const int n_log = p.logicalQubits;
+    std::vector<QubitId> order(static_cast<size_t>(n_log));
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](QubitId a, QubitId b) {
+        const QubitId pa =
+            p.initialLayout.logicalToPhysical[static_cast<size_t>(a)];
+        const QubitId pb =
+            p.initialLayout.logicalToPhysical[static_cast<size_t>(b)];
+        return p.schedule.totalIdleTime(pa) >
+               p.schedule.totalIdleTime(pb);
+    });
+
+    const ScheduledCircuit decoy_sched = reschedule(
+        result.decoy.circuit, machine.device(), machine.calibration());
+    std::vector<double> fids(16);
+    for (uint32_t combo = 0; combo < 16; combo++) {
+        std::vector<bool> mask(static_cast<size_t>(n_log), false);
+        for (int b = 0; b < 4; b++)
+            mask[static_cast<size_t>(order[static_cast<size_t>(b)])] =
+                (combo >> b) & 1;
+        const Distribution out = machine.run(
+            insertDD(decoy_sched, machine.calibration(), opt.dd,
+                     liftMask(p, mask)),
+            opt.decoyShots, opt.seed + combo * 7919);
+        fids[combo] = fidelity(result.decoy.idealOutput, out);
+    }
+
+    uint32_t best = 0, second = 0;
+    double best_fid = -1.0, second_fid = -1.0;
+    for (uint32_t combo = 0; combo < 16; combo++) {
+        if (fids[combo] > best_fid) {
+            second_fid = best_fid;
+            second = best;
+            best_fid = fids[combo];
+            best = combo;
+        } else if (fids[combo] > second_fid) {
+            second_fid = fids[combo];
+            second = combo;
+        }
+    }
+    const uint32_t chosen = best | second; // conservative merge
+
+    std::vector<bool> expected(static_cast<size_t>(n_log), false);
+    for (int b = 0; b < 4; b++)
+        expected[static_cast<size_t>(order[static_cast<size_t>(b)])] =
+            (chosen >> b) & 1;
+    EXPECT_EQ(result.logicalMask, expected);
+    // The true decoy fidelity of the returned (merged) mask comes
+    // from the batch entry of the merged combo.
+    EXPECT_EQ(result.bestDecoyFidelity, fids[chosen]);
+}
+
 TEST(Search, DeterministicForFixedSeed)
 {
     const Device d = Device::ibmqGuadalupe();
@@ -316,6 +391,34 @@ TEST(Policies, RuntimeBestSamplesWhenBudgetExceeded)
     const PolicyOutcome best =
         evaluatePolicy(Policy::RuntimeBest, p, machine, ideal, opt);
     EXPECT_EQ(best.searchRuns, 10);
+}
+
+TEST(Policies, RuntimeBestWideRegisterRoutesToSampling)
+{
+    // 70 logical qubits: 1 << n_log would be shift UB, so RuntimeBest
+    // must route to the sampled-enumeration branch before ever
+    // forming the enumeration count.  Pauli-only noise keeps this
+    // Clifford program on the stabilizer fast path end to end.
+    const Device d = Device::synthetic(Topology::linear(70), 7);
+    const NoisyMachine machine(d, 0, NoiseFlags::pauliOnly());
+    Circuit c(70, 70);
+    c.h(0);
+    for (QubitId q = 0; q + 1 < 70; q++)
+        c.cx(q, q + 1);
+    c.measureAll();
+    const CompiledProgram p = transpile(c, d, d.calibration(0));
+    ASSERT_GE(p.logicalQubits, 64);
+
+    const Distribution ideal =
+        idealOutputDistribution(p.physical, 2000, 9);
+    PolicyOptions opt;
+    opt.shots = 60;
+    opt.runtimeBestBudget = 4;
+    const PolicyOutcome best =
+        evaluatePolicy(Policy::RuntimeBest, p, machine, ideal, opt);
+    EXPECT_EQ(best.searchRuns, 4);
+    EXPECT_EQ(best.logicalMask.size(), 70u);
+    EXPECT_GE(best.fidelity, 0.0);
 }
 
 TEST(Policies, AdaptReportsSearchCost)

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for the batched execution layer: NoisyMachine::runBatch must
+ * reproduce N serial run() calls bit-for-bit at any thread count, and
+ * everything rebuilt on top of it — the ADAPT neighbourhood sweep,
+ * the Runtime-Best candidate sweep, and the characterization sweep —
+ * must be thread-count invariant too.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "adapt/policies.hh"
+#include "common/logging.hh"
+#include "experiments/characterization.hh"
+#include "sim/statevector.hh"
+#include "workloads/benchmarks.hh"
+
+using namespace adapt;
+
+namespace
+{
+
+/** Thread counts the bit-identity suite sweeps: serial, small
+ *  parallel, and the process default (hardware / env). */
+const int kThreadCounts[] = {1, 4, 0};
+
+CompiledProgram
+compileOn(const Circuit &c, const Device &d)
+{
+    return transpile(c, d, d.calibration(0));
+}
+
+/** A few distinct executables: the same compiled program under
+ *  different DD masks (the exact shape adaptSearch batches). */
+std::vector<ScheduledCircuit>
+maskVariants(const CompiledProgram &p, const NoisyMachine &machine,
+             size_t count)
+{
+    const auto n_log = static_cast<size_t>(p.logicalQubits);
+    DDOptions dd;
+    std::vector<ScheduledCircuit> jobs;
+    for (size_t i = 0; i < count; i++) {
+        std::vector<bool> mask(n_log, false);
+        for (size_t b = 0; b < n_log; b++)
+            mask[b] = (i >> b) & 1;
+        jobs.push_back(applyMask(p, machine, dd, mask));
+    }
+    return jobs;
+}
+
+std::vector<uint64_t>
+sequentialSeeds(size_t count, uint64_t base)
+{
+    std::vector<uint64_t> seeds;
+    for (size_t i = 0; i < count; i++)
+        seeds.push_back(base + i * 7919);
+    return seeds;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- runBatch
+
+TEST(RunBatch, MatchesSerialRunsAtAnyThreadCount)
+{
+    const Device d = Device::ibmqGuadalupe();
+    const NoisyMachine machine(d);
+    const CompiledProgram p =
+        compileOn(makeQft(4, QftState::A), d);
+    const auto jobs = maskVariants(p, machine, 6);
+    const auto seeds = sequentialSeeds(jobs.size(), 77);
+    constexpr int kShots = 300;
+
+    std::vector<std::map<uint64_t, double>> serial;
+    for (size_t i = 0; i < jobs.size(); i++) {
+        serial.push_back(
+            machine.run(jobs[i], kShots, seeds[i]).probabilities());
+    }
+
+    for (int threads : kThreadCounts) {
+        const std::vector<Distribution> outputs =
+            machine.runBatch(jobs, kShots, seeds, threads);
+        ASSERT_EQ(outputs.size(), jobs.size()) << threads;
+        for (size_t i = 0; i < jobs.size(); i++) {
+            EXPECT_EQ(outputs[i].probabilities(), serial[i])
+                << "job " << i << " at threads=" << threads;
+        }
+    }
+}
+
+TEST(RunBatch, SingleJobKeepsRunSemantics)
+{
+    const Device d = Device::ibmqRome();
+    const NoisyMachine machine(d);
+    const CompiledProgram p =
+        compileOn(makeBernsteinVazirani(4, 0b101), d);
+    const std::vector<ScheduledCircuit> jobs = {p.schedule};
+    const std::vector<uint64_t> seeds = {42};
+    const auto batch = machine.runBatch(jobs, 500, seeds, 4);
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch[0].probabilities(),
+              machine.run(p.schedule, 500, 42).probabilities());
+}
+
+TEST(RunBatch, EmptyBatchReturnsNothing)
+{
+    const Device d = Device::ibmqRome();
+    const NoisyMachine machine(d);
+    EXPECT_TRUE(machine.runBatch({}, 100, {}).empty());
+}
+
+TEST(RunBatch, SeedCountMismatchThrows)
+{
+    const Device d = Device::ibmqRome();
+    const NoisyMachine machine(d);
+    const CompiledProgram p =
+        compileOn(makeBernsteinVazirani(4, 0b110), d);
+    const std::vector<ScheduledCircuit> jobs = {p.schedule,
+                                                p.schedule};
+    const std::vector<uint64_t> seeds = {1};
+    EXPECT_THROW(machine.runBatch(jobs, 100, seeds), UsageError);
+}
+
+// ------------------------------------------------------ batched consumers
+
+TEST(BatchDeterminism, AdaptSearchBitIdenticalAcrossThreadCounts)
+{
+    const Device d = Device::ibmqGuadalupe();
+    const NoisyMachine machine(d);
+    const CompiledProgram p = compileOn(makeQft(5, QftState::A), d);
+
+    AdaptOptions opt;
+    opt.decoyShots = 200;
+    opt.threads = 1;
+    const AdaptResult reference = adaptSearch(p, machine, opt);
+
+    for (int threads : kThreadCounts) {
+        opt.threads = threads;
+        const AdaptResult result = adaptSearch(p, machine, opt);
+        EXPECT_EQ(result.logicalMask, reference.logicalMask)
+            << "threads=" << threads;
+        EXPECT_EQ(result.physicalMask, reference.physicalMask);
+        EXPECT_EQ(result.decoysExecuted, reference.decoysExecuted);
+        EXPECT_EQ(result.bestDecoyFidelity,
+                  reference.bestDecoyFidelity)
+            << "threads=" << threads;
+    }
+}
+
+TEST(BatchDeterminism, RuntimeBestBitIdenticalAcrossThreadCounts)
+{
+    const Device d = Device::ibmqGuadalupe();
+    const NoisyMachine machine(d);
+    const CompiledProgram p = compileOn(makeQft(4, QftState::B), d);
+    const Distribution ideal = idealDistribution(p.physical);
+
+    PolicyOptions opt;
+    opt.shots = 250;
+    opt.runtimeBestBudget = 16; // full 2^4 enumeration
+    opt.adapt.threads = 1;
+    const PolicyOutcome reference =
+        evaluatePolicy(Policy::RuntimeBest, p, machine, ideal, opt);
+
+    for (int threads : kThreadCounts) {
+        opt.adapt.threads = threads;
+        const PolicyOutcome outcome = evaluatePolicy(
+            Policy::RuntimeBest, p, machine, ideal, opt);
+        EXPECT_EQ(outcome.logicalMask, reference.logicalMask)
+            << "threads=" << threads;
+        EXPECT_EQ(outcome.fidelity, reference.fidelity);
+        EXPECT_EQ(outcome.ddPulses, reference.ddPulses);
+        EXPECT_EQ(outcome.searchRuns, reference.searchRuns);
+        EXPECT_EQ(outcome.output.probabilities(),
+                  reference.output.probabilities());
+    }
+}
+
+TEST(BatchDeterminism, CharacterizationSweepMatchesSerialCalls)
+{
+    const Device d = Device::ibmqLondon();
+    const NoisyMachine machine(d);
+    DDOptions dd;
+    constexpr int kShots = 400;
+
+    std::vector<CharacterizationPoint> points;
+    for (int i = 0; i < 4; i++) {
+        CharacterizationPoint point;
+        point.config.theta = kPi * (i + 1) / 5.0;
+        point.config.idleNs = 1800.0;
+        point.enableDd = (i % 2) == 1;
+        point.seed = 900 + static_cast<uint64_t>(i);
+        points.push_back(point);
+    }
+
+    std::vector<double> serial;
+    for (const CharacterizationPoint &point : points) {
+        serial.push_back(characterizationFidelity(
+            machine, point.config, dd, point.enableDd, kShots,
+            point.seed));
+    }
+
+    for (int threads : kThreadCounts) {
+        const std::vector<double> swept =
+            characterizationSweep(machine, points, dd, kShots,
+                                  threads);
+        ASSERT_EQ(swept.size(), serial.size());
+        for (size_t i = 0; i < serial.size(); i++)
+            EXPECT_EQ(swept[i], serial[i]) << "point " << i;
+    }
+}

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <set>
+
 #include "common/logging.hh"
 #include "sim/statevector.hh"
 #include "workloads/benchmarks.hh"
@@ -217,4 +220,41 @@ TEST(Workloads, SmallSuiteFitsFiveQubitMachines)
 {
     for (const Workload &w : smallBenchmarks())
         EXPECT_LE(w.circuit.numQubits(), 5) << w.name;
+}
+
+// ------------------------------------------------- wide-register QFT
+
+TEST(Workloads, QftWideRegisterRotationAnglesAreExact)
+{
+    // Regression for the signed-shift overflow: a rotation spanning
+    // s >= 31 bits computed via kPi / (1 << s) was UB.  With ldexp,
+    // every ladder span s in [1, 39] of qft(40) must contribute its
+    // exact U1 half-angle pi * 2^-(s+1).
+    const Circuit c = makeQft(40, QftState::A);
+    std::set<double> magnitudes;
+    for (const Gate &g : c.gates()) {
+        if (g.type == GateType::U1)
+            magnitudes.insert(std::abs(g.params[0]));
+    }
+    for (int s = 1; s <= 39; s++) {
+        EXPECT_EQ(magnitudes.count(std::ldexp(kPi, -(s + 1))), 1u)
+            << "missing ladder angle for span " << s;
+    }
+}
+
+TEST(Workloads, QftConstructsBeyond64Qubits)
+{
+    // The phase-encoded input also used 64-bit shifts (1 << q for
+    // qubit q), overflowing at 64 qubits; the circuit must now build
+    // with finite, non-zero angles at 70 qubits.
+    const Circuit c = makeQft(70, QftState::B);
+    EXPECT_EQ(c.numQubits(), 70);
+    EXPECT_GT(c.gateCount(), 0);
+    for (const Gate &g : c.gates()) {
+        for (double param : g.params) {
+            EXPECT_TRUE(std::isfinite(param)) << g.toString();
+        }
+        if (g.type == GateType::U1)
+            EXPECT_NE(g.params[0], 0.0) << g.toString();
+    }
 }
