@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace adapt
 {
@@ -130,21 +131,30 @@ evaluatePolicy(Policy policy, const CompiledProgram &program,
         // run as one batch; seeds follow the historical serial
         // derivation (one per candidate, in candidate order), and the
         // first strictly-best fidelity wins, matching the serial
-        // loop's tie-breaking.
-        std::vector<ScheduledCircuit> scheds;
-        std::vector<uint64_t> seeds;
-        scheds.reserve(candidates.size());
-        seeds.reserve(candidates.size());
-        for (size_t i = 0; i < candidates.size(); i++) {
-            scheds.push_back(applyMask(program, machine,
-                                       options.adapt.dd,
-                                       candidates[i]));
-            seeds.push_back(options.seed +
-                            static_cast<uint64_t>(i) * 104729);
-        }
+        // loop's tie-breaking.  DD insertion and job preparation fan
+        // out across the pool as well, and each candidate's one
+        // compilation is shared by all of its shots.
+        const size_t n_cand = candidates.size();
+        std::vector<PreparedCircuit> prepared(n_cand);
+        std::vector<int> dd_pulses(n_cand, 0);
+        std::vector<uint64_t> seeds(n_cand);
+        for (size_t i = 0; i < n_cand; i++)
+            seeds[i] = options.seed + static_cast<uint64_t>(i) * 104729;
+        parallelFor(0, static_cast<int64_t>(n_cand),
+                    options.adapt.threads,
+                    [&](int64_t lo, int64_t hi, int) {
+            for (int64_t i = lo; i < hi; i++) {
+                const auto ci = static_cast<size_t>(i);
+                const ScheduledCircuit sched =
+                    applyMask(program, machine, options.adapt.dd,
+                              candidates[ci]);
+                dd_pulses[ci] = ddPulseCount(sched);
+                prepared[ci] =
+                    machine.prepare(sched, options.adapt.backend);
+            }
+        });
         const std::vector<Distribution> outputs = machine.runBatch(
-            scheds, options.shots, seeds, options.adapt.threads,
-            options.adapt.backend);
+            prepared, options.shots, seeds, options.adapt.threads);
 
         size_t win = 0;
         double best_fid = -1.0;
@@ -161,7 +171,7 @@ evaluatePolicy(Policy policy, const CompiledProgram &program,
         best.logicalMask = std::move(candidates[win]);
         best.output = outputs[win];
         best.fidelity = best_fid;
-        best.ddPulses = ddPulseCount(scheds[win]);
+        best.ddPulses = dd_pulses[win];
         best.searchRuns = static_cast<int>(outputs.size());
         return best;
       }

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace adapt
 {
@@ -83,10 +84,8 @@ adaptSearch(const CompiledProgram &program, const NoisyMachine &machine,
         // Seeds follow the historical serial derivation (one per
         // evaluation, in combo order), so the batch is bit-identical
         // to the old one-at-a-time loop at any thread count.
-        std::vector<ScheduledCircuit> variants;
-        std::vector<uint64_t> seeds;
-        variants.reserve(num_combos);
-        seeds.reserve(num_combos);
+        std::vector<std::vector<bool>> candidates(num_combos);
+        std::vector<uint64_t> seeds(num_combos);
         for (uint32_t combo = 0; combo < num_combos; combo++) {
             std::vector<bool> candidate = result.logicalMask;
             for (int b = 0; b < group_bits; b++) {
@@ -94,16 +93,34 @@ adaptSearch(const CompiledProgram &program, const NoisyMachine &machine,
                     order[group_start + static_cast<size_t>(b)])] =
                     (combo >> b) & 1;
             }
-            variants.push_back(
-                insertDD(decoy_sched, machine.calibration(), options.dd,
-                         liftMask(program, candidate)));
-            seeds.push_back(options.seed +
-                            static_cast<uint64_t>(eval_index) * 7919);
+            candidates[combo] = std::move(candidate);
+            seeds[combo] = options.seed +
+                           static_cast<uint64_t>(eval_index) * 7919;
             eval_index++;
         }
+
+        // DD insertion and job preparation (plan lowering + shot-
+        // program compilation) are themselves shot-invariant work, so
+        // they fan out across the pool too; each variant is compiled
+        // exactly once and that compilation is shared by all of its
+        // decoy shots.  Outputs land by combo index, so the parallel
+        // build changes nothing observable.
+        std::vector<PreparedCircuit> prepared(num_combos);
+        parallelFor(0, static_cast<int64_t>(num_combos),
+                    options.threads,
+                    [&](int64_t lo, int64_t hi, int) {
+            for (int64_t i = lo; i < hi; i++) {
+                const ScheduledCircuit variant = insertDD(
+                    decoy_sched, machine.calibration(), options.dd,
+                    liftMask(program,
+                             candidates[static_cast<size_t>(i)]));
+                prepared[static_cast<size_t>(i)] =
+                    machine.prepare(variant, options.backend);
+            }
+        });
+
         const std::vector<Distribution> outputs = machine.runBatch(
-            variants, options.decoyShots, seeds, options.threads,
-            options.backend);
+            prepared, options.decoyShots, seeds, options.threads);
 
         std::vector<double> fids(num_combos);
         for (uint32_t combo = 0; combo < num_combos; combo++) {

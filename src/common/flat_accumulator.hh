@@ -63,6 +63,21 @@ class FlatAccumulator
         return slot.used ? slot.value : 0.0;
     }
 
+    /**
+     * Append all (key, weight) pairs to @p out in table order
+     * (unsorted).  Lets a caller merging many accumulators gather
+     * everything first and sort the combined list once, instead of
+     * paying one sort per accumulator via sortedItems().
+     */
+    void
+    appendItemsTo(std::vector<std::pair<uint64_t, double>> &out) const
+    {
+        for (const Slot &slot : slots_) {
+            if (slot.used)
+                out.emplace_back(slot.key, slot.value);
+        }
+    }
+
     /** All (key, weight) pairs in ascending key order. */
     std::vector<std::pair<uint64_t, double>>
     sortedItems() const

@@ -1,0 +1,656 @@
+#include "noise/compiled.hh"
+
+#include <cmath>
+#include <utility>
+
+#include "common/logging.hh"
+#include "sim/backend.hh"
+
+namespace adapt
+{
+
+// ------------------------------------------------------------------
+// Plan lowering (shared with the interpreted reference path).
+// ------------------------------------------------------------------
+
+ExecutionPlan
+buildPlan(const ScheduledCircuit &sched, const Calibration &cal,
+          const NoiseFlags &flags)
+{
+    ExecutionPlan plan;
+
+    // Dense-qubit relabelling: only qubits that execute ops occupy
+    // state-vector space.
+    const int n_phys = sched.numQubits();
+    std::vector<int> dense(static_cast<size_t>(n_phys), -1);
+    for (QubitId q = 0; q < n_phys; q++) {
+        if (!sched.qubitOps(q).empty()) {
+            dense[static_cast<size_t>(q)] =
+                static_cast<int>(plan.active.size());
+            plan.active.push_back(q);
+        }
+    }
+    require(!plan.active.empty(), "cannot run an empty schedule");
+
+    // Crosstalk sources per active qubit: every CX interval on a link
+    // with a non-negligible coupling to this spectator.
+    plan.xtalk.resize(plan.active.size());
+    if (flags.crosstalk) {
+        const int n_links = static_cast<int>(cal.links.size());
+        for (int li = 0; li < n_links; li++) {
+            const auto intervals = sched.linkActivity(li);
+            if (intervals.empty())
+                continue;
+            for (size_t ai = 0; ai < plan.active.size(); ai++) {
+                const double rate = cal.crosstalk(li, plan.active[ai]);
+                if (std::abs(rate) < 1e-6)
+                    continue;
+                for (const auto &[t0, t1] : intervals)
+                    plan.xtalk[ai].push_back({t0, t1, rate});
+            }
+        }
+    }
+
+    // Back-to-back single-qubit ops (decomposed gates, DD pulse
+    // trains) are fused into one step: per-pulse *errors* are still
+    // sampled individually, but the state vector is touched once per
+    // train instead of once per pulse.  This keeps dense XY4 fills
+    // (1000+ pulses on long idle windows) affordable.
+    std::vector<PlanStep> &steps = plan.steps;
+    steps.reserve(sched.ops().size());
+    std::vector<int> open(plan.active.size(), -1);
+
+    for (const TimedOp &op : sched.ops()) {
+        const Gate &gate = op.gate;
+        if (gate.type == GateType::Delay ||
+            gate.type == GateType::Barrier || gate.type == GateType::I)
+            continue;
+
+        if (gate.type == GateType::Measure) {
+            const int dq = dense[static_cast<size_t>(gate.qubit())];
+            open[static_cast<size_t>(dq)] = -1;
+            PlanStep step;
+            step.kind = PlanStep::Kind::Meas;
+            step.q = dq;
+            step.start = op.start;
+            step.end = op.end;
+            step.clbit = gate.clbit < 0 ? static_cast<int>(gate.qubit())
+                                        : gate.clbit;
+            plan.maxClbit = std::max(plan.maxClbit, step.clbit);
+            const auto &qc =
+                cal.qubits[static_cast<size_t>(gate.qubit())];
+            step.err01 = qc.readoutError01;
+            step.err10 = qc.readoutError10;
+            steps.push_back(std::move(step));
+            continue;
+        }
+
+        if (isTwoQubitGate(gate.type)) {
+            const int da = dense[static_cast<size_t>(gate.qubits[0])];
+            const int db = dense[static_cast<size_t>(gate.qubits[1])];
+            open[static_cast<size_t>(da)] = -1;
+            open[static_cast<size_t>(db)] = -1;
+            PlanStep step;
+            step.kind = PlanStep::Kind::TwoQubit;
+            step.q = da;
+            step.q2 = db;
+            step.start = op.start;
+            step.end = op.end;
+            step.twoQubitType = gate.type;
+            require(op.linkIndex >= 0 || gate.type != GateType::CX,
+                    "scheduled CX without a link index");
+            step.cxError =
+                op.linkIndex >= 0
+                    ? cal.links[static_cast<size_t>(op.linkIndex)]
+                          .cxError
+                    : 0.0;
+            steps.push_back(std::move(step));
+            continue;
+        }
+
+        // Single-qubit unitary: fuse with the previous step when they
+        // touch (gap below 1 ps) on this qubit.
+        const int dq = dense[static_cast<size_t>(gate.qubit())];
+        const bool physical_pulse =
+            gate.type == GateType::X || gate.type == GateType::Y ||
+            gate.type == GateType::SX || gate.type == GateType::SXdg;
+        const double p_err =
+            physical_pulse
+                ? cal.qubits[static_cast<size_t>(gate.qubit())]
+                      .gateError1Q
+                : 0.0;
+        plan.clifford = plan.clifford && gate.isClifford();
+        Gate mapped = gate;
+        mapped.qubits[0] = dq;
+        Pulse pulse{std::move(mapped), gateMatrix(gate), p_err};
+        const int open_idx = open[static_cast<size_t>(dq)];
+        if (open_idx >= 0 &&
+            op.start - steps[static_cast<size_t>(open_idx)].end < 1e-3) {
+            steps[static_cast<size_t>(open_idx)].pulses.push_back(
+                std::move(pulse));
+            steps[static_cast<size_t>(open_idx)].end =
+                std::max(steps[static_cast<size_t>(open_idx)].end,
+                         op.end);
+            continue;
+        }
+        PlanStep step;
+        step.kind = PlanStep::Kind::Fused1Q;
+        step.q = dq;
+        step.start = op.start;
+        step.end = op.end;
+        step.pulses.push_back(std::move(pulse));
+        open[static_cast<size_t>(dq)] = static_cast<int>(steps.size());
+        steps.push_back(std::move(step));
+    }
+    return plan;
+}
+
+// ------------------------------------------------------------------
+// Compilation.
+// ------------------------------------------------------------------
+
+namespace
+{
+
+/** Suffix splice tables cost O(pulses^2) matrix products to build;
+ *  trains longer than this (dense DD fills) fall back to an
+ *  arithmetically identical sequential fold on the rare error shot. */
+constexpr uint32_t kSuffixTablePulses = 64;
+
+} // namespace
+
+ShotProgram
+compileShotProgram(const ExecutionPlan &plan, const Calibration &cal,
+                   const NoiseFlags &flags)
+{
+    ShotProgram prog;
+    prog.numQubits = static_cast<int>(plan.active.size());
+    prog.numClbits = plan.maxClbit + 1;
+    prog.flags = flags;
+
+    if (flags.ouDephasing) {
+        prog.ouSigma.reserve(plan.active.size());
+        for (QubitId q : plan.active) {
+            prog.ouSigma.push_back(
+                cal.qubits[static_cast<size_t>(q)].ouSigmaRadPerUs);
+        }
+    }
+
+    // Compile-time mirror of the interpreter's per-qubit trackers.
+    std::vector<TimeNs> last_end(plan.active.size(), -1.0);
+    std::vector<double> ou_last_us(plan.active.size(), 0.0);
+
+    auto pushOp = [&](OpRef::Kind kind, uint32_t idx, bool fast) {
+        prog.ops.push_back({kind, idx});
+        if (fast)
+            prog.fastOps.push_back({kind, idx});
+    };
+
+    // Coherent (refocusable) idle noise over [t0, t1): mirrors
+    // coherent_idle_noise in the interpreter, including its draw
+    // conditions, with every shot-invariant value precomputed.
+    auto emitCoherent = [&](int dq, TimeNs t0, TimeNs t1) {
+        if (t1 - t0 <= 1e-9)
+            return;
+        const auto ai = static_cast<size_t>(dq);
+        const double dt_us = (t1 - t0) * kNsToUs;
+
+        CoherentOp c;
+        c.q = dq;
+        c.gapDtUs = dt_us;
+        c.termsOff = static_cast<uint32_t>(prog.xtalkTerms.size());
+        if (flags.crosstalk) {
+            for (const CrosstalkSource &src : plan.xtalk[ai]) {
+                prog.xtalkTerms.push_back(
+                    src.radPerUs *
+                    overlapUs(t0, t1, src.start, src.end));
+            }
+        }
+        c.termsCnt = static_cast<uint32_t>(prog.xtalkTerms.size()) -
+                     c.termsOff;
+
+        if (flags.ouDephasing) {
+            // Precompute the OU transition for this gap's midpoint.
+            const double mid_us = (t0 + t1) / 2.0 * kNsToUs;
+            require(mid_us >= ou_last_us[ai] - 1e-12,
+                    "OU process sampled backwards in time");
+            const double dt = std::max(0.0, mid_us - ou_last_us[ai]);
+            if (dt > 0.0) {
+                const auto &qc =
+                    cal.qubits[static_cast<size_t>(plan.active[ai])];
+                const double decay = ouDecayFactor(dt, qc.ouTauUs);
+                c.ouKind = 2;
+                c.ouDecay = decay;
+                c.ouSd = ouInnovationSd(qc.ouSigmaRadPerUs, decay);
+                ou_last_us[ai] = mid_us;
+            } else {
+                c.ouKind = 1;
+            }
+            const bool twirl = flags.twirlCoherent;
+            if (!twirl)
+                c.phaseSlot = prog.phaseSlots++;
+            prog.coherent.push_back(c);
+            pushOp(OpRef::Kind::Coherent,
+                   static_cast<uint32_t>(prog.coherent.size()) - 1,
+                   /*fast=*/!twirl);
+            return;
+        }
+
+        // OU disabled: the phase is shot-invariant.  Fold it here
+        // with the interpreter's exact accumulation order.
+        double phase = 0.0;
+        for (uint32_t t = 0; t < c.termsCnt; t++)
+            phase += prog.xtalkTerms[c.termsOff + t];
+        if (phase == 0.0) {
+            // The interpreter applies nothing and draws nothing.
+            prog.xtalkTerms.resize(c.termsOff);
+            return;
+        }
+        if (flags.twirlCoherent) {
+            c.twirlThresh =
+                bernoulliThreshold(twirlZProbability(phase));
+            prog.coherent.push_back(c);
+            pushOp(OpRef::Kind::Coherent,
+                   static_cast<uint32_t>(prog.coherent.size()) - 1,
+                   /*fast=*/false);
+        } else {
+            c.staticPhi = phase;
+            prog.coherent.push_back(c);
+            pushOp(OpRef::Kind::Coherent,
+                   static_cast<uint32_t>(prog.coherent.size()) - 1,
+                   /*fast=*/true);
+        }
+    };
+
+    // Markovian noise over dt_us of wall-clock time: both flip
+    // probabilities collapse to fixed-point thresholds.
+    auto emitMarkov = [&](int dq, double dt_us) {
+        if (dt_us <= 0.0)
+            return;
+        if (!flags.t1Damping && !flags.whiteDephasing)
+            return;
+        const auto &qc = cal.qubits[static_cast<size_t>(
+            plan.active[static_cast<size_t>(dq)])];
+        MarkovOp m;
+        m.q = dq;
+        if (flags.t1Damping) {
+            m.t1Thresh = bernoulliThreshold(
+                t1JumpProbability(dt_us, qc.t1Us));
+        }
+        if (flags.whiteDephasing) {
+            m.dephThresh = bernoulliThreshold(
+                whiteDephasingFlipProbability(dt_us, qc.t2WhiteUs));
+        }
+        prog.markov.push_back(m);
+        pushOp(OpRef::Kind::Markov,
+               static_cast<uint32_t>(prog.markov.size()) - 1,
+               /*fast=*/false);
+    };
+
+    auto catchUp = [&](int dq, const PlanStep &step) {
+        const auto ai = static_cast<size_t>(dq);
+        if (last_end[ai] >= 0.0) {
+            emitCoherent(dq, last_end[ai], step.start);
+            emitMarkov(dq, (step.end - last_end[ai]) * kNsToUs);
+        } else {
+            emitMarkov(dq, (step.end - step.start) * kNsToUs);
+        }
+        last_end[ai] = step.end;
+    };
+
+    for (size_t si = 0; si < plan.steps.size(); si++) {
+        const PlanStep &step = plan.steps[si];
+        switch (step.kind) {
+          case PlanStep::Kind::Meas: {
+            catchUp(step.q, step);
+            MeasOp m;
+            m.q = step.q;
+            m.clbit = step.clbit;
+            m.wordSlot = prog.measSlots++;
+            m.thresh01 = bernoulliThreshold(step.err01);
+            m.thresh10 = bernoulliThreshold(step.err10);
+            prog.meas.push_back(m);
+            pushOp(OpRef::Kind::Meas,
+                   static_cast<uint32_t>(prog.meas.size()) - 1,
+                   /*fast=*/true);
+            break;
+          }
+          case PlanStep::Kind::TwoQubit: {
+            catchUp(step.q, step);
+            catchUp(step.q2, step);
+            TwoQOp t;
+            t.q = step.q;
+            t.q2 = step.q2;
+            t.type = step.twoQubitType;
+            // The interpreter draws the error Bernoulli whenever gate
+            // errors are enabled, even for a zero-error link, so a
+            // threshold of 0 (consume, never fire) is not kNoDraw.
+            if (flags.gateErrors)
+                t.errThresh = bernoulliThreshold(step.cxError);
+            prog.twoQ.push_back(t);
+            pushOp(OpRef::Kind::TwoQ,
+                   static_cast<uint32_t>(prog.twoQ.size()) - 1,
+                   /*fast=*/true);
+            break;
+          }
+          case PlanStep::Kind::Fused1Q: {
+            catchUp(step.q, step);
+            const auto k = static_cast<uint32_t>(step.pulses.size());
+            Fused1QOp f;
+            f.q = step.q;
+            f.step = static_cast<uint32_t>(si);
+            f.pulseCnt = k;
+
+            // prefix[i] = fold of pulses 0..i, accumulated exactly
+            // like the interpreter's running product (including the
+            // initial multiply by identity).
+            f.prefixOff = static_cast<uint32_t>(prog.matrices.size());
+            Matrix2 acc = Matrix2::identity();
+            for (const Pulse &pulse : step.pulses) {
+                acc = pulse.matrix * acc;
+                prog.matrices.push_back(acc);
+            }
+            f.fullMat = f.prefixOff + k - 1;
+
+            // suffix[i] = fold of pulses i+1..end from identity — the
+            // exact product the interpreter would re-accumulate after
+            // an error at pulse i (O(k^2) to build, so capped).
+            if (k <= kSuffixTablePulses) {
+                f.suffixOff =
+                    static_cast<uint32_t>(prog.matrices.size());
+                for (uint32_t i = 0; i < k; i++) {
+                    Matrix2 tail = Matrix2::identity();
+                    for (uint32_t j = i + 1; j < k; j++)
+                        tail = step.pulses[j].matrix * tail;
+                    prog.matrices.push_back(tail);
+                }
+            }
+
+            f.errOff = static_cast<uint32_t>(prog.errChecks.size());
+            if (flags.gateErrors) {
+                for (uint32_t i = 0; i < k; i++) {
+                    // The interpreter short-circuits on errorProb > 0
+                    // before drawing, so zero-probability pulses
+                    // consume no RNG word at all.
+                    if (step.pulses[i].errorProb > 0.0) {
+                        prog.errChecks.push_back(
+                            {i, bernoulliThreshold(
+                                    step.pulses[i].errorProb)});
+                    }
+                }
+            }
+            f.errCnt =
+                static_cast<uint32_t>(prog.errChecks.size()) - f.errOff;
+
+            prog.fused.push_back(f);
+            pushOp(OpRef::Kind::Fused1Q,
+                   static_cast<uint32_t>(prog.fused.size()) - 1,
+                   /*fast=*/true);
+            break;
+          }
+        }
+    }
+    return prog;
+}
+
+// ------------------------------------------------------------------
+// Per-shot execution.
+// ------------------------------------------------------------------
+
+ShotReplayer::ShotReplayer(const ExecutionPlan &plan,
+                           const ShotProgram &prog)
+    : plan_(plan), prog_(prog), sv_(prog.numQubits),
+      packer_(prog.numClbits),
+      qubitRng_(static_cast<size_t>(prog.numQubits)),
+      ouVal_(static_cast<size_t>(prog.numQubits), 0.0),
+      phases_(prog.phaseSlots, 0.0),
+      measWord_(size_t{2} * prog.measSlots, 0)
+{
+    events_.reserve(64);
+}
+
+void
+ShotReplayer::drawTape(const Rng &shot_rng)
+{
+    const NoiseFlags &flags = prog_.flags;
+    gateRng_ = shot_rng.fork(0x6a7e);
+    const auto n = static_cast<size_t>(prog_.numQubits);
+    for (size_t ai = 0; ai < n; ai++) {
+        qubitRng_[ai] = shot_rng.fork(0x0b5e + ai);
+        if (flags.ouDephasing) {
+            // Stationary initial draw (OuProcess constructor).
+            ouVal_[ai] = qubitRng_[ai].normal(0.0, prog_.ouSigma[ai]);
+        }
+    }
+    events_.clear();
+
+    for (uint32_t i = 0; i < prog_.ops.size(); i++) {
+        const OpRef ref = prog_.ops[i];
+        switch (ref.kind) {
+          case OpRef::Kind::Coherent: {
+            const CoherentOp &c = prog_.coherent[ref.idx];
+            const auto ai = static_cast<size_t>(c.q);
+            if (c.ouKind != 0) {
+                if (c.ouKind == 2) {
+                    ouVal_[ai] = ouVal_[ai] * c.ouDecay +
+                                 qubitRng_[ai].normal(0.0, c.ouSd);
+                }
+                double phase = 0.0;
+                phase += ouVal_[ai] * c.gapDtUs;
+                for (uint32_t t = 0; t < c.termsCnt; t++)
+                    phase += prog_.xtalkTerms[c.termsOff + t];
+                if (flags.twirlCoherent) {
+                    if (phase != 0.0) {
+                        if (qubitRng_[ai].bernoulli(
+                                twirlZProbability(phase))) {
+                            events_.push_back(
+                                {i, 0, 0, ShotEvent::Kind::TwirlZ, 0,
+                                 0});
+                        }
+                    }
+                } else {
+                    phases_[c.phaseSlot] = phase;
+                }
+            } else if (c.twirlThresh != kNoDraw) {
+                if ((qubitRng_[ai].next() >> 11) < c.twirlThresh) {
+                    events_.push_back(
+                        {i, 0, 0, ShotEvent::Kind::TwirlZ, 0, 0});
+                }
+            }
+            // Static non-twirl phases draw nothing.
+            break;
+          }
+          case OpRef::Kind::Markov: {
+            const MarkovOp &m = prog_.markov[ref.idx];
+            const auto ai = static_cast<size_t>(m.q);
+            if (m.t1Thresh != kNoDraw &&
+                (qubitRng_[ai].next() >> 11) < m.t1Thresh) {
+                // Reserve the population-conditional word; the replay
+                // resolves it against the live state.
+                events_.push_back({i, 0, qubitRng_[ai].next(),
+                                   ShotEvent::Kind::T1Jump, 0, 0});
+            }
+            if (m.dephThresh != kNoDraw &&
+                (qubitRng_[ai].next() >> 11) < m.dephThresh) {
+                events_.push_back(
+                    {i, 0, 0, ShotEvent::Kind::DephZ, 0, 0});
+            }
+            break;
+          }
+          case OpRef::Kind::Fused1Q: {
+            const Fused1QOp &f = prog_.fused[ref.idx];
+            for (uint32_t e = 0; e < f.errCnt; e++) {
+                const PulseErrCheck &chk =
+                    prog_.errChecks[f.errOff + e];
+                if ((gateRng_.next() >> 11) < chk.thresh) {
+                    const auto pauli = static_cast<uint8_t>(
+                        gateRng_.uniformInt(3) + 1);
+                    events_.push_back({i, chk.pulse, 0,
+                                       ShotEvent::Kind::Err1Q, pauli,
+                                       0});
+                }
+            }
+            break;
+          }
+          case OpRef::Kind::TwoQ: {
+            const TwoQOp &t = prog_.twoQ[ref.idx];
+            if (t.errThresh != kNoDraw &&
+                (gateRng_.next() >> 11) < t.errThresh) {
+                const auto code =
+                    static_cast<int>(gateRng_.uniformInt(15)) + 1;
+                events_.push_back(
+                    {i, 0, 0, ShotEvent::Kind::Err2Q,
+                     static_cast<uint8_t>(code & 3),
+                     static_cast<uint8_t>(code >> 2)});
+            }
+            break;
+          }
+          case OpRef::Kind::Meas: {
+            const MeasOp &m = prog_.meas[ref.idx];
+            measWord_[size_t{2} * m.wordSlot] = gateRng_.next();
+            measWord_[size_t{2} * m.wordSlot + 1] =
+                flags.measurementErrors ? gateRng_.next() : 0;
+            break;
+          }
+        }
+    }
+}
+
+void
+ShotReplayer::replay(const std::vector<OpRef> &stream)
+{
+    const NoiseFlags &flags = prog_.flags;
+    size_t cursor = 0;
+    const size_t n_events = events_.size();
+
+    for (uint32_t i = 0; i < stream.size(); i++) {
+        const OpRef ref = stream[i];
+        switch (ref.kind) {
+          case OpRef::Kind::Coherent: {
+            const CoherentOp &c = prog_.coherent[ref.idx];
+            if (flags.twirlCoherent) {
+                if (cursor < n_events && events_[cursor].op == i) {
+                    sv_.apply1Q(pauliMatrix(3), c.q);
+                    cursor++;
+                }
+                break;
+            }
+            const double phi = c.ouKind != 0 ? phases_[c.phaseSlot]
+                                             : c.staticPhi;
+            if (phi != 0.0)
+                sv_.applyPhase(c.q, phi);
+            break;
+          }
+          case OpRef::Kind::Markov: {
+            const MarkovOp &m = prog_.markov[ref.idx];
+            while (cursor < n_events && events_[cursor].op == i) {
+                const ShotEvent &e = events_[cursor++];
+                if (e.kind == ShotEvent::Kind::T1Jump) {
+                    const double p = sv_.populationOne(m.q);
+                    const double u =
+                        static_cast<double>(e.word >> 11) * 0x1.0p-53;
+                    if (u < p)
+                        sv_.applyDecayJump(m.q);
+                } else { // DephZ
+                    sv_.apply1Q(pauliMatrix(3), m.q);
+                }
+            }
+            break;
+          }
+          case OpRef::Kind::Fused1Q: {
+            const Fused1QOp &f = prog_.fused[ref.idx];
+            if (cursor >= n_events || events_[cursor].op != i) {
+                sv_.apply1Q(prog_.matrices[f.fullMat], f.q);
+                break;
+            }
+            // Error splice: prefix · Pauli · (segments) · suffix,
+            // every product bit-identical to the interpreter's
+            // running accumulation.
+            const std::vector<Pulse> &pulses =
+                plan_.steps[f.step].pulses;
+            int64_t prev = -1;
+            while (cursor < n_events && events_[cursor].op == i) {
+                const ShotEvent &e = events_[cursor++];
+                if (prev < 0) {
+                    sv_.apply1Q(prog_.matrices[f.prefixOff + e.pulse],
+                                f.q);
+                } else {
+                    Matrix2 seg = Matrix2::identity();
+                    for (auto j = static_cast<uint32_t>(prev + 1);
+                         j <= e.pulse; j++)
+                        seg = pulses[j].matrix * seg;
+                    sv_.apply1Q(seg, f.q);
+                }
+                sv_.apply1Q(pauliMatrix(e.a), f.q);
+                prev = e.pulse;
+            }
+            if (f.suffixOff != kNoTable) {
+                sv_.apply1Q(
+                    prog_.matrices[f.suffixOff +
+                                   static_cast<uint32_t>(prev)],
+                    f.q);
+            } else {
+                Matrix2 tail = Matrix2::identity();
+                for (auto j = static_cast<uint32_t>(prev + 1);
+                     j < f.pulseCnt; j++)
+                    tail = pulses[j].matrix * tail;
+                sv_.apply1Q(tail, f.q);
+            }
+            break;
+          }
+          case OpRef::Kind::TwoQ: {
+            const TwoQOp &t = prog_.twoQ[ref.idx];
+            switch (t.type) {
+              case GateType::CX: sv_.applyCX(t.q, t.q2); break;
+              case GateType::CZ: sv_.applyCZ(t.q, t.q2); break;
+              case GateType::SWAP: sv_.applySwap(t.q, t.q2); break;
+              default:
+                panic("compiled replay: unexpected two-qubit gate");
+            }
+            if (cursor < n_events && events_[cursor].op == i) {
+                const ShotEvent &e = events_[cursor++];
+                if (e.a != 0)
+                    sv_.apply1Q(pauliMatrix(e.a), t.q);
+                if (e.b != 0)
+                    sv_.apply1Q(pauliMatrix(e.b), t.q2);
+            }
+            break;
+          }
+          case OpRef::Kind::Meas: {
+            const MeasOp &m = prog_.meas[ref.idx];
+            const uint64_t mw = measWord_[size_t{2} * m.wordSlot];
+            const double u =
+                static_cast<double>(mw >> 11) * 0x1.0p-53;
+            bool bit = sv_.measureCollapse(m.q, u);
+            if (flags.measurementErrors) {
+                const uint64_t ew =
+                    measWord_[size_t{2} * m.wordSlot + 1];
+                if ((ew >> 11) < (bit ? m.thresh10 : m.thresh01))
+                    bit = !bit;
+            }
+            packer_.set(m.clbit, bit);
+            break;
+          }
+        }
+    }
+}
+
+uint64_t
+ShotReplayer::runShot(const Rng &shot_rng)
+{
+    drawTape(shot_rng);
+    sv_.reset();
+    packer_.clear();
+    totalShots_++;
+    if (events_.empty()) {
+        // No stochastic event fired: maximally fused deterministic
+        // replay (no Markov ops, one matrix per pulse train).
+        fastShots_++;
+        replay(prog_.fastOps);
+    } else {
+        replay(prog_.ops);
+    }
+    return packer_.key();
+}
+
+} // namespace adapt

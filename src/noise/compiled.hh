@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Compile-once shot programs for the dense trajectory engine.
+ *
+ * NoisyMachine's historical inner loop re-interpreted the execution
+ * plan for every shot: it re-composed the same Matrix2 pulse
+ * products, re-evaluated the same exp()-heavy idle-noise constants,
+ * and re-branched on step kinds — all work that is identical across
+ * the thousands of shots of a job.  This unit hoists everything
+ * shot-invariant into a one-time lowering:
+ *
+ *   ScheduledCircuit --buildPlan--> ExecutionPlan
+ *                    --compileShotProgram--> ShotProgram
+ *
+ * A ShotProgram is a flat opcode stream with
+ *  - pre-fused 1Q pulse products per Fused1Q step, plus prefix /
+ *    suffix product tables so a rare gate error firing at pulse i
+ *    splices prefix[i] · Pauli · suffix[i] without re-deriving any
+ *    matrix (multi-error trains fall back to an identical sequential
+ *    fold over the stored pulse matrices),
+ *  - per-step idle / Markovian noise constants (OU decay and
+ *    innovation sigma, crosstalk phase terms, T1 / dephasing flip
+ *    probabilities) precomputed once, with probabilities stored as
+ *    fixed-point Bernoulli thresholds compared directly against raw
+ *    RNG words, and
+ *  - a no-error fast replay stream: each shot first resolves all of
+ *    its stochastic outcomes in a cheap draw pass (no state-vector
+ *    work); when nothing fires — the common case at realistic error
+ *    rates — the shot replays a maximally fused deterministic stream
+ *    that skips every noise branch.
+ *
+ * Determinism contract: a compiled shot consumes exactly the same RNG
+ * words from exactly the same forked streams as the interpreted
+ * reference path in machine.cc, and mutates the StateVector with
+ * bit-identical operands in the same order.  Output distributions are
+ * therefore bit-identical to the interpreter for any seed, any thread
+ * count, and batch-vs-serial (tests/test_compiled.cc locks this).
+ * The library builds with -ffp-contract=off so the duplicated scalar
+ * expressions here and in machine.cc cannot diverge through FMA
+ * contraction on native builds.
+ */
+
+#ifndef ADAPT_NOISE_COMPILED_HH
+#define ADAPT_NOISE_COMPILED_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "circuit/gate.hh"
+#include "common/matrix2.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "device/calibration.hh"
+#include "noise/noise_model.hh"
+#include "sim/statevector.hh"
+#include "transpile/schedule.hh"
+
+namespace adapt
+{
+
+// ------------------------------------------------------------------
+// Shot-invariant execution plan (shared by the interpreted reference
+// path in machine.cc and the compiler below).
+// ------------------------------------------------------------------
+
+constexpr double kNsToUs = 1e-3;
+
+/** A crosstalk source seen by one spectator qubit. */
+struct CrosstalkSource
+{
+    TimeNs start;
+    TimeNs end;
+    double radPerUs;
+};
+
+/** Overlap of [a0, a1) and [b0, b1) in microseconds. */
+inline double
+overlapUs(TimeNs a0, TimeNs a1, TimeNs b0, TimeNs b1)
+{
+    return std::max(0.0, std::min(a1, b1) - std::max(a0, b0)) * kNsToUs;
+}
+
+/** One pulse of a fused single-qubit train. */
+struct Pulse
+{
+    Gate gate; //!< dense-relabelled operands (tableau replay)
+    Matrix2 matrix;
+    double errorProb;
+};
+
+/** One step of the pre-compiled execution plan. */
+struct PlanStep
+{
+    enum class Kind { Fused1Q, TwoQubit, Meas } kind;
+    int q = -1;
+    int q2 = -1;
+    TimeNs start = 0.0;
+    TimeNs end = 0.0;
+    std::vector<Pulse> pulses;       // Fused1Q
+    GateType twoQubitType = GateType::CX;
+    double cxError = 0.0;            // TwoQubit
+    int clbit = 0;                   // Meas
+    double err01 = 0.0, err10 = 0.0; // Meas
+};
+
+/**
+ * The shot-invariant execution plan: the schedule lowered onto dense
+ * qubit indices, with calibration data baked into every step and
+ * crosstalk sources precomputed per spectator.  Built once per job
+ * and shared read-only by all shot workers.
+ */
+struct ExecutionPlan
+{
+    std::vector<QubitId> active; //!< dense index -> physical qubit
+    std::vector<std::vector<CrosstalkSource>> xtalk; //!< per dense q
+    std::vector<PlanStep> steps;
+
+    /** Every gate Clifford: eligible for the stabilizer fast path. */
+    bool clifford = true;
+
+    /** Highest classical bit written; > 63 switches the outcome keys
+     *  to OutcomePacker fingerprints (wide stabilizer registers). */
+    int maxClbit = 0;
+};
+
+/** Lower a scheduled executable onto the plan (once per job). */
+ExecutionPlan buildPlan(const ScheduledCircuit &sched,
+                        const Calibration &cal,
+                        const NoiseFlags &flags);
+
+// ------------------------------------------------------------------
+// Fixed-point Bernoulli thresholds.
+// ------------------------------------------------------------------
+
+/** Sentinel threshold: this draw is disabled — consume nothing. */
+constexpr uint64_t kNoDraw = UINT64_MAX;
+
+/**
+ * Fixed-point threshold T(p) such that for any raw RNG word w,
+ *   (w >> 11) < T(p)  ⟺  Rng::bernoulli(p) fed the same word fires.
+ *
+ * Exactness: Rng::uniform() is (w >> 11) * 2^-53 with u = w >> 11 an
+ * integer in [0, 2^53); both u and p * 2^53 = ldexp(p, 53) are exact
+ * doubles, so u * 2^-53 < p ⟺ u < ceil(ldexp(p, 53)) as integers
+ * (strict compare when ldexp(p, 53) is itself an integer).
+ */
+inline uint64_t
+bernoulliThreshold(double p)
+{
+    if (p <= 0.0)
+        return 0;
+    if (p >= 1.0)
+        return uint64_t{1} << 53;
+    const double scaled = std::ldexp(p, 53); // exact: p has 53 bits
+    const double c = std::ceil(scaled);
+    if (c == scaled)
+        return static_cast<uint64_t>(scaled);
+    return static_cast<uint64_t>(c);
+}
+
+// ------------------------------------------------------------------
+// Compiled opcode stream.
+// ------------------------------------------------------------------
+
+/** Sentinel for "no precomputed table". */
+constexpr uint32_t kNoTable = UINT32_MAX;
+
+/**
+ * Coherent idle noise for one qubit over one gap.  Three flavours:
+ *  - dynamic (OU enabled): the draw pass advances the qubit's OU
+ *    value with the precomputed (decay, innovation sigma) pair and
+ *    folds the precomputed crosstalk terms onto it; the resulting
+ *    phase lands in the tape slot the replay reads.
+ *  - static phase (OU off, non-zero crosstalk fold): phi is fully
+ *    precomputed; no per-shot randomness at all.
+ *  - static twirl (OU off, twirlCoherent): the Z probability
+ *    sin^2(phi/2) is a fixed-point threshold.
+ */
+struct CoherentOp
+{
+    int q = -1;
+
+    /** 0: OU disabled; 1: OU sampled at an unchanged time (reuse the
+     *  last value, no draw); 2: OU advances (one normal() draw). */
+    uint8_t ouKind = 0;
+
+    double ouDecay = 1.0;  //!< exp(-dt / tau) at this gap (ouKind 2)
+    double ouSd = 0.0;     //!< sigma * sqrt(1 - decay^2) (ouKind 2)
+    double gapDtUs = 0.0;  //!< (t1 - t0) * kNsToUs
+    double staticPhi = 0.0;
+
+    uint32_t termsOff = 0, termsCnt = 0; //!< into xtalkTerms
+    uint32_t phaseSlot = 0;              //!< tape slot (dynamic)
+    uint64_t twirlThresh = kNoDraw;      //!< static twirl only
+};
+
+/** Markovian (T1 + white-dephasing) noise for one qubit over one
+ *  wall-clock interval; thresholds are kNoDraw for disabled flags. */
+struct MarkovOp
+{
+    int q = -1;
+    uint64_t t1Thresh = kNoDraw;
+    uint64_t dephThresh = kNoDraw;
+};
+
+/** One gate-error Bernoulli inside a fused 1Q train. */
+struct PulseErrCheck
+{
+    uint32_t pulse = 0; //!< pulse index within the step
+    uint64_t thresh = 0;
+};
+
+/** A fused single-qubit pulse train. */
+struct Fused1QOp
+{
+    int q = -1;
+    uint32_t step = 0;     //!< plan step (pulse matrices for splices)
+    uint32_t pulseCnt = 0;
+    uint32_t fullMat = 0;  //!< matrices[] index of the full product
+    uint32_t prefixOff = 0;        //!< prefix[i] = fold of pulses 0..i
+    uint32_t suffixOff = kNoTable; //!< suffix[i] = fold of i+1..end
+    uint32_t errOff = 0, errCnt = 0; //!< into errChecks
+};
+
+/** A two-qubit gate with its depolarizing error threshold. */
+struct TwoQOp
+{
+    int q = -1, q2 = -1;
+    GateType type = GateType::CX;
+    uint64_t errThresh = kNoDraw;
+};
+
+/** A projective measurement with readout-flip thresholds. */
+struct MeasOp
+{
+    int q = -1;
+    int clbit = 0;
+    uint32_t wordSlot = 0; //!< tape slot holding the raw RNG words
+    uint64_t thresh01 = 0, thresh10 = 0;
+};
+
+/** One entry of an opcode stream: a kind plus an index into the
+ *  matching payload array. */
+struct OpRef
+{
+    enum class Kind : uint8_t { Coherent, Markov, Fused1Q, TwoQ, Meas };
+    Kind kind;
+    uint32_t idx;
+};
+
+/**
+ * A job lowered into flat opcode streams.  `ops` is the complete
+ * stream the draw pass walks (and the replay falls back to when any
+ * stochastic event fired); `fastOps` is the no-error replay stream
+ * with every Markov / twirl op removed and every fused train resolved
+ * to its single precomputed product.
+ */
+struct ShotProgram
+{
+    int numQubits = 0;
+    int numClbits = 1;
+    NoiseFlags flags;
+
+    std::vector<double> ouSigma; //!< per dense qubit (initial draw)
+
+    std::vector<OpRef> ops;
+    std::vector<OpRef> fastOps;
+
+    std::vector<CoherentOp> coherent;
+    std::vector<MarkovOp> markov;
+    std::vector<Fused1QOp> fused;
+    std::vector<TwoQOp> twoQ;
+    std::vector<MeasOp> meas;
+
+    std::vector<PulseErrCheck> errChecks;
+    std::vector<double> xtalkTerms;
+    std::vector<Matrix2> matrices; //!< fused products + splice tables
+
+    uint32_t phaseSlots = 0;
+    uint32_t measSlots = 0;
+};
+
+/**
+ * Lower @p plan into a ShotProgram (dense backend only; once per
+ * job).  All probabilities become fixed-point thresholds and all
+ * shot-invariant floating-point expressions are evaluated here with
+ * the exact formulas of the interpreted path.
+ */
+ShotProgram compileShotProgram(const ExecutionPlan &plan,
+                               const Calibration &cal,
+                               const NoiseFlags &flags);
+
+// ------------------------------------------------------------------
+// Per-shot execution.
+// ------------------------------------------------------------------
+
+/** A stochastic event resolved by the draw pass. */
+struct ShotEvent
+{
+    enum class Kind : uint8_t { TwirlZ, T1Jump, DephZ, Err1Q, Err2Q };
+    uint32_t op = 0;    //!< index into ShotProgram::ops
+    uint32_t pulse = 0; //!< firing pulse (Err1Q)
+    uint64_t word = 0;  //!< reserved raw RNG word (T1Jump)
+    Kind kind = Kind::TwirlZ;
+    uint8_t a = 0, b = 0; //!< Pauli codes (Err1Q / Err2Q)
+};
+
+/**
+ * Per-chunk worker that replays a compiled program.  Owns the state
+ * vector, the outcome packer, and the reusable draw tape; one
+ * instance serves all the shots of a chunk.
+ */
+class ShotReplayer
+{
+  public:
+    ShotReplayer(const ExecutionPlan &plan, const ShotProgram &prog);
+
+    /**
+     * Execute one shot: draw pass, then fast or general replay.
+     * Consumes RNG streams forked off @p shot_rng exactly as the
+     * interpreted path does, and returns the same outcome key.
+     */
+    uint64_t runShot(const Rng &shot_rng);
+
+    /** Shots replayed on the no-error fast stream so far. */
+    uint64_t fastShots() const { return fastShots_; }
+
+    /** Total shots executed so far. */
+    uint64_t totalShots() const { return totalShots_; }
+
+  private:
+    void drawTape(const Rng &shot_rng);
+    void replay(const std::vector<OpRef> &stream);
+
+    const ExecutionPlan &plan_;
+    const ShotProgram &prog_;
+    StateVector sv_;
+    OutcomePacker packer_;
+
+    Rng gateRng_;
+    std::vector<Rng> qubitRng_;
+    std::vector<double> ouVal_;
+
+    std::vector<double> phases_;     //!< per phaseSlot
+    std::vector<uint64_t> measWord_; //!< 2 per measSlot
+    std::vector<ShotEvent> events_;
+
+    uint64_t fastShots_ = 0;
+    uint64_t totalShots_ = 0;
+};
+
+} // namespace adapt
+
+#endif // ADAPT_NOISE_COMPILED_HH

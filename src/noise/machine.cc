@@ -4,11 +4,13 @@
 #include <cmath>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/flat_accumulator.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "noise/compiled.hh"
 #include "sim/backend.hh"
 
 namespace adapt
@@ -20,25 +22,28 @@ NoisyMachine::NoisyMachine(const Device &device, int cycle,
 {
 }
 
-namespace
+/**
+ * A job lowered once: the execution plan (interpreted path + the
+ * stabilizer backend), the resolved backend, and — for dense jobs —
+ * the compiled shot program every shot replays.
+ */
+struct PreparedJob
 {
-
-constexpr double kNsToUs = 1e-3;
-
-/** A crosstalk source seen by one spectator qubit. */
-struct CrosstalkSource
-{
-    TimeNs start;
-    TimeNs end;
-    double radPerUs;
+    ExecutionPlan plan;
+    BackendKind kind = BackendKind::Dense;
+    std::optional<ShotProgram> program; //!< dense jobs only
 };
 
-/** Overlap of [a0, a1) and [b0, b1) in microseconds. */
-double
-overlapUs(TimeNs a0, TimeNs a1, TimeNs b0, TimeNs b1)
+BackendKind
+PreparedCircuit::backend() const
 {
-    return std::max(0.0, std::min(a1, b1) - std::max(a0, b0)) * kNsToUs;
+    require(impl_ != nullptr,
+            "PreparedCircuit::backend on an empty handle");
+    return impl_->kind;
 }
+
+namespace
+{
 
 /** Apply a uniformly random single-qubit Pauli. */
 void
@@ -56,187 +61,15 @@ applyRandomPauli2Q(SimBackend &state, QubitId a, QubitId b, Rng &rng)
     state.applyPauli(code >> 2, b);
 }
 
-/** One pulse of a fused single-qubit train. */
-struct Pulse
-{
-    Gate gate; //!< dense-relabelled operands (tableau replay)
-    Matrix2 matrix;
-    double errorProb;
-};
-
-/** One step of the pre-compiled execution plan. */
-struct PlanStep
-{
-    enum class Kind { Fused1Q, TwoQubit, Meas } kind;
-    int q = -1;
-    int q2 = -1;
-    TimeNs start = 0.0;
-    TimeNs end = 0.0;
-    std::vector<Pulse> pulses;       // Fused1Q
-    GateType twoQubitType = GateType::CX;
-    double cxError = 0.0;            // TwoQubit
-    int clbit = 0;                   // Meas
-    double err01 = 0.0, err10 = 0.0; // Meas
-};
-
 /**
- * The shot-invariant execution plan: the schedule lowered onto dense
- * qubit indices, with calibration data baked into every step and
- * crosstalk sources precomputed per spectator.  Built once per run()
- * and shared read-only by all shot workers.
- */
-struct ExecutionPlan
-{
-    std::vector<QubitId> active; //!< dense index -> physical qubit
-    std::vector<std::vector<CrosstalkSource>> xtalk; //!< per dense q
-    std::vector<PlanStep> steps;
-
-    /** Every gate Clifford: eligible for the stabilizer fast path. */
-    bool clifford = true;
-
-    /** Highest classical bit written; > 63 switches the outcome keys
-     *  to OutcomePacker fingerprints (wide stabilizer registers). */
-    int maxClbit = 0;
-};
-
-ExecutionPlan
-buildPlan(const ScheduledCircuit &sched, const Calibration &cal,
-          const NoiseFlags &flags)
-{
-    ExecutionPlan plan;
-
-    // Dense-qubit relabelling: only qubits that execute ops occupy
-    // state-vector space.
-    const int n_phys = sched.numQubits();
-    std::vector<int> dense(static_cast<size_t>(n_phys), -1);
-    for (QubitId q = 0; q < n_phys; q++) {
-        if (!sched.qubitOps(q).empty()) {
-            dense[static_cast<size_t>(q)] =
-                static_cast<int>(plan.active.size());
-            plan.active.push_back(q);
-        }
-    }
-    require(!plan.active.empty(), "cannot run an empty schedule");
-
-    // Crosstalk sources per active qubit: every CX interval on a link
-    // with a non-negligible coupling to this spectator.
-    plan.xtalk.resize(plan.active.size());
-    if (flags.crosstalk) {
-        const int n_links = static_cast<int>(cal.links.size());
-        for (int li = 0; li < n_links; li++) {
-            const auto intervals = sched.linkActivity(li);
-            if (intervals.empty())
-                continue;
-            for (size_t ai = 0; ai < plan.active.size(); ai++) {
-                const double rate = cal.crosstalk(li, plan.active[ai]);
-                if (std::abs(rate) < 1e-6)
-                    continue;
-                for (const auto &[t0, t1] : intervals)
-                    plan.xtalk[ai].push_back({t0, t1, rate});
-            }
-        }
-    }
-
-    // Back-to-back single-qubit ops (decomposed gates, DD pulse
-    // trains) are fused into one step: per-pulse *errors* are still
-    // sampled individually, but the state vector is touched once per
-    // train instead of once per pulse.  This keeps dense XY4 fills
-    // (1000+ pulses on long idle windows) affordable.
-    std::vector<PlanStep> &steps = plan.steps;
-    steps.reserve(sched.ops().size());
-    std::vector<int> open(plan.active.size(), -1);
-
-    for (const TimedOp &op : sched.ops()) {
-        const Gate &gate = op.gate;
-        if (gate.type == GateType::Delay ||
-            gate.type == GateType::Barrier || gate.type == GateType::I)
-            continue;
-
-        if (gate.type == GateType::Measure) {
-            const int dq = dense[static_cast<size_t>(gate.qubit())];
-            open[static_cast<size_t>(dq)] = -1;
-            PlanStep step;
-            step.kind = PlanStep::Kind::Meas;
-            step.q = dq;
-            step.start = op.start;
-            step.end = op.end;
-            step.clbit = gate.clbit < 0 ? static_cast<int>(gate.qubit())
-                                        : gate.clbit;
-            plan.maxClbit = std::max(plan.maxClbit, step.clbit);
-            const auto &qc =
-                cal.qubits[static_cast<size_t>(gate.qubit())];
-            step.err01 = qc.readoutError01;
-            step.err10 = qc.readoutError10;
-            steps.push_back(std::move(step));
-            continue;
-        }
-
-        if (isTwoQubitGate(gate.type)) {
-            const int da = dense[static_cast<size_t>(gate.qubits[0])];
-            const int db = dense[static_cast<size_t>(gate.qubits[1])];
-            open[static_cast<size_t>(da)] = -1;
-            open[static_cast<size_t>(db)] = -1;
-            PlanStep step;
-            step.kind = PlanStep::Kind::TwoQubit;
-            step.q = da;
-            step.q2 = db;
-            step.start = op.start;
-            step.end = op.end;
-            step.twoQubitType = gate.type;
-            require(op.linkIndex >= 0 || gate.type != GateType::CX,
-                    "scheduled CX without a link index");
-            step.cxError =
-                op.linkIndex >= 0
-                    ? cal.links[static_cast<size_t>(op.linkIndex)]
-                          .cxError
-                    : 0.0;
-            steps.push_back(std::move(step));
-            continue;
-        }
-
-        // Single-qubit unitary: fuse with the previous step when they
-        // touch (gap below 1 ps) on this qubit.
-        const int dq = dense[static_cast<size_t>(gate.qubit())];
-        const bool physical_pulse =
-            gate.type == GateType::X || gate.type == GateType::Y ||
-            gate.type == GateType::SX || gate.type == GateType::SXdg;
-        const double p_err =
-            physical_pulse
-                ? cal.qubits[static_cast<size_t>(gate.qubit())]
-                      .gateError1Q
-                : 0.0;
-        plan.clifford = plan.clifford && gate.isClifford();
-        Gate mapped = gate;
-        mapped.qubits[0] = dq;
-        Pulse pulse{std::move(mapped), gateMatrix(gate), p_err};
-        const int open_idx = open[static_cast<size_t>(dq)];
-        if (open_idx >= 0 &&
-            op.start - steps[static_cast<size_t>(open_idx)].end < 1e-3) {
-            steps[static_cast<size_t>(open_idx)].pulses.push_back(
-                std::move(pulse));
-            steps[static_cast<size_t>(open_idx)].end =
-                std::max(steps[static_cast<size_t>(open_idx)].end,
-                         op.end);
-            continue;
-        }
-        PlanStep step;
-        step.kind = PlanStep::Kind::Fused1Q;
-        step.q = dq;
-        step.start = op.start;
-        step.end = op.end;
-        step.pulses.push_back(std::move(pulse));
-        open[static_cast<size_t>(dq)] = static_cast<int>(steps.size());
-        steps.push_back(std::move(step));
-    }
-    return plan;
-}
-
-/**
- * One Monte-Carlo trajectory on @p state.  All randomness comes from
- * streams forked off @p shot_rng, so a shot's outcome depends only on
- * its index — never on which thread runs it or in which order.  On
- * the dense backend the draw sequence (and hence every trajectory) is
- * identical to the historical dense-only engine.
+ * One Monte-Carlo trajectory on @p state — the interpreted reference
+ * path.  All randomness comes from streams forked off @p shot_rng, so
+ * a shot's outcome depends only on its index — never on which thread
+ * runs it or in which order.  The compiled replay (noise/compiled.hh)
+ * consumes the identical draw sequence and mutates the state with
+ * bit-identical operands; this function remains the executable
+ * specification it is tested against, and the only dense path the
+ * sanitizers cannot simplify away.
  */
 uint64_t
 runShot(const ExecutionPlan &plan, const Calibration &cal,
@@ -288,9 +121,7 @@ runShot(const ExecutionPlan &plan, const Calibration &cal,
                 // Pauli twirl of the accrued phase, applied by the
                 // engine so both backends sample the identical
                 // (approximate) law under this flag.
-                const double half = 0.5 * phase;
-                const double p_z = std::sin(half) * std::sin(half);
-                if (qubit_rng[ai].bernoulli(p_z))
+                if (qubit_rng[ai].bernoulli(twirlZProbability(phase)))
                     state.applyPauli(3, static_cast<int>(ai)); // Z
             } else {
                 state.applyIdlePhase(static_cast<int>(ai), phase,
@@ -313,15 +144,15 @@ runShot(const ExecutionPlan &plan, const Calibration &cal,
             // Thinned jump sampling: fire the relaxation jump with
             // probability gamma * P(|1>); the O(gamma^2) no-jump
             // reweighting is negligible at these rates.
-            const double gamma = 1.0 - std::exp(-dt_us / qc.t1Us);
+            const double gamma = t1JumpProbability(dt_us, qc.t1Us);
             if (qubit_rng[ai].bernoulli(gamma) &&
                 qubit_rng[ai].bernoulli(state.populationOne(dq))) {
                 state.applyDecayJump(dq);
             }
         }
         if (flags.whiteDephasing) {
-            const double p_flip =
-                0.5 * (1.0 - std::exp(-dt_us / qc.t2WhiteUs));
+            const double p_flip = whiteDephasingFlipProbability(
+                dt_us, qc.t2WhiteUs);
             if (qubit_rng[ai].bernoulli(p_flip))
                 state.applyPauli(3, dq); // Z
         }
@@ -427,6 +258,38 @@ resolveBackend(BackendKind requested, const ExecutionPlan &plan,
     panic("unreachable backend kind");
 }
 
+/**
+ * Merge per-chunk histograms into the output distribution: gather
+ * every chunk's raw items, sort the combined list once, and fold
+ * duplicate keys before they reach the Distribution map — instead of
+ * sorting each chunk's items separately and re-looking-up shared
+ * keys.  Integer counts add exactly, so the result is identical for
+ * any chunk count.
+ */
+Distribution
+mergeChunkHistograms(const std::vector<FlatAccumulator> &histograms)
+{
+    size_t total = 0;
+    for (const FlatAccumulator &hist : histograms)
+        total += hist.size();
+    std::vector<std::pair<uint64_t, double>> items;
+    items.reserve(total);
+    for (const FlatAccumulator &hist : histograms)
+        hist.appendItemsTo(items);
+    std::sort(items.begin(), items.end());
+
+    Distribution dist;
+    for (size_t i = 0; i < items.size();) {
+        const uint64_t key = items[i].first;
+        double count = 0.0;
+        for (; i < items.size() && items[i].first == key; i++)
+            count += items[i].second;
+        dist.addSamples(key,
+                        static_cast<uint64_t>(std::llround(count)));
+    }
+    return dist;
+}
+
 } // namespace
 
 BackendKind
@@ -436,22 +299,44 @@ NoisyMachine::chooseBackend(const ScheduledCircuit &sched) const
     return resolveBackend(BackendKind::Auto, plan, flags_);
 }
 
+PreparedCircuit
+NoisyMachine::prepareImpl(const ScheduledCircuit &sched,
+                          BackendKind backend, bool compile) const
+{
+    auto job = std::make_shared<PreparedJob>();
+    job->plan = buildPlan(sched, cal_, flags_);
+    job->kind = resolveBackend(backend, job->plan, flags_);
+    if (compile && job->kind == BackendKind::Dense)
+        job->program = compileShotProgram(job->plan, cal_, flags_);
+    PreparedCircuit prepared;
+    prepared.impl_ = std::move(job);
+    return prepared;
+}
+
+PreparedCircuit
+NoisyMachine::prepare(const ScheduledCircuit &sched,
+                      BackendKind backend) const
+{
+    return prepareImpl(sched, backend, /*compile=*/true);
+}
+
 Distribution
-NoisyMachine::run(const ScheduledCircuit &sched, int shots,
-                  uint64_t run_seed, int threads,
-                  BackendKind backend) const
+NoisyMachine::run(const PreparedCircuit &prepared, int shots,
+                  uint64_t run_seed, int threads, ExecMode mode) const
 {
     require(shots > 0, "NoisyMachine::run requires at least one shot");
-
-    const ExecutionPlan plan = buildPlan(sched, cal_, flags_);
-    const BackendKind kind = resolveBackend(backend, plan, flags_);
+    require(prepared.valid(),
+            "NoisyMachine::run on an empty PreparedCircuit");
+    const PreparedJob &job = *prepared.impl_;
+    const bool compiled =
+        mode == ExecMode::Compiled && job.program.has_value();
     const Rng base(run_seed ^ 0xadab7dd);
 
     // Shots are embarrassingly parallel: every shot's RNG streams are
     // forked from (base, shot index) alone, so any partition of the
     // shot range yields the same per-shot outcomes.  Each chunk
     // counts outcomes into its own flat histogram; merging the
-    // histograms in chunk order (integer counts — exact addition)
+    // histograms in key order (integer counts — exact addition)
     // reproduces the serial result bit for bit at any thread count.
     const int chunks =
         std::min(resolveThreads(threads), shots);
@@ -461,50 +346,85 @@ NoisyMachine::run(const ScheduledCircuit &sched, int shots,
                 [&](int64_t lo, int64_t hi, int chunk) {
         FlatAccumulator &hist =
             histograms[static_cast<size_t>(chunk)];
-        const std::unique_ptr<SimBackend> state =
-            makeBackend(kind, static_cast<int>(plan.active.size()));
-        OutcomePacker packer(plan.maxClbit + 1);
+        if (compiled) {
+            ShotReplayer replayer(job.plan, *job.program);
+            for (int64_t shot = lo; shot < hi; shot++) {
+                const Rng shot_rng =
+                    base.fork(static_cast<uint64_t>(shot) + 1);
+                hist.add(replayer.runShot(shot_rng), 1.0);
+            }
+            return;
+        }
+        const std::unique_ptr<SimBackend> state = makeBackend(
+            job.kind, static_cast<int>(job.plan.active.size()));
+        OutcomePacker packer(job.plan.maxClbit + 1);
         for (int64_t shot = lo; shot < hi; shot++) {
             const Rng shot_rng =
                 base.fork(static_cast<uint64_t>(shot) + 1);
-            hist.add(runShot(plan, cal_, flags_, *state, packer,
+            hist.add(runShot(job.plan, cal_, flags_, *state, packer,
                              shot_rng),
                      1.0);
         }
     });
 
-    Distribution dist;
-    for (const FlatAccumulator &hist : histograms) {
-        for (const auto &[outcome, count] : hist.sortedItems()) {
-            dist.addSamples(outcome,
-                            static_cast<uint64_t>(std::llround(count)));
-        }
-    }
-    return dist;
+    return mergeChunkHistograms(histograms);
+}
+
+Distribution
+NoisyMachine::run(const ScheduledCircuit &sched, int shots,
+                  uint64_t run_seed, int threads,
+                  BackendKind backend, ExecMode mode) const
+{
+    return run(prepareImpl(sched, backend,
+                           /*compile=*/mode == ExecMode::Compiled),
+               shots, run_seed, threads, mode);
 }
 
 std::vector<Distribution>
 NoisyMachine::runBatch(std::span<const ScheduledCircuit> jobs, int shots,
                        std::span<const uint64_t> seeds, int threads,
-                       BackendKind backend) const
+                       BackendKind backend, ExecMode mode) const
 {
     require(jobs.size() == seeds.size(),
             "runBatch requires one seed per job");
     std::vector<Distribution> outputs(jobs.size());
 
     // Jobs are independent, so they fan out across the pool; each
-    // output lands at its job's index.  run() itself is bit-identical
-    // across thread counts (its shot parallelism degrades to serial
-    // inside pool workers), so the batch reproduces jobs.size()
-    // serial run() calls exactly for any thread count.  A single-job
-    // batch dispatches inline, keeping run()'s own shot parallelism.
+    // output lands at its job's index.  Preparation (plan lowering +
+    // shot-program compilation) happens inside the workers, so a
+    // batch also parallelizes the per-variant compile.  run() itself
+    // is bit-identical across thread counts (its shot parallelism
+    // degrades to serial inside pool workers), so the batch
+    // reproduces jobs.size() serial run() calls exactly for any
+    // thread count.  A single-job batch dispatches inline, keeping
+    // run()'s own shot parallelism.
     parallelFor(0, static_cast<int64_t>(jobs.size()), threads,
                 [&](int64_t lo, int64_t hi, int) {
         for (int64_t i = lo; i < hi; i++) {
             outputs[static_cast<size_t>(i)] =
                 run(jobs[static_cast<size_t>(i)], shots,
                     seeds[static_cast<size_t>(i)], /*threads=*/0,
-                    backend);
+                    backend, mode);
+        }
+    });
+    return outputs;
+}
+
+std::vector<Distribution>
+NoisyMachine::runBatch(std::span<const PreparedCircuit> jobs, int shots,
+                       std::span<const uint64_t> seeds, int threads,
+                       ExecMode mode) const
+{
+    require(jobs.size() == seeds.size(),
+            "runBatch requires one seed per job");
+    std::vector<Distribution> outputs(jobs.size());
+    parallelFor(0, static_cast<int64_t>(jobs.size()), threads,
+                [&](int64_t lo, int64_t hi, int) {
+        for (int64_t i = lo; i < hi; i++) {
+            outputs[static_cast<size_t>(i)] =
+                run(jobs[static_cast<size_t>(i)], shots,
+                    seeds[static_cast<size_t>(i)], /*threads=*/0,
+                    mode);
         }
     });
     return outputs;

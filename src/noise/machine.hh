@@ -22,6 +22,7 @@
 #define ADAPT_NOISE_MACHINE_HH
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -33,6 +34,52 @@
 
 namespace adapt
 {
+
+/** Internal prepared-job state (plan + compiled program). */
+struct PreparedJob;
+
+/**
+ * How dense shots execute.
+ *
+ *  - Compiled (default): the job is lowered once into a flat
+ *    ShotProgram (noise/compiled.hh) and every shot replays it — a
+ *    cheap draw pass resolving all stochastic outcomes against
+ *    fixed-point thresholds, then a no-error fast replay when nothing
+ *    fired.  Bit-identical to Interpreted for any seed/thread count.
+ *  - Interpreted: the historical per-shot plan walk (the reference
+ *    semantics the compiled path is tested against).
+ *
+ * Stabilizer jobs always interpret (the tableau replays gates one by
+ * one regardless).
+ */
+enum class ExecMode
+{
+    Compiled,
+    Interpreted,
+};
+
+/**
+ * A scheduled executable lowered and compiled once for a specific
+ * NoisyMachine (calibration + noise flags baked in), reusable across
+ * run() calls and seeds.  Cheap to copy (shared immutable state).
+ * Using it with a different machine than the one that prepared it is
+ * undefined.
+ */
+class PreparedCircuit
+{
+  public:
+    PreparedCircuit() = default;
+
+    /** Resolved backend this job will execute on. */
+    BackendKind backend() const;
+
+    /** True once prepare() has populated this handle. */
+    bool valid() const { return impl_ != nullptr; }
+
+  private:
+    friend class NoisyMachine;
+    std::shared_ptr<const PreparedJob> impl_;
+};
 
 /** The simulated hardware endpoint. */
 class NoisyMachine
@@ -76,7 +123,25 @@ class NoisyMachine
      */
     Distribution run(const ScheduledCircuit &sched, int shots,
                      uint64_t run_seed = 1, int threads = 0,
-                     BackendKind backend = BackendKind::Auto) const;
+                     BackendKind backend = BackendKind::Auto,
+                     ExecMode mode = ExecMode::Compiled) const;
+
+    /**
+     * Lower and compile @p sched once, for repeated execution.
+     *
+     * Dense jobs are compiled into a flat ShotProgram (the expensive
+     * shot-invariant work: plan lowering, pulse-product fusion,
+     * noise-constant precomputation); stabilizer jobs keep just the
+     * plan.  The handle is immutable and thread-safe to share.
+     */
+    PreparedCircuit prepare(const ScheduledCircuit &sched,
+                            BackendKind backend = BackendKind::Auto) const;
+
+    /** Execute a prepared job; identical output to the run() overload
+     *  taking the schedule it was prepared from. */
+    Distribution run(const PreparedCircuit &prepared, int shots,
+                     uint64_t run_seed = 1, int threads = 0,
+                     ExecMode mode = ExecMode::Compiled) const;
 
     /**
      * Execute a batch of independent jobs, one distribution per job.
@@ -110,7 +175,15 @@ class NoisyMachine
     std::vector<Distribution>
     runBatch(std::span<const ScheduledCircuit> jobs, int shots,
              std::span<const uint64_t> seeds, int threads = 0,
-             BackendKind backend = BackendKind::Auto) const;
+             BackendKind backend = BackendKind::Auto,
+             ExecMode mode = ExecMode::Compiled) const;
+
+    /** Batched execution of pre-prepared jobs (one compilation per
+     *  job, shared by all its shots); same contract as above. */
+    std::vector<Distribution>
+    runBatch(std::span<const PreparedCircuit> jobs, int shots,
+             std::span<const uint64_t> seeds, int threads = 0,
+             ExecMode mode = ExecMode::Compiled) const;
 
     /**
      * The backend Auto would pick for @p sched under this machine's
@@ -119,6 +192,12 @@ class NoisyMachine
     BackendKind chooseBackend(const ScheduledCircuit &sched) const;
 
   private:
+    /** prepare() with the shot-program compilation optional (skipped
+     *  for pure ExecMode::Interpreted runs, which never read it). */
+    PreparedCircuit prepareImpl(const ScheduledCircuit &sched,
+                                BackendKind backend,
+                                bool compile) const;
+
     const Device &device_;
     Calibration cal_;
     NoiseFlags flags_;

@@ -22,9 +22,8 @@ OuProcess::at(double t_us, Rng &rng)
             "OU process sampled backwards in time");
     const double dt = std::max(0.0, t_us - lastTimeUs_);
     if (dt > 0.0) {
-        const double decay = std::exp(-dt / tau_);
-        const double innovation_sd =
-            sigma_ * std::sqrt(std::max(0.0, 1.0 - decay * decay));
+        const double decay = ouDecayFactor(dt, tau_);
+        const double innovation_sd = ouInnovationSd(sigma_, decay);
         lastValue_ = lastValue_ * decay + rng.normal(0.0, innovation_sd);
         lastTimeUs_ = t_us;
     }

@@ -18,11 +18,65 @@
 #ifndef ADAPT_NOISE_NOISE_MODEL_HH
 #define ADAPT_NOISE_NOISE_MODEL_HH
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/rng.hh"
 #include "common/types.hh"
 
 namespace adapt
 {
+
+/**
+ * @name Shared noise-channel formulas
+ *
+ * Single definitions for every closed-form probability / transition
+ * constant of the trajectory engine.  Three call sites must agree bit
+ * for bit — OuProcess::at, the interpreted engine (machine.cc), and
+ * the shot-program compiler (compiled.cc, which evaluates them once
+ * per job instead of once per shot) — so the expressions live here:
+ * divergence between the paths becomes structurally impossible
+ * instead of resting on textual copies staying identical.
+ * @{
+ */
+
+/** OU mean-reversion factor exp(-dt / tau) over a dt_us interval. */
+inline double
+ouDecayFactor(double dt_us, double tau_us)
+{
+    return std::exp(-dt_us / tau_us);
+}
+
+/** OU innovation standard deviation for a given decay factor. */
+inline double
+ouInnovationSd(double sigma, double decay)
+{
+    return sigma * std::sqrt(std::max(0.0, 1.0 - decay * decay));
+}
+
+/** Pauli-twirl Z probability sin^2(phi / 2) of a coherent phase. */
+inline double
+twirlZProbability(double phase)
+{
+    const double half = 0.5 * phase;
+    return std::sin(half) * std::sin(half);
+}
+
+/** Thinned T1 jump-candidate probability 1 - exp(-dt / T1). */
+inline double
+t1JumpProbability(double dt_us, double t1_us)
+{
+    return 1.0 - std::exp(-dt_us / t1_us);
+}
+
+/** White-dephasing Z-flip probability over a dt_us interval. */
+inline double
+whiteDephasingFlipProbability(double dt_us, double t2_white_us)
+{
+    return 0.5 * (1.0 - std::exp(-dt_us / t2_white_us));
+}
+
+/** @} */
 
 /**
  * Per-channel enable bits, for the noise-decomposition ablation.

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "noise/noise_model.hh"
 
 namespace adapt
 {
@@ -20,10 +21,6 @@ backendKindName(BackendKind kind)
     panic("unreachable backend kind");
 }
 
-namespace
-{
-
-/** Matrices of X / Y / Z, indexed by the engine's Pauli packing. */
 const Matrix2 &
 pauliMatrix(int pauli)
 {
@@ -38,6 +35,9 @@ pauliMatrix(int pauli)
     panic("pauliMatrix: index " + std::to_string(pauli) +
           " is not a non-identity Pauli");
 }
+
+namespace
+{
 
 /** (measured qubit, classical bit) pairs of a circuit's Measure
  *  gates, validating that measurements are terminal per qubit. */
@@ -185,9 +185,7 @@ PauliFrameBackend::applyIdlePhase(QubitId q, double phi, Rng &rng)
     // twirls centrally under NoiseFlags::twirlCoherent so both
     // backends sample one law; this is the tableau's best rendition
     // for direct backend drivers.)
-    const double half = 0.5 * phi;
-    const double p_z = std::sin(half) * std::sin(half);
-    if (rng.bernoulli(p_z))
+    if (rng.bernoulli(twirlZProbability(phi)))
         tableau_.applyZ(q);
 }
 

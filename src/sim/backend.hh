@@ -54,6 +54,15 @@ enum class BackendKind
 std::string backendKindName(BackendKind kind);
 
 /**
+ * Matrix of X / Y / Z in the engine's Pauli packing (1 = X, 2 = Y,
+ * 3 = Z).  Shared by DenseBackend::applyPauli and the compiled shot
+ * replay so both paths multiply the state by the identical matrix.
+ *
+ * @pre pauli is 1, 2, or 3.
+ */
+const Matrix2 &pauliMatrix(int pauli);
+
+/**
  * The per-shot simulation surface the trajectory engine drives.
  *
  * A backend owns one register's worth of state; init() rewinds it to

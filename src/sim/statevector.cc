@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
 #include "common/flat_accumulator.hh"
 #include "common/logging.hh"
 
@@ -14,6 +18,28 @@ namespace
 
 /** Largest register the dense simulator will allocate (16 GiB). */
 constexpr int kMaxDenseQubits = 26;
+
+#if defined(__AVX2__)
+
+/**
+ * Complex product of per-128-bit-lane scalars (re / im pre-splatted)
+ * with a vector of two packed complex doubles [re0 im0 re1 im1].
+ *
+ * Performs exactly the operations of the scalar std::complex formula
+ * — two products per component, one subtract for the real part, one
+ * add for the imaginary part (via vaddsubpd) — with the same
+ * roundings, and deliberately no FMA: results stay bit-identical to
+ * the portable scalar kernels.
+ */
+inline __m256d
+cmulLanes(__m256d s_re, __m256d s_im, __m256d v)
+{
+    const __m256d swapped = _mm256_permute_pd(v, 0b0101);
+    return _mm256_addsub_pd(_mm256_mul_pd(s_re, v),
+                            _mm256_mul_pd(s_im, swapped));
+}
+
+#endif // __AVX2__
 
 /**
  * Visit every basis index with @p bit set, in ascending order.
@@ -106,6 +132,60 @@ StateVector::apply1Q(const Matrix2 &u, QubitId q)
     const Complex u00 = u(0, 0), u01 = u(0, 1);
     const Complex u10 = u(1, 0), u11 = u(1, 1);
 
+#if defined(__AVX2__)
+    auto *d = reinterpret_cast<double *>(amps_.data());
+    if (q == 0) {
+        // Stride-1: one 256-bit vector holds an adjacent (a0, a1)
+        // pair; the low lane produces u00*a0 + u01*a1 and the high
+        // lane u10*a0 + u11*a1 in a single streaming pass.
+        const __m256d c0re = _mm256_setr_pd(u00.real(), u00.real(),
+                                            u10.real(), u10.real());
+        const __m256d c0im = _mm256_setr_pd(u00.imag(), u00.imag(),
+                                            u10.imag(), u10.imag());
+        const __m256d c1re = _mm256_setr_pd(u01.real(), u01.real(),
+                                            u11.real(), u11.real());
+        const __m256d c1im = _mm256_setr_pd(u01.imag(), u01.imag(),
+                                            u11.imag(), u11.imag());
+        for (uint64_t i = 0; i < dim; i += 2) {
+            const __m256d v = _mm256_loadu_pd(d + 2 * i);
+            const __m256d a0 = _mm256_permute2f128_pd(v, v, 0x00);
+            const __m256d a1 = _mm256_permute2f128_pd(v, v, 0x11);
+            const __m256d r =
+                _mm256_add_pd(cmulLanes(c0re, c0im, a0),
+                              cmulLanes(c1re, c1im, a1));
+            _mm256_storeu_pd(d + 2 * i, r);
+        }
+        return;
+    }
+    // Strided (q >= 1): the paired amplitudes sit stride apart and
+    // each contiguous offset run is at least two complex wide, so
+    // both loads stay full vectors.
+    const uint64_t stride = uint64_t{1} << q;
+    const __m256d w00re = _mm256_set1_pd(u00.real());
+    const __m256d w00im = _mm256_set1_pd(u00.imag());
+    const __m256d w01re = _mm256_set1_pd(u01.real());
+    const __m256d w01im = _mm256_set1_pd(u01.imag());
+    const __m256d w10re = _mm256_set1_pd(u10.real());
+    const __m256d w10im = _mm256_set1_pd(u10.imag());
+    const __m256d w11re = _mm256_set1_pd(u11.real());
+    const __m256d w11im = _mm256_set1_pd(u11.imag());
+    for (uint64_t base = 0; base < dim; base += 2 * stride) {
+        for (uint64_t offset = 0; offset < stride; offset += 2) {
+            const uint64_t i0 = base + offset;
+            const uint64_t i1 = i0 + stride;
+            const __m256d va = _mm256_loadu_pd(d + 2 * i0);
+            const __m256d vb = _mm256_loadu_pd(d + 2 * i1);
+            const __m256d ra =
+                _mm256_add_pd(cmulLanes(w00re, w00im, va),
+                              cmulLanes(w01re, w01im, vb));
+            const __m256d rb =
+                _mm256_add_pd(cmulLanes(w10re, w10im, va),
+                              cmulLanes(w11re, w11im, vb));
+            _mm256_storeu_pd(d + 2 * i0, ra);
+            _mm256_storeu_pd(d + 2 * i1, rb);
+        }
+    }
+#else
     if (q == 0) {
         // Stride-1 specialization: amplitude pairs are adjacent, so
         // the whole state streams through in one sequential pass.
@@ -129,6 +209,7 @@ StateVector::apply1Q(const Matrix2 &u, QubitId q)
             amps_[i1] = u10 * a0 + u11 * a1;
         }
     }
+#endif
 }
 
 void
@@ -136,8 +217,33 @@ StateVector::applyPhase(QubitId q, double phi)
 {
     touch();
     const Complex factor = std::exp(kImag * phi);
+#if defined(__AVX2__)
+    auto *d = reinterpret_cast<double *>(amps_.data());
+    const uint64_t dim = amps_.size();
+    const uint64_t bit = uint64_t{1} << q;
+    const __m256d fre = _mm256_set1_pd(factor.real());
+    const __m256d fim = _mm256_set1_pd(factor.imag());
+    if (bit == 1) {
+        // Odd amplitudes only: rotate both lanes, keep the even one.
+        for (uint64_t i = 0; i < dim; i += 2) {
+            const __m256d v = _mm256_loadu_pd(d + 2 * i);
+            const __m256d p = cmulLanes(fre, fim, v);
+            _mm256_storeu_pd(d + 2 * i,
+                             _mm256_blend_pd(v, p, 0b1100));
+        }
+        return;
+    }
+    // Set-bit indices form contiguous runs of length bit >= 2.
+    for (uint64_t base = bit; base < dim; base += 2 * bit) {
+        for (uint64_t i = base; i < base + bit; i += 2) {
+            const __m256d v = _mm256_loadu_pd(d + 2 * i);
+            _mm256_storeu_pd(d + 2 * i, cmulLanes(fre, fim, v));
+        }
+    }
+#else
     forEachSet(amps_.size(), uint64_t{1} << q,
                [&](uint64_t i) { amps_[i] *= factor; });
+#endif
 }
 
 void
@@ -271,10 +377,37 @@ StateVector::probabilities() const
 double
 StateVector::populationOne(QubitId q) const
 {
+#if defined(__AVX2__)
+    const auto *d = reinterpret_cast<const double *>(amps_.data());
+    const uint64_t dim = amps_.size();
+    const uint64_t bit = uint64_t{1} << q;
+    __m256d acc = _mm256_setzero_pd();
+    if (bit == 1) {
+        const __m256d zero = _mm256_setzero_pd();
+        for (uint64_t i = 0; i < dim; i += 2) {
+            const __m256d v = _mm256_loadu_pd(d + 2 * i);
+            const __m256d sq = _mm256_mul_pd(v, v);
+            acc = _mm256_add_pd(acc,
+                                _mm256_blend_pd(zero, sq, 0b1100));
+        }
+    } else {
+        for (uint64_t base = bit; base < dim; base += 2 * bit) {
+            for (uint64_t i = base; i < base + bit; i += 2) {
+                const __m256d v = _mm256_loadu_pd(d + 2 * i);
+                acc = _mm256_add_pd(acc, _mm256_mul_pd(v, v));
+            }
+        }
+    }
+    alignas(32) double lanes[4];
+    _mm256_store_pd(lanes, acc);
+    // Fixed lane-fold order keeps the reduction deterministic.
+    return ((lanes[0] + lanes[1]) + lanes[2]) + lanes[3];
+#else
     double p = 0.0;
     forEachSet(amps_.size(), uint64_t{1} << q,
                [&](uint64_t i) { p += std::norm(amps_[i]); });
     return p;
+#endif
 }
 
 void
@@ -315,10 +448,8 @@ StateVector::sample(Rng &rng) const
 }
 
 bool
-StateVector::measureCollapse(QubitId q, Rng &rng)
+StateVector::collapseTo(QubitId q, bool outcome)
 {
-    const double p1 = populationOne(q);
-    const bool outcome = rng.bernoulli(p1);
     touch();
     const uint64_t bit = uint64_t{1} << q;
     auto zero = [&](uint64_t i) { amps_[i] = 0.0; };
@@ -328,6 +459,20 @@ StateVector::measureCollapse(QubitId q, Rng &rng)
         forEachSet(amps_.size(), bit, zero);
     normalize();
     return outcome;
+}
+
+bool
+StateVector::measureCollapse(QubitId q, Rng &rng)
+{
+    const double p1 = populationOne(q);
+    return collapseTo(q, rng.bernoulli(p1));
+}
+
+bool
+StateVector::measureCollapse(QubitId q, double uniform_draw)
+{
+    const double p1 = populationOne(q);
+    return collapseTo(q, uniform_draw < p1);
 }
 
 void
@@ -374,6 +519,16 @@ StateVector::normalize()
     const double inv = 1.0 / n;
     for (Complex &a : amps_)
         a *= inv;
+}
+
+const char *
+denseKernelIsa()
+{
+#if defined(__AVX2__)
+    return "avx2";
+#else
+    return "scalar";
+#endif
 }
 
 Circuit

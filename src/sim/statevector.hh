@@ -102,6 +102,14 @@ class StateVector
     bool measureCollapse(QubitId q, Rng &rng);
 
     /**
+     * measureCollapse with a pre-drawn uniform variate in [0, 1)
+     * (compiled shot replay: the RNG word was reserved by the draw
+     * pass).  Bit-identical to measureCollapse(q, rng) when
+     * @p uniform_draw equals the value rng.uniform() would return.
+     */
+    bool measureCollapse(QubitId q, double uniform_draw);
+
+    /**
      * Amplitude-damping trajectory step on one qubit: with the
      * physically correct branch probabilities either the decay Kraus
      * K1 (|1> -> |0>) or the no-decay Kraus K0 fires; the state is
@@ -118,6 +126,10 @@ class StateVector
     /** Invalidate sampling caches; call before any amplitude write. */
     void touch() { sampleCacheValid_ = false; }
 
+    /** Zero the non-@p outcome branch of qubit @p q and renormalize
+     *  (shared tail of the two measureCollapse overloads). */
+    bool collapseTo(QubitId q, bool outcome);
+
     void buildSampleCache() const;
 
     int numQubits_;
@@ -129,6 +141,16 @@ class StateVector
     mutable uint64_t lastNonzero_ = 0;
     mutable bool sampleCacheValid_ = false;
 };
+
+/**
+ * Instruction set of the dense hot kernels compiled into this binary:
+ * "avx2" when the explicit AVX2 apply1Q / phase / population kernels
+ * are active (build with -DADAPT_NATIVE=ON on an AVX2 host), "scalar"
+ * for the portable fallback.  Within one binary both the compiled and
+ * the interpreted execution paths share the same kernels, so outputs
+ * are bit-identical between them either way.
+ */
+const char *denseKernelIsa();
 
 /**
  * Exact output distribution of a noiseless circuit over its classical

@@ -108,7 +108,14 @@ TEST(RunBatch, EmptyBatchReturnsNothing)
 {
     const Device d = Device::ibmqRome();
     const NoisyMachine machine(d);
-    EXPECT_TRUE(machine.runBatch({}, 100, {}).empty());
+    EXPECT_TRUE(machine
+                    .runBatch(std::span<const ScheduledCircuit>{}, 100,
+                              {})
+                    .empty());
+    EXPECT_TRUE(machine
+                    .runBatch(std::span<const PreparedCircuit>{}, 100,
+                              {})
+                    .empty());
 }
 
 TEST(RunBatch, SeedCountMismatchThrows)
