@@ -18,6 +18,7 @@
 #include <cstdio>
 
 #include "adapt/policies.hh"
+#include "bench_io.hh"
 #include "experiments/characterization.hh"
 #include "experiments/harness.hh"
 #include "sim/statevector.hh"
@@ -36,14 +37,17 @@ banner(const char *artefact, const char *description)
 
 /**
  * Entry point: run the experiment (prints the artefact), then the
- * registered microbenchmarks.
+ * registered microbenchmarks, then flush the shared BENCH_*.json
+ * record if --bench_json=PATH was given (see bench_io.hh).
  */
 #define ADAPT_BENCH_MAIN(experiment_fn)                                 \
     int main(int argc, char **argv)                                     \
     {                                                                   \
         benchmark::Initialize(&argc, argv);                             \
+        adapt::benchio::init(argc, argv);                               \
         experiment_fn();                                                \
         benchmark::RunSpecifiedBenchmarks();                            \
+        adapt::benchio::finish();                                       \
         return 0;                                                       \
     }
 

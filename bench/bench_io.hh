@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Shared BENCH_*.json artefact writer.
+ *
+ * Every bench binary records its headline numbers through this one
+ * writer, so all recorded artefacts share a single schema:
+ *
+ *   {
+ *     "bench": "<binary name>",
+ *     "description": "<what the numbers are>",
+ *     "git_rev": "<short rev or unknown>",
+ *     "date": "<UTC ISO-8601>",
+ *     "machine": { hardware_threads, dense_kernel_isa,
+ *                  frame_kernel_isa },
+ *     "cases": [ { "name": ..., "labels": {...}, "metrics": {...} } ]
+ *   }
+ *
+ * Usage: the ADAPT_BENCH_MAIN macro (bench_common.hh) initializes the
+ * writer from argv and flushes it on exit; experiment code just calls
+ * benchio::open(name, description) once and benchio::record(case)
+ * per measured case.  Without a --bench_json=PATH argument the
+ * writer is inert — stdout artefacts are unchanged.
+ */
+
+#ifndef ADAPT_BENCH_BENCH_IO_HH
+#define ADAPT_BENCH_BENCH_IO_HH
+
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sim/frame_batch.hh"
+#include "sim/statevector.hh"
+
+namespace adapt::benchio
+{
+
+/** One recorded case: a name plus ordered label / metric pairs. */
+struct Case
+{
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> labels;
+    std::vector<std::pair<std::string, double>> metrics;
+
+    Case(std::string case_name) : name(std::move(case_name)) {}
+
+    Case &label(std::string key, std::string value)
+    {
+        labels.emplace_back(std::move(key), std::move(value));
+        return *this;
+    }
+
+    Case &metric(std::string key, double value)
+    {
+        metrics.emplace_back(std::move(key), std::move(value));
+        return *this;
+    }
+};
+
+namespace detail
+{
+
+struct State
+{
+    std::string path;
+    std::string bench;
+    std::string description;
+    std::vector<Case> cases;
+};
+
+inline State &
+state()
+{
+    static State s;
+    return s;
+}
+
+/** Minimal JSON string escape (quotes and backslashes; the writer
+ *  only ever sees identifiers and prose we control). */
+inline std::string
+escape(const std::string &in)
+{
+    std::string out;
+    out.reserve(in.size());
+    for (const char c : in) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+inline std::string
+gitRev()
+{
+    std::string rev = "unknown";
+    if (FILE *pipe =
+            popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+        char buf[64] = {};
+        if (std::fgets(buf, sizeof buf, pipe) != nullptr) {
+            buf[std::strcspn(buf, "\n")] = '\0';
+            if (buf[0] != '\0')
+                rev = buf;
+        }
+        pclose(pipe);
+    }
+    return rev;
+}
+
+inline std::string
+utcNow()
+{
+    char buf[32] = {};
+    const std::time_t now = std::time(nullptr);
+    std::tm tm{};
+    gmtime_r(&now, &tm);
+    std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+}
+
+} // namespace detail
+
+/** Capture --bench_json=PATH from argv (after google-benchmark has
+ *  consumed its own flags); called by ADAPT_BENCH_MAIN. */
+inline void
+init(int argc, char **argv)
+{
+    constexpr const char *kFlag = "--bench_json=";
+    for (int i = 1; i < argc; i++) {
+        if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0)
+            detail::state().path = argv[i] + std::strlen(kFlag);
+    }
+}
+
+/** Name the artefact; idempotent, typically the first line of the
+ *  experiment function. */
+inline void
+open(std::string bench, std::string description)
+{
+    detail::state().bench = std::move(bench);
+    detail::state().description = std::move(description);
+}
+
+/** Append one case and return it for label()/metric() chaining. */
+inline Case &
+record(std::string case_name)
+{
+    detail::state().cases.emplace_back(std::move(case_name));
+    return detail::state().cases.back();
+}
+
+/** Write the artefact if --bench_json was given; called by
+ *  ADAPT_BENCH_MAIN after the benchmarks run. */
+inline void
+finish()
+{
+    const detail::State &s = detail::state();
+    if (s.path.empty())
+        return;
+    FILE *out = std::fopen(s.path.c_str(), "w");
+    if (out == nullptr) {
+        std::fprintf(stderr, "bench_io: cannot write %s\n",
+                     s.path.c_str());
+        return;
+    }
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"bench\": \"%s\",\n",
+                 detail::escape(s.bench).c_str());
+    std::fprintf(out, "  \"description\": \"%s\",\n",
+                 detail::escape(s.description).c_str());
+    std::fprintf(out, "  \"git_rev\": \"%s\",\n",
+                 detail::escape(detail::gitRev()).c_str());
+    std::fprintf(out, "  \"date\": \"%s\",\n",
+                 detail::utcNow().c_str());
+    std::fprintf(out,
+                 "  \"machine\": {\n"
+                 "    \"hardware_threads\": %u,\n"
+                 "    \"dense_kernel_isa\": \"%s\",\n"
+                 "    \"frame_kernel_isa\": \"%s\"\n"
+                 "  },\n",
+                 std::thread::hardware_concurrency(),
+                 denseKernelIsa(), frameKernelIsa());
+    std::fprintf(out, "  \"cases\": [");
+    for (size_t i = 0; i < s.cases.size(); i++) {
+        const Case &c = s.cases[i];
+        std::fprintf(out, "%s\n    {\n      \"name\": \"%s\"",
+                     i == 0 ? "" : ",", detail::escape(c.name).c_str());
+        if (!c.labels.empty()) {
+            std::fprintf(out, ",\n      \"labels\": {");
+            for (size_t j = 0; j < c.labels.size(); j++) {
+                std::fprintf(out, "%s\n        \"%s\": \"%s\"",
+                             j == 0 ? "" : ",",
+                             detail::escape(c.labels[j].first).c_str(),
+                             detail::escape(c.labels[j].second)
+                                 .c_str());
+            }
+            std::fprintf(out, "\n      }");
+        }
+        if (!c.metrics.empty()) {
+            std::fprintf(out, ",\n      \"metrics\": {");
+            for (size_t j = 0; j < c.metrics.size(); j++) {
+                std::fprintf(out, "%s\n        \"%s\": %.9g",
+                             j == 0 ? "" : ",",
+                             detail::escape(c.metrics[j].first)
+                                 .c_str(),
+                             c.metrics[j].second);
+            }
+            std::fprintf(out, "\n      }");
+        }
+        std::fprintf(out, "\n    }");
+    }
+    std::fprintf(out, "\n  ]\n}\n");
+    std::fclose(out);
+    std::printf("\nbench_io: wrote %zu cases to %s\n", s.cases.size(),
+                s.path.c_str());
+}
+
+} // namespace adapt::benchio
+
+#endif // ADAPT_BENCH_BENCH_IO_HH

@@ -70,6 +70,9 @@ searchSeconds(int threads)
 void
 runExperiment()
 {
+    benchio::open("search_throughput",
+                  "serial vs batched adaptSearch wall-clock "
+                  "(QFT-6A on ibmq_toronto)");
     banner("Search throughput",
            "serial vs batched adaptSearch (QFT-6A on ibmq_toronto, "
            "20 decoy executions per search)");
@@ -82,6 +85,10 @@ runExperiment()
                     searchOptions(1));
 
     const double serial = searchSeconds(1);
+    benchio::record("adapt_search_threads_1")
+        .metric("threads", 1)
+        .metric("seconds", serial)
+        .metric("speedup", 1.0);
     std::printf("%-10s %12s %10s %8s\n", "threads", "seconds",
                 "speedup", "mask-ok");
     std::printf("%-10d %12.3f %10s %8s\n", 1, serial, "1.00x", "ref");
@@ -98,6 +105,11 @@ runExperiment()
         std::printf("%-10s %12.3f %9.2fx %8s\n", label.c_str(),
                     elapsed, serial / elapsed,
                     identical ? "yes" : "NO");
+        benchio::record("adapt_search_threads_" + label)
+            .label("mask_identical", identical ? "yes" : "NO")
+            .metric("threads", threads)
+            .metric("seconds", elapsed)
+            .metric("speedup", serial / elapsed);
     }
 }
 

@@ -3,8 +3,10 @@
 #include <cmath>
 #include <utility>
 
+#include "circuit/clifford1q.hh"
 #include "common/logging.hh"
 #include "sim/backend.hh"
+#include "sim/stabilizer.hh"
 
 namespace adapt
 {
@@ -386,6 +388,414 @@ compileShotProgram(const ExecutionPlan &plan, const Calibration &cal,
             pushOp(OpRef::Kind::Fused1Q,
                    static_cast<uint32_t>(prog.fused.size()) - 1,
                    /*fast=*/true);
+            break;
+          }
+        }
+    }
+    return prog;
+}
+
+// ------------------------------------------------------------------
+// Frame-program compilation (stabilizer batch path).
+// ------------------------------------------------------------------
+
+namespace
+{
+
+/**
+ * GL(2, F2) action of a Clifford on a Pauli frame's (x, z) bits,
+ * stored as the images of the X and Z basis frames (signs dropped —
+ * a frame's global phase never reaches an outcome).
+ */
+struct FrameMat
+{
+    uint8_t xx, xz; //!< image of X: (x bit, z bit)
+    uint8_t zx, zz; //!< image of Z
+};
+
+constexpr FrameMat kFrameIdentity{1, 0, 0, 1};
+constexpr FrameMat kFrameSwap{0, 1, 1, 0};     // H-like
+constexpr FrameMat kFramePhase{1, 1, 0, 1};    // S-like: X -> Y
+constexpr FrameMat kFrameHalfX{1, 0, 1, 1};    // SX-like: Z -> Y
+
+inline bool
+isFrameIdentity(FrameMat m)
+{
+    return m.xx == 1 && m.xz == 0 && m.zx == 0 && m.zz == 1;
+}
+
+/** Composition "apply @p first, then @p second". */
+inline FrameMat
+composeFrame(FrameMat second, FrameMat first)
+{
+    FrameMat r;
+    r.xx = (first.xx & second.xx) ^ (first.xz & second.zx);
+    r.xz = (first.xx & second.xz) ^ (first.xz & second.zz);
+    r.zx = (first.zx & second.xx) ^ (first.zz & second.zx);
+    r.zz = (first.zx & second.xz) ^ (first.zz & second.zz);
+    return r;
+}
+
+/** Frame action of the named single-qubit Clifford generators (the
+ *  realization alphabet of clifford1QGroup). */
+FrameMat
+frameMatOfNamed(GateType type)
+{
+    switch (type) {
+      case GateType::I:
+      case GateType::X:
+      case GateType::Y:
+      case GateType::Z:
+        return kFrameIdentity; // Paulis act trivially up to sign
+      case GateType::H:
+        return kFrameSwap;
+      case GateType::S:
+      case GateType::Sdg:
+        return kFramePhase;
+      case GateType::SX:
+      case GateType::SXdg:
+        return kFrameHalfX;
+      default:
+        panic("frameMatOfNamed: " + gateName(type) +
+              " is not a named 1Q Clifford generator");
+    }
+}
+
+/** Frame action of any single-qubit Clifford gate instance,
+ *  mirroring StabilizerState::applyGate's dispatch. */
+FrameMat
+frameMatOfGate(const Gate &gate)
+{
+    switch (gate.type) {
+      case GateType::Barrier:
+      case GateType::Delay:
+        // Timing markers, not unitaries (buildPlan filters them out
+        // of pulse trains today; identity keeps this total if that
+        // ever changes).
+        return kFrameIdentity;
+      case GateType::I:
+      case GateType::X:
+      case GateType::Y:
+      case GateType::Z:
+      case GateType::H:
+      case GateType::S:
+      case GateType::Sdg:
+      case GateType::SX:
+      case GateType::SXdg:
+        return frameMatOfNamed(gate.type);
+      case GateType::RZ:
+      case GateType::U1:
+        switch (cliffordQuarterTurns(gate.params[0])) {
+          case 1:
+          case 3: return kFramePhase;
+          default: return kFrameIdentity;
+        }
+      case GateType::RX:
+        switch (cliffordQuarterTurns(gate.params[0])) {
+          case 1:
+          case 3: return kFrameHalfX;
+          default: return kFrameIdentity;
+        }
+      case GateType::RY:
+        switch (cliffordQuarterTurns(gate.params[0])) {
+          case 1:
+          case 3: return kFrameSwap;
+          default: return kFrameIdentity;
+        }
+      case GateType::Measure:
+        panic("frameMatOfGate cannot map Measure");
+      default: {
+        require(gate.isClifford(), "frameMatOfGate on non-Clifford "
+                                   "gate " + gate.toString());
+        const Clifford1Q &element =
+            nearestClifford(gateMatrix(gate));
+        require(unitaryDistance(gateMatrix(gate), element.matrix) <
+                    1e-6,
+                "Clifford gate not found in group table");
+        FrameMat acc = kFrameIdentity;
+        for (GateType g : element.gates)
+            acc = composeFrame(frameMatOfNamed(g), acc);
+        return acc;
+      }
+    }
+}
+
+/** Plane-transform class of a non-identity FrameMat. */
+Frame1QKind
+classifyFrameMat(FrameMat m)
+{
+    if (m.xx == 0 && m.xz == 1 && m.zx == 1 && m.zz == 0)
+        return Frame1QKind::Hadamard;
+    if (m.xx == 1 && m.xz == 1 && m.zx == 0 && m.zz == 1)
+        return Frame1QKind::Phase;
+    if (m.xx == 1 && m.xz == 0 && m.zx == 1 && m.zz == 1)
+        return Frame1QKind::HalfX;
+    if (m.xx == 0 && m.xz == 1 && m.zx == 1 && m.zz == 1)
+        return Frame1QKind::CycleA;
+    if (m.xx == 1 && m.xz == 1 && m.zx == 1 && m.zz == 0)
+        return Frame1QKind::CycleB;
+    panic("classifyFrameMat: singular or identity frame matrix");
+}
+
+/** Image of Pauli @p pauli (engine packing 1 = X, 2 = Y, 3 = Z)
+ *  under conjugation by the Clifford with frame matrix @p m. */
+uint8_t
+mapPauliThrough(FrameMat m, int pauli)
+{
+    const uint8_t px = pauli == 1 || pauli == 2;
+    const uint8_t pz = pauli == 2 || pauli == 3;
+    const uint8_t ox = (px & m.xx) ^ (pz & m.zx);
+    const uint8_t oz = (px & m.xz) ^ (pz & m.zz);
+    if (ox && oz)
+        return 2;
+    if (ox)
+        return 1;
+    require(oz, "mapPauliThrough produced the identity");
+    return 3;
+}
+
+} // namespace
+
+FrameProgram
+compileFrameProgram(const ExecutionPlan &plan, const Calibration &cal,
+                    const NoiseFlags &flags)
+{
+    require(plan.clifford,
+            "frame program requires an all-Clifford executable");
+    require(flags.pauliExpressible(),
+            "frame program requires Pauli-expressible noise");
+    require(!flags.ouDephasing,
+            "frame program does not cover per-shot OU twirl draws; "
+            "keep OU jobs on the per-shot stabilizer backend");
+
+    FrameProgram prog;
+    prog.numQubits = static_cast<int>(plan.active.size());
+    prog.numClbits = plan.maxClbit + 1;
+
+    // The noiseless reference simulation: advanced through the plan
+    // in step order, queried for measurement outcomes / branch-flip
+    // Paulis and T1-checkpoint populations as the ops are emitted.
+    StabilizerState ref(prog.numQubits);
+
+    std::vector<TimeNs> last_end(plan.active.size(), -1.0);
+
+    // Coherent idle noise over [t0, t1): with OU excluded the phase
+    // is shot-invariant, so the only emission is its static Pauli
+    // twirl (same accumulation order as the interpreter).
+    auto emitCoherent = [&](int dq, TimeNs t0, TimeNs t1) {
+        if (t1 - t0 <= 1e-9)
+            return;
+        double phase = 0.0;
+        if (flags.crosstalk) {
+            for (const CrosstalkSource &src :
+                 plan.xtalk[static_cast<size_t>(dq)]) {
+                phase +=
+                    src.radPerUs * overlapUs(t0, t1, src.start, src.end);
+            }
+        }
+        if (phase == 0.0)
+            return;
+        require(flags.twirlCoherent,
+                "coherent phase reached the frame compiler without "
+                "twirlCoherent");
+        FrameTwirlOp t;
+        t.q = dq;
+        t.prob = makeFrameBernoulli(twirlZProbability(phase));
+        if (t.prob.mode == FrameBernoulli::Mode::Never)
+            return;
+        prog.twirl.push_back(t);
+        prog.ops.push_back(
+            {FrameOpRef::Kind::Twirl,
+             static_cast<uint32_t>(prog.twirl.size()) - 1});
+    };
+
+    auto emitMarkov = [&](int dq, double dt_us) {
+        if (dt_us <= 0.0)
+            return;
+        if (!flags.t1Damping && !flags.whiteDephasing)
+            return;
+        const auto &qc = cal.qubits[static_cast<size_t>(
+            plan.active[static_cast<size_t>(dq)])];
+        FrameMarkovOp m;
+        m.q = dq;
+        if (flags.t1Damping) {
+            const double gamma = t1JumpProbability(dt_us, qc.t1Us);
+            const double p1 = ref.populationOne(dq);
+            m.gammaThresh = bernoulliThreshold(gamma);
+            if (p1 == 0.5) {
+                // Superposed reference: the jump fires with the
+                // folded rate gamma * 1/2 and defers the lane to an
+                // exact per-shot rerun forced at this ordinal.
+                m.t1Ref = 2;
+                m.randT1Ordinal = prog.randomT1Count++;
+                m.t1 = makeFrameBernoulli(gamma * 0.5);
+            } else {
+                m.t1Ref = p1 == 1.0 ? 1 : 0;
+                m.t1 = makeFrameBernoulli(gamma);
+            }
+        }
+        if (flags.whiteDephasing) {
+            m.deph = makeFrameBernoulli(
+                whiteDephasingFlipProbability(dt_us, qc.t2WhiteUs));
+        }
+        if (m.t1.mode == FrameBernoulli::Mode::Never &&
+            m.deph.mode == FrameBernoulli::Mode::Never)
+            return;
+        prog.markov.push_back(m);
+        prog.ops.push_back(
+            {FrameOpRef::Kind::Markov,
+             static_cast<uint32_t>(prog.markov.size()) - 1});
+    };
+
+    auto catchUp = [&](int dq, const PlanStep &step) {
+        const auto ai = static_cast<size_t>(dq);
+        if (last_end[ai] >= 0.0) {
+            emitCoherent(dq, last_end[ai], step.start);
+            emitMarkov(dq, (step.end - last_end[ai]) * kNsToUs);
+        } else {
+            emitMarkov(dq, (step.end - step.start) * kNsToUs);
+        }
+        last_end[ai] = step.end;
+    };
+
+    std::vector<QubitId> flip_x, flip_z;
+    std::vector<FrameMat> suffix;
+
+    for (const PlanStep &step : plan.steps) {
+        switch (step.kind) {
+          case PlanStep::Kind::Meas: {
+            catchUp(step.q, step);
+            FrameMeasOp m;
+            m.q = step.q;
+            m.clbit = step.clbit;
+            m.random = ref.measureFlipSupport(step.q, flip_x, flip_z);
+            if (m.random) {
+                // Fix the reference on the outcome-0 branch; each
+                // shot re-randomizes with a fresh coin, so the choice
+                // is arbitrary (and keeps compilation seed-free).
+                m.refBit = 0;
+                m.flipXOff =
+                    static_cast<uint32_t>(prog.flipQubits.size());
+                m.flipXCnt = static_cast<uint32_t>(flip_x.size());
+                for (QubitId q : flip_x)
+                    prog.flipQubits.push_back(static_cast<int>(q));
+                m.flipZOff =
+                    static_cast<uint32_t>(prog.flipQubits.size());
+                m.flipZCnt = static_cast<uint32_t>(flip_z.size());
+                for (QubitId q : flip_z)
+                    prog.flipQubits.push_back(static_cast<int>(q));
+                ref.postselect(step.q, false);
+            } else {
+                m.refBit = ref.populationOne(step.q) == 1.0 ? 1 : 0;
+            }
+            if (flags.measurementErrors) {
+                m.err01 = makeFrameBernoulli(step.err01);
+                m.err10 = makeFrameBernoulli(step.err10);
+            }
+            prog.meas.push_back(m);
+            prog.ops.push_back(
+                {FrameOpRef::Kind::Meas,
+                 static_cast<uint32_t>(prog.meas.size()) - 1});
+            break;
+          }
+          case PlanStep::Kind::TwoQubit: {
+            catchUp(step.q, step);
+            catchUp(step.q2, step);
+            Frame2QOp g;
+            g.a = step.q;
+            g.b = step.q2;
+            g.type = step.twoQubitType;
+            prog.f2q.push_back(g);
+            prog.ops.push_back(
+                {FrameOpRef::Kind::F2Q,
+                 static_cast<uint32_t>(prog.f2q.size()) - 1});
+            ref.applyGate(Gate(step.twoQubitType, {step.q, step.q2}));
+            if (flags.gateErrors && step.cxError > 0.0) {
+                FrameErr2QOp e;
+                e.a = step.q;
+                e.b = step.q2;
+                e.prob = makeFrameBernoulli(step.cxError);
+                prog.err2q.push_back(e);
+                prog.ops.push_back(
+                    {FrameOpRef::Kind::Err2Q,
+                     static_cast<uint32_t>(prog.err2q.size()) - 1});
+            }
+            break;
+          }
+          case PlanStep::Kind::Fused1Q: {
+            catchUp(step.q, step);
+            const size_t k = step.pulses.size();
+
+            // suffix[i] = frame action of pulses i+1 .. k-1: the
+            // conjugation a mid-train error travels through once the
+            // train is fused into a single transform.
+            suffix.assign(k, kFrameIdentity);
+            for (size_t i = k - 1; i > 0; i--) {
+                suffix[i - 1] = composeFrame(
+                    suffix[i], frameMatOfGate(step.pulses[i].gate));
+            }
+            const FrameMat full = composeFrame(
+                suffix[0], frameMatOfGate(step.pulses[0].gate));
+
+            // The train's Clifford product up to global phase, as a
+            // named-gate realization: the deferred-lane tableau
+            // replay needs it even when the frame action is the
+            // identity (a Pauli train — DD padding — still flips
+            // tableau signs).
+            Matrix2 product = Matrix2::identity();
+            for (const Pulse &pulse : step.pulses)
+                product = pulse.matrix * product;
+            const Clifford1Q &element = nearestClifford(product);
+            require(unitaryDistance(product, element.matrix) < 1e-6,
+                    "fused Clifford train not found in group table");
+
+            Frame1QOp op;
+            op.q = step.q;
+            op.kind = isFrameIdentity(full)
+                          ? Frame1QKind::Identity
+                          : classifyFrameMat(full);
+            FrameMat check = kFrameIdentity;
+            for (GateType g : element.gates) {
+                if (g == GateType::I)
+                    continue;
+                require(op.namedCount < op.named.size(),
+                        "Clifford realization longer than the "
+                        "Frame1QOp named-gate capacity");
+                op.named[op.namedCount++] = g;
+                check = composeFrame(frameMatOfNamed(g), check);
+            }
+            require(check.xx == full.xx && check.xz == full.xz &&
+                        check.zx == full.zx && check.zz == full.zz,
+                    "realization frame action diverged from the "
+                    "fused train");
+            if (op.kind != Frame1QKind::Identity ||
+                op.namedCount != 0) {
+                prog.f1q.push_back(op);
+                prog.ops.push_back(
+                    {FrameOpRef::Kind::F1Q,
+                     static_cast<uint32_t>(prog.f1q.size()) - 1});
+            }
+            if (flags.gateErrors) {
+                for (size_t i = 0; i < k; i++) {
+                    if (step.pulses[i].errorProb <= 0.0)
+                        continue;
+                    FrameErr1QOp e;
+                    e.q = step.q;
+                    e.prob =
+                        makeFrameBernoulli(step.pulses[i].errorProb);
+                    for (int p = 1; p <= 3; p++) {
+                        e.mapped[p - 1] = mapPauliThrough(
+                            suffix[i], p);
+                    }
+                    prog.err1q.push_back(e);
+                    prog.ops.push_back(
+                        {FrameOpRef::Kind::Err1Q,
+                         static_cast<uint32_t>(prog.err1q.size()) -
+                             1});
+                }
+            }
+            for (const Pulse &pulse : step.pulses)
+                ref.applyGate(pulse.gate);
             break;
           }
         }

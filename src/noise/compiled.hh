@@ -54,6 +54,7 @@
 #include "common/stats.hh"
 #include "device/calibration.hh"
 #include "noise/noise_model.hh"
+#include "sim/frame_batch.hh"
 #include "sim/statevector.hh"
 #include "transpile/schedule.hh"
 
@@ -291,6 +292,33 @@ struct ShotProgram
 ShotProgram compileShotProgram(const ExecutionPlan &plan,
                                const Calibration &cal,
                                const NoiseFlags &flags);
+
+/**
+ * Lower @p plan into a FrameProgram — the stabilizer-path analogue of
+ * compileShotProgram, for the bit-packed batch Pauli-frame engine
+ * (sim/frame_batch.hh).  Runs the noiseless reference tableau
+ * simulation once, baking into the op stream:
+ *  - every measurement's reference outcome, plus the branch-flip
+ *    Pauli for random-outcome measurements,
+ *  - each T1 checkpoint's reference population (deterministic
+ *    checkpoints take the exact jump path, random ones the documented
+ *    X-injection approximation),
+ *  - every pulse train fused into one GL(2, F2) frame transform, with
+ *    mid-train gate errors conjugated through the train suffix,
+ *  - every noise probability resolved into a FrameBernoulli mask
+ *    mode, with the exact closed forms of the interpreted path.
+ *
+ * Noise-op emission mirrors the interpreted runShot order (coherent
+ * catch-up, then Markovian, then the step), so the two engines sample
+ * the same law.
+ *
+ * @pre plan.clifford and flags Pauli-expressible without per-shot OU
+ *      (flags.ouDephasing off); the dispatcher keeps OU-twirl jobs on
+ *      the per-shot backend.
+ */
+FrameProgram compileFrameProgram(const ExecutionPlan &plan,
+                                 const Calibration &cal,
+                                 const NoiseFlags &flags);
 
 // ------------------------------------------------------------------
 // Per-shot execution.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <optional>
 #include <utility>
@@ -12,6 +14,7 @@
 #include "common/parallel.hh"
 #include "noise/compiled.hh"
 #include "sim/backend.hh"
+#include "sim/frame_batch.hh"
 
 namespace adapt
 {
@@ -23,15 +26,16 @@ NoisyMachine::NoisyMachine(const Device &device, int cycle,
 }
 
 /**
- * A job lowered once: the execution plan (interpreted path + the
- * stabilizer backend), the resolved backend, and — for dense jobs —
- * the compiled shot program every shot replays.
+ * A job lowered once: the execution plan (interpreted path), the
+ * resolved backend, and the compiled program its shots replay — a
+ * dense ShotProgram or a stabilizer FrameProgram.
  */
 struct PreparedJob
 {
     ExecutionPlan plan;
     BackendKind kind = BackendKind::Dense;
     std::optional<ShotProgram> program; //!< dense jobs only
+    std::optional<FrameProgram> frame;  //!< stabilizer jobs only
 };
 
 BackendKind
@@ -40,6 +44,14 @@ PreparedCircuit::backend() const
     require(impl_ != nullptr,
             "PreparedCircuit::backend on an empty handle");
     return impl_->kind;
+}
+
+bool
+PreparedCircuit::frameBatched() const
+{
+    require(impl_ != nullptr,
+            "PreparedCircuit::frameBatched on an empty handle");
+    return impl_->frame.has_value();
 }
 
 namespace
@@ -259,6 +271,36 @@ resolveBackend(BackendKind requested, const ExecutionPlan &plan,
 }
 
 /**
+ * Process-wide kill switch for the batched Pauli-frame engine:
+ * ADAPT_FRAME_BATCH=0 (or "off") pins stabilizer jobs to the
+ * per-shot tableau even under ExecMode::Compiled.  Read once, like
+ * ADAPT_NUM_THREADS.
+ */
+bool
+frameBatchEnabled()
+{
+    static const bool enabled = [] {
+        const char *env = std::getenv("ADAPT_FRAME_BATCH");
+        return env == nullptr || (std::strcmp(env, "0") != 0 &&
+                                  std::strcmp(env, "off") != 0);
+    }();
+    return enabled;
+}
+
+/**
+ * True when a stabilizer job can be lowered onto the batch frame
+ * engine: everything the resolved-stabilizer precondition already
+ * guarantees, minus per-shot OU twirl draws (whose phase — and hence
+ * Z probability — differs per shot; those jobs keep the per-shot
+ * backend).
+ */
+bool
+frameEligible(const NoiseFlags &flags)
+{
+    return !flags.ouDephasing && frameBatchEnabled();
+}
+
+/**
  * Merge per-chunk histograms into the output distribution: gather
  * every chunk's raw items, sort the combined list once, and fold
  * duplicate keys before they reach the Distribution map — instead of
@@ -306,8 +348,12 @@ NoisyMachine::prepareImpl(const ScheduledCircuit &sched,
     auto job = std::make_shared<PreparedJob>();
     job->plan = buildPlan(sched, cal_, flags_);
     job->kind = resolveBackend(backend, job->plan, flags_);
-    if (compile && job->kind == BackendKind::Dense)
-        job->program = compileShotProgram(job->plan, cal_, flags_);
+    if (compile) {
+        if (job->kind == BackendKind::Dense)
+            job->program = compileShotProgram(job->plan, cal_, flags_);
+        else if (frameEligible(flags_))
+            job->frame = compileFrameProgram(job->plan, cal_, flags_);
+    }
     PreparedCircuit prepared;
     prepared.impl_ = std::move(job);
     return prepared;
@@ -331,6 +377,55 @@ NoisyMachine::run(const PreparedCircuit &prepared, int shots,
     const bool compiled =
         mode == ExecMode::Compiled && job.program.has_value();
     const Rng base(run_seed ^ 0xadab7dd);
+
+    if (mode == ExecMode::Compiled && job.frame.has_value()) {
+        // Batched Pauli-frame engine: shots propagate kFrameLanes at
+        // a time through the compiled frame op stream.  Blocks are a
+        // pure function of the shot count, each block's randomness is
+        // forked from (base, absolute lane group), and the per-chunk
+        // histograms merge in key order — so the output is
+        // bit-identical for any thread count and batch-vs-serial.
+        const FrameProgram &prog = *job.frame;
+        const auto blocks = static_cast<int64_t>(
+            (static_cast<int64_t>(shots) + kFrameLanes - 1) /
+            kFrameLanes);
+        const int chunks = static_cast<int>(std::min<int64_t>(
+            resolveThreads(threads), blocks));
+        std::vector<FlatAccumulator> histograms(
+            static_cast<size_t>(chunks));
+        parallelFor(0, blocks, chunks,
+                    [&](int64_t lo, int64_t hi, int chunk) {
+            FrameBatchBackend runner(prog);
+            FlatAccumulator &hist =
+                histograms[static_cast<size_t>(chunk)];
+            std::vector<DeferredShot> deferred;
+            for (int64_t block = lo; block < hi; block++) {
+                const auto lanes = static_cast<int>(std::min<int64_t>(
+                    kFrameLanes,
+                    static_cast<int64_t>(shots) -
+                        block * kFrameLanes));
+                runner.runBlock(base, block, lanes, hist, deferred);
+            }
+            if (deferred.empty())
+                return;
+            // Exact per-shot tableau reruns of the lanes whose T1
+            // jump fired on a reference-superposed qubit: each
+            // replays the same compiled op stream against a live
+            // tableau, consuming a dedicated stream keyed by its
+            // absolute shot index, so the merged output stays
+            // chunking-invariant.
+            StabilizerState state(prog.numQubits);
+            OutcomePacker packer(prog.numClbits);
+            for (const DeferredShot &d : deferred) {
+                const Rng rng = base.fork(
+                    kFrameDeferSalt + static_cast<uint64_t>(d.shot));
+                hist.add(runFrameDeferredShot(prog, state, packer,
+                                              rng, d.firstRandomT1),
+                         1.0);
+            }
+        });
+        return mergeChunkHistograms(histograms);
+    }
 
     // Shots are embarrassingly parallel: every shot's RNG streams are
     // forked from (base, shot index) alone, so any partition of the

@@ -39,8 +39,9 @@ namespace adapt
 struct PreparedJob;
 
 /**
- * How dense shots execute.
+ * How shots execute.
  *
+ * Dense jobs:
  *  - Compiled (default): the job is lowered once into a flat
  *    ShotProgram (noise/compiled.hh) and every shot replays it — a
  *    cheap draw pass resolving all stochastic outcomes against
@@ -49,8 +50,17 @@ struct PreparedJob;
  *  - Interpreted: the historical per-shot plan walk (the reference
  *    semantics the compiled path is tested against).
  *
- * Stabilizer jobs always interpret (the tableau replays gates one by
- * one regardless).
+ * Stabilizer jobs:
+ *  - Compiled (default): the batched Pauli-frame engine
+ *    (sim/frame_batch.hh) — one reference tableau simulation at
+ *    compile time, then bit-packed frames propagating kFrameLanes
+ *    shots per pass.  Bit-identical to itself for any thread count
+ *    and batch-vs-serial, and statistically equivalent (not
+ *    draw-identical) to Interpreted; jobs with per-shot OU twirl
+ *    draws, or with ADAPT_FRAME_BATCH=0 in the environment, fall
+ *    back to Interpreted.
+ *  - Interpreted: one full Aaronson-Gottesman tableau per shot (the
+ *    reference semantics the frame engine is tested against).
  */
 enum class ExecMode
 {
@@ -72,6 +82,10 @@ class PreparedCircuit
 
     /** Resolved backend this job will execute on. */
     BackendKind backend() const;
+
+    /** True when this stabilizer job carries a compiled FrameProgram
+     *  (ExecMode::Compiled will run the batch frame engine). */
+    bool frameBatched() const;
 
     /** True once prepare() has populated this handle. */
     bool valid() const { return impl_ != nullptr; }
@@ -131,8 +145,10 @@ class NoisyMachine
      *
      * Dense jobs are compiled into a flat ShotProgram (the expensive
      * shot-invariant work: plan lowering, pulse-product fusion,
-     * noise-constant precomputation); stabilizer jobs keep just the
-     * plan.  The handle is immutable and thread-safe to share.
+     * noise-constant precomputation); stabilizer jobs are compiled
+     * into a FrameProgram for the batch Pauli-frame engine (the
+     * reference tableau simulation runs here, once).  The handle is
+     * immutable and thread-safe to share.
      */
     PreparedCircuit prepare(const ScheduledCircuit &sched,
                             BackendKind backend = BackendKind::Auto) const;

@@ -199,9 +199,12 @@ void
 PauliFrameBackend::applyDecayJump(QubitId q)
 {
     // The dense jump is (X tensor I) P_1 |psi> renormalized: collapse
-    // onto the |1> branch, then flip to |0>.
-    tableau_.postselect(q, true);
-    tableau_.applyX(q);
+    // onto the |1> branch, then flip to |0>.  The tableau does it as
+    // one direct update (see StabilizerState::applyDecayJump) instead
+    // of the historical postselect(q, true) + applyX(q) composition,
+    // which re-scanned for the pivot and re-derived the deterministic
+    // outcome the engine's populationOne call had already computed.
+    tableau_.applyDecayJump(q);
 }
 
 bool

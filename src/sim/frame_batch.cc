@@ -1,0 +1,609 @@
+#include "sim/frame_batch.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+#include "common/logging.hh"
+#include "noise/compiled.hh" // bernoulliThreshold
+
+namespace adapt
+{
+
+namespace
+{
+
+// ------------------------------------------------------------------
+// Block-wide plane kernels: every frame transform is a handful of
+// XOR / swap passes over kFrameLaneWords contiguous words.  Under
+// ADAPT_NATIVE (-march=native on an AVX2 host) the 4-word block is
+// one 256-bit register; the portable fallback sweeps it 64 bits at a
+// time.  Pure bit operations — unlike the dense kernels there is no
+// floating-point rounding to preserve, so both variants are
+// bit-identical by construction.
+// ------------------------------------------------------------------
+
+#if defined(__AVX2__)
+
+inline void
+xorWords(uint64_t *dst, const uint64_t *src)
+{
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(dst));
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(src));
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst),
+                        _mm256_xor_si256(d, s));
+}
+
+inline void
+swapWords(uint64_t *a, uint64_t *b)
+{
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(a));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(b));
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(a), vb);
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(b), va);
+}
+
+#else // portable
+
+inline void
+xorWords(uint64_t *dst, const uint64_t *src)
+{
+    for (int w = 0; w < kFrameLaneWords; w++)
+        dst[w] ^= src[w];
+}
+
+inline void
+swapWords(uint64_t *a, uint64_t *b)
+{
+    for (int w = 0; w < kFrameLaneWords; w++) {
+        const uint64_t t = a[w];
+        a[w] = b[w];
+        b[w] = t;
+    }
+}
+
+#endif // __AVX2__
+
+/** (x, z) -> (z, x ^ z). */
+inline void
+cycleA(uint64_t *x, uint64_t *z)
+{
+    for (int w = 0; w < kFrameLaneWords; w++) {
+        const uint64_t nx = z[w];
+        z[w] ^= x[w];
+        x[w] = nx;
+    }
+}
+
+/** (x, z) -> (x ^ z, x). */
+inline void
+cycleB(uint64_t *x, uint64_t *z)
+{
+    for (int w = 0; w < kFrameLaneWords; w++) {
+        const uint64_t nz = x[w];
+        x[w] ^= z[w];
+        z[w] = nz;
+    }
+}
+
+/** x bit of a Pauli code (engine packing: 1 = X, 2 = Y, 3 = Z). */
+constexpr uint64_t kPauliHasX[4] = {0, 1, 1, 0};
+constexpr uint64_t kPauliHasZ[4] = {0, 0, 1, 1};
+
+/** Salt base for the per-block streams; disjoint from the per-shot
+ *  salts (shot + 1) of the dense / interpreted paths and from
+ *  kFrameDeferSalt. */
+constexpr uint64_t kFrameBlockSalt = uint64_t{1} << 32;
+
+/** Single-lane Bernoulli test against a precomputed fixed-point
+ *  threshold: one raw draw, every FrameBernoulli mode.  Never
+ *  (thresh 0) skips the draw — each site's consumption is a fixed
+ *  property of the program, never data-dependent. */
+inline bool
+fires(Rng &rng, uint64_t thresh)
+{
+    return thresh != 0 && (rng.next() >> 11) < thresh;
+}
+
+/** In-place 64x64 bit-matrix transpose (recursive half-swaps, the
+ *  Hacker's Delight 7-3 scheme adjusted to LSB-first indexing: each
+ *  round swaps the high half of the low rows with the low half of
+ *  the high rows): turns 64 clbit-major outcome words (bit l of word
+ *  c = clbit c of lane l) into 64 lane-major key words in ~384 word
+ *  ops — the fold that a per-(lane, clbit) packer loop would pay
+ *  64 * numClbits calls for. */
+inline void
+transpose64(uint64_t a[64])
+{
+    uint64_t m = 0x00000000FFFFFFFFULL;
+    for (int j = 32; j != 0; j >>= 1, m ^= m << j) {
+        for (int k = 0; k < 64; k = (k + j + 1) & ~j) {
+            const uint64_t t = ((a[k] >> j) ^ a[k | j]) & m;
+            a[k] ^= t << j;
+            a[k | j] ^= t;
+        }
+    }
+}
+
+} // namespace
+
+const char *
+frameKernelIsa()
+{
+#if defined(__AVX2__)
+    return "avx2";
+#else
+    return "scalar";
+#endif
+}
+
+FrameBernoulli
+makeFrameBernoulli(double p)
+{
+    FrameBernoulli b;
+    if (p <= 0.0) {
+        b.mode = FrameBernoulli::Mode::Never;
+        return b;
+    }
+    if (p >= 1.0) {
+        b.mode = FrameBernoulli::Mode::Always;
+        b.thresh = bernoulliThreshold(1.0);
+        return b;
+    }
+    b.thresh = bernoulliThreshold(p);
+    // Gap sampling costs one draw when the whole block is quiet and
+    // ~(1 + lanes * p) (draw + log1p + floor) otherwise; the dense
+    // compare costs a flat `lanes` raw draws.  A log1p walk step is
+    // roughly five times a raw draw, so the crossover sits near
+    // lanes/5 expected firings — 1/32 keeps genuinely rare events
+    // (gate errors, readout flips at typical rates) on the sparse
+    // path while long-idle T1 / dephasing rates (several percent and
+    // up, e.g. characterization workloads) take the flat compare.
+    if (p >= 1.0 / 32.0) {
+        b.mode = FrameBernoulli::Mode::Dense;
+        return b;
+    }
+    b.mode = FrameBernoulli::Mode::Sparse;
+    const double log1mp = std::log1p(-p);
+    b.invLog1mP = 1.0 / log1mp;
+    // P(any of kFrameLanes lanes fires) = 1 - (1-p)^lanes, as the
+    // same fixed-point threshold the gap walk's first position test
+    // realizes (any ulp-level disagreement at the boundary only costs
+    // an empty walk or a ~2^-53 event, both harmless).
+    b.anyThresh =
+        bernoulliThreshold(-std::expm1(kFrameLanes * log1mp));
+    return b;
+}
+
+FrameBatchBackend::FrameBatchBackend(const FrameProgram &prog)
+    : prog_(prog),
+      x_(static_cast<size_t>(prog.numQubits) * kFrameLaneWords, 0),
+      z_(static_cast<size_t>(prog.numQubits) * kFrameLaneWords, 0),
+      bits_(static_cast<size_t>(prog.numClbits) * kFrameLaneWords, 0),
+      packer_(prog.numClbits)
+{
+}
+
+bool
+FrameBatchBackend::drawMask(const FrameBernoulli &b,
+                            uint64_t out[kFrameLaneWords])
+{
+    switch (b.mode) {
+      case FrameBernoulli::Mode::Never:
+        return false;
+      case FrameBernoulli::Mode::Always:
+        for (int w = 0; w < kFrameLaneWords; w++)
+            out[w] = ~uint64_t{0};
+        return true;
+      case FrameBernoulli::Mode::Dense:
+        for (int w = 0; w < kFrameLaneWords; w++) {
+            uint64_t mask = 0;
+            for (int bit = 0; bit < 64; bit++) {
+                if ((blockRng_.next() >> 11) < b.thresh)
+                    mask |= uint64_t{1} << bit;
+            }
+            out[w] = mask;
+        }
+        return true;
+      case FrameBernoulli::Mode::Sparse:
+        break;
+    }
+    // Geometric gap sampling: the run of failures before the next
+    // success is floor(log1p(-u) / log1p(-p)), which reproduces
+    // i.i.d. per-lane Bernoulli(p) with ~(1 + lanes * p) draws.  The
+    // first raw draw doubles as the whole-block emptiness test — at
+    // or above anyThresh its gap provably clears kFrameLanes, so the
+    // hot path is one draw, one compare, no libm — and, below it, as
+    // the (correctly conditioned) first gap position.
+    const uint64_t w0 = blockRng_.next() >> 11;
+    if (w0 >= b.anyThresh)
+        return false;
+    for (int w = 0; w < kFrameLaneWords; w++)
+        out[w] = 0;
+    const double u0 = static_cast<double>(w0) * 0x1.0p-53;
+    double gap = std::floor(std::log1p(-u0) * b.invLog1mP);
+    int64_t pos = static_cast<int64_t>(
+        gap < static_cast<double>(kFrameLanes)
+            ? gap
+            : static_cast<double>(kFrameLanes));
+    while (pos < kFrameLanes) {
+        out[pos >> 6] |= uint64_t{1} << (pos & 63);
+        gap = std::floor(std::log1p(-blockRng_.uniform()) *
+                         b.invLog1mP);
+        if (gap >= static_cast<double>(kFrameLanes))
+            break;
+        pos += 1 + static_cast<int64_t>(gap);
+    }
+    return true;
+}
+
+void
+FrameBatchBackend::runBlock(const Rng &base, int64_t block, int lanes,
+                            FlatAccumulator &hist,
+                            std::vector<DeferredShot> &deferred)
+{
+    require(lanes >= 1 && lanes <= kFrameLanes,
+            "runBlock lane count out of range");
+    blockRng_ =
+        base.fork(kFrameBlockSalt + static_cast<uint64_t>(block));
+    for (int w = 0; w < kFrameLaneWords; w++)
+        deferredMask_[w] = 0;
+    std::fill(x_.begin(), x_.end(), 0);
+    std::fill(z_.begin(), z_.end(), 0);
+    std::fill(bits_.begin(), bits_.end(), 0);
+
+    uint64_t m[kFrameLaneWords];
+    for (const FrameOpRef ref : prog_.ops) {
+        switch (ref.kind) {
+          case FrameOpRef::Kind::F1Q: {
+            const Frame1QOp &op = prog_.f1q[ref.idx];
+            uint64_t *x = xPlane(op.q);
+            uint64_t *z = zPlane(op.q);
+            switch (op.kind) {
+              case Frame1QKind::Hadamard: swapWords(x, z); break;
+              case Frame1QKind::Phase: xorWords(z, x); break;
+              case Frame1QKind::HalfX: xorWords(x, z); break;
+              case Frame1QKind::CycleA: cycleA(x, z); break;
+              case Frame1QKind::CycleB: cycleB(x, z); break;
+              case Frame1QKind::Identity: break;
+            }
+            break;
+          }
+          case FrameOpRef::Kind::F2Q: {
+            const Frame2QOp &op = prog_.f2q[ref.idx];
+            switch (op.type) {
+              case GateType::CX:
+                // X_c -> X_c X_t, Z_t -> Z_c Z_t.
+                xorWords(xPlane(op.b), xPlane(op.a));
+                xorWords(zPlane(op.a), zPlane(op.b));
+                break;
+              case GateType::CZ:
+                xorWords(zPlane(op.a), xPlane(op.b));
+                xorWords(zPlane(op.b), xPlane(op.a));
+                break;
+              case GateType::SWAP:
+                swapWords(xPlane(op.a), xPlane(op.b));
+                swapWords(zPlane(op.a), zPlane(op.b));
+                break;
+              default:
+                panic("frame replay: unexpected two-qubit gate");
+            }
+            break;
+          }
+          case FrameOpRef::Kind::Err1Q: {
+            const FrameErr1QOp &op = prog_.err1q[ref.idx];
+            if (!drawMask(op.prob, m))
+                break;
+            uint64_t *x = xPlane(op.q);
+            uint64_t *z = zPlane(op.q);
+            for (int w = 0; w < kFrameLaneWords; w++) {
+                uint64_t mask = m[w];
+                while (mask != 0) {
+                    const int lane = std::countr_zero(mask);
+                    mask &= mask - 1;
+                    const auto pauli = static_cast<int>(
+                        op.mapped[blockRng_.uniformInt(3)]);
+                    const uint64_t bit = uint64_t{1} << lane;
+                    x[w] ^= bit * kPauliHasX[pauli];
+                    z[w] ^= bit * kPauliHasZ[pauli];
+                }
+            }
+            break;
+          }
+          case FrameOpRef::Kind::Err2Q: {
+            const FrameErr2QOp &op = prog_.err2q[ref.idx];
+            if (!drawMask(op.prob, m))
+                break;
+            uint64_t *xa = xPlane(op.a), *za = zPlane(op.a);
+            uint64_t *xb = xPlane(op.b), *zb = zPlane(op.b);
+            for (int w = 0; w < kFrameLaneWords; w++) {
+                uint64_t mask = m[w];
+                while (mask != 0) {
+                    const int lane = std::countr_zero(mask);
+                    mask &= mask - 1;
+                    const auto code = static_cast<int>(
+                        blockRng_.uniformInt(15)) + 1;
+                    const uint64_t bit = uint64_t{1} << lane;
+                    xa[w] ^= bit * kPauliHasX[code & 3];
+                    za[w] ^= bit * kPauliHasZ[code & 3];
+                    xb[w] ^= bit * kPauliHasX[code >> 2];
+                    zb[w] ^= bit * kPauliHasZ[code >> 2];
+                }
+            }
+            break;
+          }
+          case FrameOpRef::Kind::Markov: {
+            const FrameMarkovOp &op = prog_.markov[ref.idx];
+            if (drawMask(op.t1, m)) {
+                uint64_t *x = xPlane(op.q);
+                for (int w = 0; w < kFrameLaneWords; w++) {
+                    if (op.t1Ref == 2) {
+                        // Random reference: every live lane's
+                        // population is exactly 1/2 (folded into the
+                        // rate), so the firing events are independent
+                        // of all other draws.  A firing lane defers
+                        // to an exact per-shot rerun forced to jump
+                        // at this checkpoint; later ops keep draining
+                        // its draws so the other lanes' streams are
+                        // unaffected.
+                        uint64_t fresh = m[w] & ~deferredMask_[w];
+                        deferredMask_[w] |= fresh;
+                        while (fresh != 0) {
+                            const int lane = std::countr_zero(fresh);
+                            fresh &= fresh - 1;
+                            if (w * 64 + lane < lanes) { // live lane
+                                deferred.push_back(
+                                    {block * kFrameLanes + w * 64 +
+                                         lane,
+                                     op.randT1Ordinal});
+                            }
+                        }
+                    } else {
+                        // Deterministic reference: a candidate fires
+                        // only on lanes whose actual bit (ref XOR
+                        // frame-x) is 1, and the jump is exactly an
+                        // X flip.
+                        const uint64_t ones =
+                            op.t1Ref ? ~x[w] : x[w];
+                        x[w] ^= m[w] & ones;
+                    }
+                }
+            }
+            if (drawMask(op.deph, m)) {
+                uint64_t *z = zPlane(op.q);
+                for (int w = 0; w < kFrameLaneWords; w++)
+                    z[w] ^= m[w];
+            }
+            break;
+          }
+          case FrameOpRef::Kind::Twirl: {
+            const FrameTwirlOp &op = prog_.twirl[ref.idx];
+            if (!drawMask(op.prob, m))
+                break;
+            uint64_t *z = zPlane(op.q);
+            for (int w = 0; w < kFrameLaneWords; w++)
+                z[w] ^= m[w];
+            break;
+          }
+          case FrameOpRef::Kind::Meas: {
+            const FrameMeasOp &op = prog_.meas[ref.idx];
+            if (op.random) {
+                // Fresh uniform branch coin per lane; lanes with
+                // coin = 1 absorb the branch-flip Pauli, hopping the
+                // frame onto the opposite reference branch (this also
+                // flips x(q), which the outcome read below sees).
+                uint64_t coin[kFrameLaneWords];
+                for (int w = 0; w < kFrameLaneWords; w++)
+                    coin[w] = blockRng_.next();
+                for (uint32_t i = 0; i < op.flipXCnt; i++) {
+                    uint64_t *xq = xPlane(
+                        prog_.flipQubits[op.flipXOff + i]);
+                    for (int w = 0; w < kFrameLaneWords; w++)
+                        xq[w] ^= coin[w];
+                }
+                for (uint32_t i = 0; i < op.flipZCnt; i++) {
+                    uint64_t *zq = zPlane(
+                        prog_.flipQubits[op.flipZOff + i]);
+                    for (int w = 0; w < kFrameLaneWords; w++)
+                        zq[w] ^= coin[w];
+                }
+            }
+            uint64_t m01[kFrameLaneWords] = {};
+            uint64_t m10[kFrameLaneWords] = {};
+            drawMask(op.err01, m01);
+            drawMask(op.err10, m10);
+            const uint64_t *x = xPlane(op.q);
+            uint64_t *out =
+                &bits_[static_cast<size_t>(op.clbit) * kFrameLaneWords];
+            for (int w = 0; w < kFrameLaneWords; w++) {
+                uint64_t bits = op.refBit ? ~x[w] : x[w];
+                bits ^= (~bits & m01[w]) | (bits & m10[w]);
+                out[w] = bits;
+            }
+            break;
+          }
+        }
+    }
+
+    // Fold the outcome planes into histogram keys, lane-major, with
+    // the same keying as the per-shot paths' OutcomePacker: direct
+    // 64-bit keys up to 64 clbits (a bit transpose of the outcome
+    // planes), splitmix fingerprints beyond (per-lane packer walk —
+    // those registers are rare and the packer is the one place the
+    // fingerprint convention lives).  Deferred lanes are the
+    // caller's to rerun.
+    if (prog_.numClbits <= 64) {
+        uint64_t keys[64];
+        for (int w = 0; w * 64 < lanes; w++) {
+            for (int c = 0; c < prog_.numClbits; c++)
+                keys[c] =
+                    bits_[static_cast<size_t>(c) * kFrameLaneWords +
+                          w];
+            for (int c = prog_.numClbits; c < 64; c++)
+                keys[c] = 0;
+            transpose64(keys);
+            const int live = std::min(64, lanes - w * 64);
+            for (int l = 0; l < live; l++) {
+                if (deferredMask_[w] >> l & 1)
+                    continue;
+                hist.add(keys[l], 1.0);
+            }
+        }
+        return;
+    }
+    for (int lane = 0; lane < lanes; lane++) {
+        const int w = lane >> 6;
+        const uint64_t bit = uint64_t{1} << (lane & 63);
+        if (deferredMask_[w] & bit)
+            continue;
+        packer_.clear();
+        for (int c = 0; c < prog_.numClbits; c++) {
+            packer_.set(
+                c,
+                (bits_[static_cast<size_t>(c) * kFrameLaneWords + w] &
+                 bit) != 0);
+        }
+        hist.add(packer_.key(), 1.0);
+    }
+}
+
+namespace
+{
+
+/** Apply one named gate of a train realization to the tableau. */
+inline void
+applyNamed(StabilizerState &state, GateType g, int q)
+{
+    switch (g) {
+      case GateType::H: state.applyH(q); break;
+      case GateType::S: state.applyS(q); break;
+      case GateType::Sdg: state.applySdg(q); break;
+      case GateType::X: state.applyX(q); break;
+      case GateType::Y: state.applyY(q); break;
+      case GateType::Z: state.applyZ(q); break;
+      case GateType::SX: state.applySX(q); break;
+      case GateType::SXdg: state.applySXdg(q); break;
+      default:
+        panic("frame replay: unexpected named gate " + gateName(g));
+    }
+}
+
+/** Apply Pauli @p code (engine packing: 1 = X, 2 = Y, 3 = Z). */
+inline void
+applyPauliCode(StabilizerState &state, int code, int q)
+{
+    switch (code) {
+      case 0: break;
+      case 1: state.applyX(q); break;
+      case 2: state.applyY(q); break;
+      default: state.applyZ(q); break;
+    }
+}
+
+} // namespace
+
+uint64_t
+runFrameDeferredShot(const FrameProgram &prog, StabilizerState &state,
+                     OutcomePacker &packer, const Rng &shot_rng,
+                     uint32_t forced_ordinal)
+{
+    state.reset();
+    packer.clear();
+    Rng rng = shot_rng;
+
+    // False until the forced jump has fired.  Before it, every
+    // random-reference T1 checkpoint's folded draw is predetermined
+    // by the deferral conditioning (quiet below the forced ordinal,
+    // firing at it); after it, the reference classification no
+    // longer describes this shot's collapsed state, and every
+    // checkpoint evolves live off the tableau.
+    bool live = false;
+
+    for (const FrameOpRef ref : prog.ops) {
+        switch (ref.kind) {
+          case FrameOpRef::Kind::F1Q: {
+            const Frame1QOp &op = prog.f1q[ref.idx];
+            for (uint8_t i = 0; i < op.namedCount; i++)
+                applyNamed(state, op.named[i], op.q);
+            break;
+          }
+          case FrameOpRef::Kind::F2Q: {
+            const Frame2QOp &op = prog.f2q[ref.idx];
+            switch (op.type) {
+              case GateType::CX: state.applyCX(op.a, op.b); break;
+              case GateType::CZ: state.applyCZ(op.a, op.b); break;
+              case GateType::SWAP: state.applySwap(op.a, op.b); break;
+              default:
+                panic("frame replay: unexpected two-qubit gate");
+            }
+            break;
+          }
+          case FrameOpRef::Kind::Err1Q: {
+            const FrameErr1QOp &op = prog.err1q[ref.idx];
+            if (fires(rng, op.prob.thresh)) {
+                applyPauliCode(
+                    state,
+                    static_cast<int>(op.mapped[rng.uniformInt(3)]),
+                    op.q);
+            }
+            break;
+          }
+          case FrameOpRef::Kind::Err2Q: {
+            const FrameErr2QOp &op = prog.err2q[ref.idx];
+            if (fires(rng, op.prob.thresh)) {
+                const auto code =
+                    static_cast<int>(rng.uniformInt(15)) + 1;
+                applyPauliCode(state, code & 3, op.a);
+                applyPauliCode(state, code >> 2, op.b);
+            }
+            break;
+          }
+          case FrameOpRef::Kind::Markov: {
+            const FrameMarkovOp &op = prog.markov[ref.idx];
+            if (op.t1Ref == 2 && !live) {
+                if (op.randT1Ordinal == forced_ordinal) {
+                    state.applyDecayJump(op.q);
+                    live = true;
+                }
+            } else if (fires(rng, op.gammaThresh)) {
+                // Candidate jump: fires against the live population
+                // (exactly {0, 1/2, 1} on a tableau), mirroring the
+                // interpreted bernoulli(gamma) * bernoulli(p1) law.
+                const double p1 = state.populationOne(op.q);
+                if (p1 == 1.0 || (p1 == 0.5 && rng.bernoulli(0.5)))
+                    state.applyDecayJump(op.q);
+            }
+            if (fires(rng, op.deph.thresh))
+                state.applyZ(op.q);
+            break;
+          }
+          case FrameOpRef::Kind::Twirl: {
+            const FrameTwirlOp &op = prog.twirl[ref.idx];
+            if (fires(rng, op.prob.thresh))
+                state.applyZ(op.q);
+            break;
+          }
+          case FrameOpRef::Kind::Meas: {
+            const FrameMeasOp &op = prog.meas[ref.idx];
+            bool bit = state.measure(op.q, rng);
+            const uint64_t errThresh =
+                bit ? op.err10.thresh : op.err01.thresh;
+            if (fires(rng, errThresh))
+                bit = !bit;
+            packer.set(op.clbit, bit);
+            break;
+          }
+        }
+    }
+    return packer.key();
+}
+
+} // namespace adapt

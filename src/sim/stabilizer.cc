@@ -429,6 +429,50 @@ StabilizerState::postselect(QubitId q, bool outcome)
             std::to_string(q));
 }
 
+void
+StabilizerState::applyDecayJump(QubitId q)
+{
+    const int pivot = measurePivot(q);
+    if (pivot >= 0) {
+        // Random-outcome qubit: collapse onto the |1> branch, then
+        // flip it down to |0>.  One pivot scan serves both steps
+        // (postselect would re-run it inside its own dispatch).
+        collapse(q, pivot, true);
+        applyX(q);
+        return;
+    }
+    // Deterministic qubit: the jump fires only when the population
+    // is 1 — every caller draws the jump conditioned on
+    // populationOne(q) > 0, which for a deterministic qubit means
+    // the outcome *is* 1 — so the "collapse" is the identity and the
+    // jump reduces to the X flip.  No outcome re-derivation: that
+    // scratch-row accumulation is the dominant per-jump cost the
+    // direct update removes (postselect(q, true) would repeat it
+    // just to assert what the caller's population test already
+    // established; BM_DecayJump* in bench_backend_scaling records
+    // the delta).
+    applyX(q);
+}
+
+bool
+StabilizerState::measureFlipSupport(QubitId q,
+                                    std::vector<QubitId> &x_support,
+                                    std::vector<QubitId> &z_support) const
+{
+    const int pivot = measurePivot(q);
+    if (pivot < 0)
+        return false;
+    x_support.clear();
+    z_support.clear();
+    for (int col = 0; col < numQubits_; col++) {
+        if (getX(pivot, col))
+            x_support.push_back(col);
+        if (getZ(pivot, col))
+            z_support.push_back(col);
+    }
+    return true;
+}
+
 double
 StabilizerState::populationOne(QubitId q)
 {

@@ -79,6 +79,43 @@ class StabilizerState
     void postselect(QubitId q, bool outcome);
 
     /**
+     * Relaxation jump: collapse the |1> component onto |0>.
+     *
+     * Semantically identical to postselect(q, true) followed by
+     * applyX(q), but as one direct tableau update: the pivot scan
+     * runs once, and the deterministic branch skips postselect's
+     * outcome re-derivation (a full scratch-row accumulation)
+     * entirely — the caller fires the jump with probability
+     * proportional to populationOne(q), which already established
+     * that the |1> component exists, making the re-derivation pure
+     * overhead.  The collapse itself (rowMult cleanup around the
+     * pivot) is inherent: amplitude damping is a non-unital channel,
+     * so no collapse-free Pauli/sign update can represent it on a
+     * superposed qubit — that is why the random branch still pays
+     * postselection cost.
+     *
+     * @pre populationOne(q) > 0 — unchecked; calling this on a qubit
+     *      deterministically in |0> silently flips it to |1>.
+     */
+    void applyDecayJump(QubitId q);
+
+    /**
+     * Pauli that maps the post-measurement state of one Z_q outcome
+     * branch onto the other: a stabilizer generator of the *current*
+     * state anticommuting with Z_q (the measurement pivot row).
+     *
+     * Returns false (outputs untouched) when measuring @p q is
+     * deterministic — there is no second branch.  Otherwise fills
+     * @p x_support / @p z_support with the qubits carrying an X / Z
+     * factor (sign omitted; frames ignore global phase) and returns
+     * true.  This is what the batched Pauli-frame engine records per
+     * random measurement: XORing this Pauli into a shot's frame flips
+     * that shot onto the opposite outcome branch exactly.
+     */
+    bool measureFlipSupport(QubitId q, std::vector<QubitId> &x_support,
+                            std::vector<QubitId> &z_support) const;
+
+    /**
      * True if measuring @p q would give a deterministic outcome
      * (i.e. Z_q commutes with the stabilizer group).
      */

@@ -293,21 +293,33 @@ TEST(CompiledProgram, FastPathCoversNoiselessShots)
     EXPECT_EQ(replayer.totalShots(), 64u);
 }
 
-TEST(CompiledProgram, StabilizerJobsIgnoreExecMode)
+TEST(CompiledProgram, StabilizerJobsCompileToFrameBatch)
 {
     // Clifford executable + Pauli-expressible noise routes to the
-    // stabilizer backend under Auto; ExecMode must not disturb it.
+    // stabilizer backend under Auto, and ExecMode::Compiled now
+    // selects the batched Pauli-frame engine with the per-shot
+    // tableau kept as the Interpreted reference.  The two consume
+    // different RNG streams, so the lock here is dispatch,
+    // thread-count bit-identity, and statistical equivalence (the
+    // full corpus lives in test_frame_batch.cc).
     const Device device = Device::ibmqRome();
     const NoisyMachine machine(device, 0, NoiseFlags::pauliOnly());
     const ScheduledCircuit sched = compileWorkload(
         makeBernsteinVazirani(4, /*secret=*/0b101), device);
     const PreparedCircuit prepared = machine.prepare(sched);
     EXPECT_EQ(prepared.backend(), BackendKind::Stabilizer);
+    EXPECT_TRUE(prepared.frameBatched());
+
+    const Distribution batch = machine.run(
+        sched, 20000, 3, 1, BackendKind::Auto, ExecMode::Compiled);
     EXPECT_TRUE(distributionsIdentical(
-        machine.run(sched, 500, 3, 1, BackendKind::Auto,
-                    ExecMode::Compiled),
-        machine.run(sched, 500, 3, 1, BackendKind::Auto,
-                    ExecMode::Interpreted)));
+        batch, machine.run(sched, 20000, 3, 7, BackendKind::Auto,
+                           ExecMode::Compiled)));
+    EXPECT_LT(tvDistance(batch,
+                         machine.run(sched, 20000, 3, 1,
+                                     BackendKind::Auto,
+                                     ExecMode::Interpreted)),
+              0.02);
 }
 
 } // namespace
