@@ -20,6 +20,10 @@ runExperiment()
 {
     banner("Ablation: noise channels", "DD benefit by channel "
                                        "(idle q0 on ibmq_london, 8 us)");
+    benchio::open("ablation_noise",
+                  "DD benefit decomposed by noise channel: refocuses "
+                  "OU dephasing and crosstalk, cannot touch T1/white "
+                  "dephasing, pays gate errors");
     struct Config
     {
         const char *label;
@@ -65,6 +69,11 @@ runExperiment()
             machine, c, dd, true, 3000, 70);
         std::printf("%-24s %10.3f %10.3f %+10.3f\n", config.label,
                     free_fid, dd_fid, dd_fid - free_fid);
+        benchio::record(config.label)
+            .label("channels", config.label)
+            .metric("free_fidelity", free_fid)
+            .metric("dd_fidelity", dd_fid)
+            .metric("dd_gain", dd_fid - free_fid);
     }
 }
 

@@ -18,6 +18,10 @@ runExperiment()
 {
     banner("Ablation: search", "Neighbourhood size and conservative "
                                "merge (QFT-6A on ibmq_toronto, XY4)");
+    benchio::open("ablation_search",
+                  "ADAPT neighbourhood size and conservative top-2 "
+                  "merge ablation: quality vs decoy budget on QFT-6A "
+                  "(ibmq_toronto)");
     const Device device = Device::ibmqToronto();
     const Calibration cal = device.calibration(0);
     const NoisyMachine machine(device);
@@ -58,8 +62,16 @@ runExperiment()
         std::printf("%-26s %8d %10.3f %11.2fx\n", config.label,
                     search.decoysExecuted, fid,
                     fid / std::max(base, 1e-9));
+        benchio::record(config.label)
+            .label("search", config.label)
+            .metric("neighborhood", config.neighborhood)
+            .metric("merge", config.merge ? 1 : 0)
+            .metric("decoys", search.decoysExecuted)
+            .metric("fidelity", fid)
+            .metric("relative_to_nodd", fid / std::max(base, 1e-9));
     }
     std::printf("no-dd baseline fidelity: %.3f\n", base);
+    benchio::record("no_dd_baseline").metric("fidelity", base);
 }
 
 void

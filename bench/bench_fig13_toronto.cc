@@ -19,6 +19,9 @@ runExperiment()
 {
     banner("Figure 13", "Policy comparison on ibmq_toronto "
                         "(XY4 and IBMQ-DD)");
+    benchio::open("fig13_toronto",
+                  "relative fidelity of All-DD / ADAPT / Runtime-Best "
+                  "vs No-DD on ibmq_toronto for XY4 and IBMQ-DD");
     const Device device = Device::ibmqToronto();
     SuiteOptions options;
     options.policy.shots = 450;
@@ -38,6 +41,13 @@ runExperiment()
             std::printf("%-13s min %.2f  gmean %.2f  max %.2f\n",
                         policyName(policy).c_str(), s.min, s.gmean,
                         s.max);
+            benchio::record(ddProtocolName(protocol) + "_" +
+                            policyName(policy))
+                .label("protocol", ddProtocolName(protocol))
+                .label("policy", policyName(policy))
+                .metric("min_relative", s.min)
+                .metric("gmean_relative", s.gmean)
+                .metric("max_relative", s.max);
         }
     }
     std::printf("(paper, XY4: ADAPT gmean 1.23x, up to 3.06x; "

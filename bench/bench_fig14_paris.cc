@@ -18,6 +18,9 @@ void
 runExperiment()
 {
     banner("Figure 14", "Policy comparison on ibmq_paris (XY4)");
+    benchio::open("fig14_paris",
+                  "relative fidelity of the policies on ibmq_paris "
+                  "with XY4, deep workloads only");
     const Device device = Device::ibmqParis();
     SuiteOptions options;
     options.policy.shots = 600;
@@ -39,6 +42,12 @@ runExperiment()
         const Summary s = summarize(rows, policy);
         std::printf("%-13s min %.2f  gmean %.2f  max %.2f\n",
                     policyName(policy).c_str(), s.min, s.gmean, s.max);
+        benchio::record(policyName(policy))
+            .label("protocol", "xy4")
+            .label("policy", policyName(policy))
+            .metric("min_relative", s.min)
+            .metric("gmean_relative", s.gmean)
+            .metric("max_relative", s.max);
     }
     std::printf("(paper: All-DD gmean 1.97x; ADAPT gmean 3.27x, up "
                 "to 5.73x)\n");

@@ -20,6 +20,10 @@ runExperiment()
 {
     banner("Figure 15", "Policy comparison on ibmq_guadalupe "
                         "(XY4 and IBMQ-DD)");
+    benchio::open("fig15_guadalupe",
+                  "relative fidelity of the policies on the newest, "
+                  "least-noisy machine (ibmq_guadalupe), where All-DD "
+                  "occasionally hurts");
     const Device device = Device::ibmqGuadalupe();
     SuiteOptions options;
     options.policy.shots = 450;
@@ -46,6 +50,13 @@ runExperiment()
             std::printf("%-13s min %.2f  gmean %.2f  max %.2f\n",
                         policyName(policy).c_str(), s.min, s.gmean,
                         s.max);
+            benchio::record(ddProtocolName(protocol) + "_" +
+                            policyName(policy))
+                .label("protocol", ddProtocolName(protocol))
+                .label("policy", policyName(policy))
+                .metric("min_relative", s.min)
+                .metric("gmean_relative", s.gmean)
+                .metric("max_relative", s.max);
         }
     }
     std::printf("(paper, XY4: All-DD gmean 1.10x; ADAPT gmean 1.31x, "

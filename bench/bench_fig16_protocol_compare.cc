@@ -19,6 +19,10 @@ runExperiment()
 {
     banner("Figure 16(d)", "XY4 vs IBMQ-DD vs free evolution over "
                            "idle time (ibmq_guadalupe)");
+    benchio::open("fig16_protocol_compare",
+                  "mean fidelity of No-DD vs XY4 vs single-pair "
+                  "IBMQ-DD as idle time grows, averaged over "
+                  "ibmq_guadalupe spectator combos");
     const Device device = Device::ibmqGuadalupe();
     const NoisyMachine machine(device);
     const auto combos = device.topology().spectatorCombos();
@@ -49,6 +53,12 @@ runExperiment()
         }
         std::printf("%-12.1f %10.3f %10.3f %10.3f\n", idle_us,
                     mean(free_f), mean(xy4_f), mean(ibmq_f));
+        benchio::record("idle_us" + std::to_string(
+                            static_cast<int>(idle_us)))
+            .metric("idle_us", idle_us)
+            .metric("no_dd_fidelity", mean(free_f))
+            .metric("xy4_fidelity", mean(xy4_f))
+            .metric("ibmq_dd_fidelity", mean(ibmq_f));
     }
 }
 

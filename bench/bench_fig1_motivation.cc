@@ -15,6 +15,10 @@ namespace
 void
 runExperiment()
 {
+    benchio::open("fig1_motivation",
+                  "relative fidelity of four DD choices on the "
+                  "3-qubit motivating circuit (ibmq_london): the best "
+                  "choice is a subset");
     banner("Figure 1(e)", "DD subset choice on the motivating 3-qubit "
                           "circuit (ibmq_london)");
     const Device device = Device::ibmqLondon();
@@ -59,11 +63,18 @@ runExperiment()
         {"DD on q[0] only", {true, false, false}},
         {"DD on q[2] only", {false, false, true}},
     };
+    const char *slugs[] = {"none", "all", "q0_only", "q2_only"};
     std::printf("%-20s %10s %10s\n", "option", "fidelity", "relative");
-    for (const Option &opt : options) {
+    for (size_t i = 0; i < std::size(options); i++) {
+        const Option &opt = options[i];
         const double fid = fidelity_for(opt.mask);
+        const double relative = fid / std::max(base, 1e-9);
         std::printf("%-20s %10.3f %10.2fx\n", opt.label, fid,
-                    fid / std::max(base, 1e-9));
+                    relative);
+        benchio::record(slugs[i])
+            .label("option", opt.label)
+            .metric("fidelity", fid)
+            .metric("relative_fidelity", relative);
     }
 }
 

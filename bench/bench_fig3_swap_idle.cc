@@ -17,6 +17,9 @@ runExperiment()
 {
     banner("Figure 3(b)", "SWAP impact on Q0 idle time: BV-n on "
                           "ibmq_toronto vs all-to-all");
+    benchio::open("fig3_swap_idle",
+                  "Q0 idle time for BV-n on heavy-hex ibmq_toronto vs "
+                  "an all-to-all machine; SWAP insertion is the driver");
     const Device toronto = Device::ibmqToronto();
     // Same error/latency profile, full connectivity (the paper's
     // hypothetical comparison machine).
@@ -39,10 +42,18 @@ runExperiment()
             transpile(bv, full, full.calibration(0), opts);
         const QubitId hex_q0 = on_hex.initialLayout.physical(0);
         const QubitId full_q0 = on_full.initialLayout.physical(0);
-        std::printf("BV-%-3d %14.2f %18.2f %8d\n", n,
-                    on_hex.schedule.totalIdleTime(hex_q0) * 1e-3,
-                    on_full.schedule.totalIdleTime(full_q0) * 1e-3,
-                    on_hex.swapCount);
+        const double hex_idle_us =
+            on_hex.schedule.totalIdleTime(hex_q0) * 1e-3;
+        const double full_idle_us =
+            on_full.schedule.totalIdleTime(full_q0) * 1e-3;
+        std::printf("BV-%-3d %14.2f %18.2f %8d\n", n, hex_idle_us,
+                    full_idle_us, on_hex.swapCount);
+        benchio::record("bv" + std::to_string(n))
+            .label("workload", "BV-" + std::to_string(n))
+            .metric("size", n)
+            .metric("toronto_idle_us", hex_idle_us)
+            .metric("all_to_all_idle_us", full_idle_us)
+            .metric("swaps", on_hex.swapCount);
     }
 }
 

@@ -34,6 +34,11 @@ partC()
             machine, config, dd, true, 2000, 10 + i);
         std::printf("%-8.3f %10.3f %10.3f\n", config.theta, free_fid,
                     dd_fid);
+        benchio::record("c_theta" + std::to_string(i))
+            .label("part", "c")
+            .metric("theta", config.theta)
+            .metric("free_fidelity", free_fid)
+            .metric("dd_fidelity", dd_fid);
     }
 }
 
@@ -63,6 +68,12 @@ partF()
             machine, config, dd, true, 2000, 30 + i);
         std::printf("%-8.3f %10.3f %10.3f %12.3f\n", config.theta,
                     quiet, driven, driven_dd);
+        benchio::record("f_theta" + std::to_string(i))
+            .label("part", "f")
+            .metric("theta", config.theta)
+            .metric("quiet_fidelity", quiet)
+            .metric("crosstalk_fidelity", driven)
+            .metric("crosstalk_dd_fidelity", driven_dd);
     }
 }
 
@@ -109,6 +120,13 @@ partGH()
                 mean(free_fids), minOf(free_fids));
     std::printf("with DD:    mean %.3f  worst %.3f\n", mean(dd_fids),
                 minOf(dd_fids));
+    benchio::record("gh_spectator_combos")
+        .label("part", "gh")
+        .metric("combos", static_cast<double>(combos.size()))
+        .metric("free_mean_fidelity", mean(free_fids))
+        .metric("free_worst_fidelity", minOf(free_fids))
+        .metric("dd_mean_fidelity", mean(dd_fids))
+        .metric("dd_worst_fidelity", minOf(dd_fids));
     std::printf("(paper: 0.845 / 0.136 without, 0.913 / 0.577 with)\n");
     std::printf("\nhistogram without DD (bin-center count):\n%s",
                 free_hist.toString().c_str());
@@ -121,6 +139,10 @@ runExperiment()
 {
     banner("Figure 4", "Idling errors and the impact of DD "
                        "(characterization circuits)");
+    benchio::open("fig4_characterization",
+                  "idle-qubit characterization: theta sweep, CNOT "
+                  "crosstalk, and the 224-combo spectator fidelity "
+                  "distribution on ibmq_guadalupe");
     partC();
     partF();
     partGH();

@@ -17,6 +17,10 @@ runExperiment()
 {
     banner("Figure 5", "Relative fidelity of idle qubit with DD, 700 "
                        "combos on ibmq_toronto");
+    benchio::open("fig5_dd_histogram",
+                  "relative fidelity of an idle qubit with DD over "
+                  "all (qubit, link) combos of ibmq_toronto: DD helps "
+                  "most combos, hurts some");
     const Device device = Device::ibmqToronto();
     const NoisyMachine machine(device);
     DDOptions dd;
@@ -56,6 +60,12 @@ runExperiment()
     std::printf("best %.2fx  worst %.2fx   (paper: up to 3.95x / "
                 "down to 0.21x)\n",
                 best, worst);
+    benchio::record("relative_fidelity")
+        .metric("combos", static_cast<double>(combos.size()))
+        .metric("helps", helps)
+        .metric("hurts", hurts)
+        .metric("best_relative", best)
+        .metric("worst_relative", worst);
     std::printf("\nhistogram of relative fidelity:\n%s",
                 hist.toString().c_str());
 }

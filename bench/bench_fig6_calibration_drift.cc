@@ -17,6 +17,10 @@ runExperiment()
 {
     banner("Figure 6", "DD benefit across calibration cycles "
                        "(qubit 12, link 17-18, ibmq_toronto)");
+    benchio::open("fig6_calibration_drift",
+                  "relative fidelity of DD vs free evolution on qubit "
+                  "12 (link 17-18 driven) across two calibration "
+                  "cycles of ibmq_toronto");
     const Device device = Device::ibmqToronto();
     const int link = device.topology().linkIndex(17, 18);
     DDOptions dd;
@@ -40,7 +44,15 @@ runExperiment()
                 machine, config, dd, false, 2500, 60 + i);
             const double dd_fid = characterizationFidelity(
                 machine, config, dd, true, 2500, 60 + i);
-            std::printf(" %13.3f", dd_fid / std::max(free_fid, 1e-3));
+            const double relative = dd_fid / std::max(free_fid, 1e-3);
+            std::printf(" %13.3f", relative);
+            benchio::record("theta" + std::to_string(i) + "_cycle" +
+                            std::to_string(cycle))
+                .metric("theta", theta)
+                .metric("cycle", cycle)
+                .metric("free_fidelity", free_fid)
+                .metric("dd_fidelity", dd_fid)
+                .metric("relative_fidelity", relative);
         }
         std::printf("\n");
     }

@@ -52,6 +52,15 @@ sweep(const Workload &w, const Device &device)
     std::printf("best mask %u -> %.2fx vs no-dd, %.2fx vs all-dd\n",
                 best_mask, best / std::max(base, 1e-9),
                 best / std::max(all, 1e-9));
+    benchio::record(w.name)
+        .label("workload", w.name)
+        .metric("min_fidelity", worst)
+        .metric("max_fidelity", best)
+        .metric("no_dd_fidelity", base)
+        .metric("all_dd_fidelity", all)
+        .metric("best_mask", best_mask)
+        .metric("best_vs_no_dd", best / std::max(base, 1e-9))
+        .metric("best_vs_all_dd", best / std::max(all, 1e-9));
 }
 
 void
@@ -59,6 +68,10 @@ runExperiment()
 {
     banner("Figure 8", "Fidelity of all 64 DD masks, QFT-6 and BV-6 "
                        "on ibmq_toronto");
+    benchio::open("fig8_mask_sweep",
+                  "program fidelity across all 64 DD masks for QFT-6 "
+                  "and BV-6 on ibmq_toronto: the best mask is "
+                  "strictly inside the lattice");
     const Device device = Device::ibmqToronto();
     sweep({"QFT-6", makeQft(6, QftState::A)}, device);
     sweep({"BV-6", makeBernsteinVazirani(6, 0b10110)}, device);

@@ -19,6 +19,10 @@ runExperiment()
 {
     banner("Figure 9", "Adder vs Clifford-decoy fidelity across all "
                        "16 DD masks (ibmq_guadalupe)");
+    benchio::open("fig9_decoy_correlation",
+                  "4-qubit Adder vs its Clifford decoy across all 16 "
+                  "DD masks on ibmq_guadalupe, with the Spearman rank "
+                  "correlation between the trends");
     const Device device = Device::ibmqGuadalupe();
     const Calibration cal = device.calibration(0);
     const NoisyMachine machine(device);
@@ -54,9 +58,15 @@ runExperiment()
         decoy_fid.push_back(fid_decoy);
         std::printf("%-6u %10.3f %10.3f\n", bits, fid_actual,
                     fid_decoy);
+        benchio::record("mask" + std::to_string(bits))
+            .metric("mask", bits)
+            .metric("actual_fidelity", fid_actual)
+            .metric("decoy_fidelity", fid_decoy);
     }
+    const double spearman = spearmanCorrelation(actual, decoy_fid);
     std::printf("Spearman correlation: %.2f   (paper: 0.78)\n",
-                spearmanCorrelation(actual, decoy_fid));
+                spearman);
+    benchio::record("correlation").metric("spearman", spearman);
 }
 
 void

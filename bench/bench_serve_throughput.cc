@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Serving throughput: jobs/sec through the in-process JobServer
+ * under a multi-tenant load of small dense jobs, across worker
+ * counts.  Measures the full submit -> queue -> dispatch -> run ->
+ * finalize path, so the delta between worker counts isolates the
+ * scheduler overhead from the simulation kernels.
+ */
+
+#include "bench_common.hh"
+
+#include <chrono>
+
+#include "serve/job_server.hh"
+#include "transpile/transpiler.hh"
+
+using namespace adapt;
+using namespace adapt::serve;
+
+namespace
+{
+
+struct LoadResult
+{
+    double seconds;
+    int jobs;
+    int64_t shots;
+};
+
+LoadResult
+runLoad(const NoisyMachine &machine, const PreparedCircuit &prepared,
+        int workers, int jobs_per_tenant, int shots)
+{
+    ServerOptions opts;
+    opts.workers = workers;
+    opts.queueDepth = 3 * jobs_per_tenant;
+    const char *tenants[] = {"alpha", "beta", "gamma"};
+    const int weights[] = {3, 1, 1};
+
+    JobServer server(machine, opts);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<JobId> ids;
+    for (int j = 0; j < jobs_per_tenant; j++) {
+        for (size_t t = 0; t < std::size(tenants); t++) {
+            JobSpec spec;
+            spec.prepared = prepared;
+            spec.shots = shots;
+            spec.seed = 1 + ids.size();
+            const Admission a =
+                server.submit(tenants[t], std::move(spec), weights[t]);
+            if (a.accepted)
+                ids.push_back(a.id);
+        }
+    }
+    int64_t total_shots = 0;
+    for (JobId id : ids)
+        total_shots += server.wait(id).shotsDone;
+    const auto t1 = std::chrono::steady_clock::now();
+    server.shutdown();
+    return {std::chrono::duration<double>(t1 - t0).count(),
+            static_cast<int>(ids.size()), total_shots};
+}
+
+void
+runExperiment()
+{
+    banner("Serving throughput", "multi-tenant JobServer load, small "
+                                 "dense jobs (QFT-4 on ibmq_rome)");
+    benchio::open("serve_throughput",
+                  "jobs/sec through the in-process JobServer under a "
+                  "3-tenant load of small dense jobs, across worker "
+                  "counts");
+    const Device device = Device::ibmqRome();
+    const NoisyMachine machine(device);
+    const PreparedCircuit prepared = machine.prepare(
+        transpile(makeQft(4, QftState::A), device,
+                  device.calibration(0))
+            .schedule);
+
+    constexpr int kJobsPerTenant = 40;
+    constexpr int kShots = 256;
+    std::printf("%-8s %10s %12s %14s\n", "workers", "jobs",
+                "jobs/sec", "shots/sec");
+    for (int workers : {1, 2, 4}) {
+        const LoadResult r = runLoad(machine, prepared, workers,
+                                     kJobsPerTenant, kShots);
+        const double jobs_per_sec = r.jobs / std::max(r.seconds, 1e-9);
+        const double shots_per_sec =
+            static_cast<double>(r.shots) / std::max(r.seconds, 1e-9);
+        std::printf("%-8d %10d %12.0f %14.0f\n", workers, r.jobs,
+                    jobs_per_sec, shots_per_sec);
+        benchio::record("workers" + std::to_string(workers))
+            .metric("workers", workers)
+            .metric("jobs", r.jobs)
+            .metric("shots_per_job", kShots)
+            .metric("wall_s", r.seconds)
+            .metric("jobs_per_sec", jobs_per_sec)
+            .metric("shots_per_sec", shots_per_sec);
+    }
+}
+
+void
+BM_SubmitWaitSingleJob(benchmark::State &state)
+{
+    const Device device = Device::ibmqRome();
+    const NoisyMachine machine(device);
+    const PreparedCircuit prepared = machine.prepare(
+        transpile(makeQft(4, QftState::A), device,
+                  device.calibration(0))
+            .schedule);
+    ServerOptions opts;
+    opts.workers = 1;
+    JobServer server(machine, opts);
+    uint64_t seed = 0;
+    for (auto _ : state) {
+        JobSpec spec;
+        spec.prepared = prepared;
+        spec.shots = 64;
+        spec.seed = ++seed;
+        const Admission a = server.submit("bench", std::move(spec));
+        benchmark::DoNotOptimize(server.wait(a.id));
+        server.release(a.id);
+    }
+}
+BENCHMARK(BM_SubmitWaitSingleJob)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+ADAPT_BENCH_MAIN(runExperiment)

@@ -16,6 +16,9 @@ void
 runExperiment()
 {
     banner("Table 1", "Idling times for programs on ibmq_rome");
+    benchio::open("table1_idle_fractions",
+                  "program latency, per-qubit idle fraction, and "
+                  "fidelity without/with All-DD on ibmq_rome");
     const Device device = Device::ibmqRome();
     const Calibration cal = device.calibration(0);
     const NoisyMachine machine(device);
@@ -45,6 +48,12 @@ runExperiment()
         std::printf("%-8s %8.2fus  %-30s %8.2f %8.2f\n",
                     w.name.c_str(), p.schedule.makespan() * 1e-3,
                     idle_cols.c_str(), no_dd, all_dd);
+        benchio::record(w.name)
+            .label("workload", w.name)
+            .label("idle_fraction_pct_per_qubit", idle_cols)
+            .metric("latency_us", p.schedule.makespan() * 1e-3)
+            .metric("no_dd_fidelity", no_dd)
+            .metric("all_dd_fidelity", all_dd);
     }
 }
 

@@ -74,6 +74,10 @@ runExperiment()
 {
     banner("Table 2", "Decoy/input correlation: CDC vs SDC, and SDC "
                       "simulation time");
+    benchio::open("table2_decoy_quality",
+                  "decoy/input fidelity correlation for CDC vs SDC "
+                  "decoys, SDC simulation time, and the 100-qubit "
+                  "QAOA decoy scalability demo");
 
     struct Row
     {
@@ -112,6 +116,12 @@ runExperiment()
                     row.workload.name.c_str(),
                     row.device.name().c_str(), cdc_corr, sdc_corr,
                     sdc.simTimeSec);
+        benchio::record(row.workload.name)
+            .label("benchmark", row.workload.name)
+            .label("platform", row.device.name())
+            .metric("cdc_correlation", cdc_corr)
+            .metric("sdc_correlation", sdc_corr)
+            .metric("sdc_sim_time_s", sdc.simTimeSec);
         seed += 100000;
     }
 
@@ -133,6 +143,12 @@ runExperiment()
                 std::chrono::duration<double>(t1 - t0).count(),
                 decoy100.idealOutput.support(),
                 decoy100.idealEntropy);
+    benchio::record("qaoa100_scalability")
+        .metric("build_and_sample_s",
+                std::chrono::duration<double>(t1 - t0).count())
+        .metric("support",
+                static_cast<double>(decoy100.idealOutput.support()))
+        .metric("entropy_bits", decoy100.idealEntropy);
 }
 
 void

@@ -16,6 +16,9 @@ runExperiment()
 {
     banner("Table 3", "Error characteristics of the simulated IBMQ "
                       "machines (calibration cycle 0)");
+    benchio::open("table3_machines",
+                  "error characteristics of the simulated IBMQ "
+                  "machines at calibration cycle 0");
     std::printf("%-16s %7s %10s %12s %8s %8s %10s %10s\n", "machine",
                 "qubits", "cnot(%)", "meas(%)", "t1(us)",
                 "t2w(us)", "cx-lat(ns)", "cx-max(ns)");
@@ -31,6 +34,16 @@ runExperiment()
                     100.0 * cal.meanMeasurementError(),
                     cal.meanT1Us(), cal.meanT2WhiteUs(),
                     cal.meanCxLatencyNs(), cal.maxCxLatencyNs());
+        benchio::record(d.name())
+            .label("machine", d.name())
+            .metric("qubits", d.numQubits())
+            .metric("cnot_error_pct", 100.0 * cal.meanCxError())
+            .metric("meas_error_pct",
+                    100.0 * cal.meanMeasurementError())
+            .metric("t1_us", cal.meanT1Us())
+            .metric("t2_white_us", cal.meanT2WhiteUs())
+            .metric("cx_latency_ns", cal.meanCxLatencyNs())
+            .metric("cx_latency_max_ns", cal.maxCxLatencyNs());
     }
     std::printf("(paper Table 3: Guadalupe 1.27/1.86, T1 71.7; Paris "
                 "1.28/2.47, T1 80.8; Toronto 1.52/4.42, T1 105)\n");

@@ -19,6 +19,9 @@ runExperiment()
 {
     banner("Table 4", "Quantum benchmark characteristics (compiled "
                       "for ibmq_toronto)");
+    benchio::open("table4_benchmarks",
+                  "quantum benchmark characteristics after "
+                  "compilation for ibmq_toronto");
     const Device device = Device::ibmqToronto();
     const Calibration cal = device.calibration(0);
     std::printf("%-10s %8s %12s %8s %14s %8s\n", "name", "qubits",
@@ -29,6 +32,13 @@ runExperiment()
                     w.name.c_str(), w.circuit.numQubits(),
                     p.physical.gateCount(), p.physical.depth(),
                     p.schedule.meanIdleTime() * 1e-3, p.swapCount);
+        benchio::record(w.name)
+            .label("workload", w.name)
+            .metric("qubits", w.circuit.numQubits())
+            .metric("total_gates", p.physical.gateCount())
+            .metric("depth", p.physical.depth())
+            .metric("avg_idle_us", p.schedule.meanIdleTime() * 1e-3)
+            .metric("swaps", p.swapCount);
     }
 }
 

@@ -29,6 +29,10 @@ void
 runExperiment()
 {
     banner("Table 5", "Summary of relative fidelity across machines");
+    benchio::open("table5_summary",
+                  "min/gmean/max relative fidelity of All-DD and "
+                  "ADAPT across three machines on a five-workload "
+                  "core suite");
     SuiteOptions options;
     options.policy.shots = 600;
     options.policy.adapt.decoyShots = 250;
@@ -48,6 +52,14 @@ runExperiment()
                     device.name().c_str(), all_dd.min, all_dd.gmean,
                     all_dd.max, adapt_s.min, adapt_s.gmean,
                     adapt_s.max);
+        benchio::record(device.name())
+            .label("machine", device.name())
+            .metric("all_dd_min", all_dd.min)
+            .metric("all_dd_gmean", all_dd.gmean)
+            .metric("all_dd_max", all_dd.max)
+            .metric("adapt_min", adapt_s.min)
+            .metric("adapt_gmean", adapt_s.gmean)
+            .metric("adapt_max", adapt_s.max);
     }
     std::printf("(paper XY4 gmeans — Paris: all-dd 1.97 / adapt "
                 "3.27; Toronto: 1.17 / 1.23; Guadalupe: 1.10 / "

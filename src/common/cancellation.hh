@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Cooperative cancellation and deadlines for long-running jobs.
+ *
+ * A CancellationSource owns a shared stop flag; the CancellationTokens
+ * it hands out are cheap, copyable views that the engine's shot-chunk
+ * and batch loops poll at block boundaries.  A token may additionally
+ * carry a deadline (steady-clock time point), so "cancel" and
+ * "timeout" flow through the same cooperative checkpoints.
+ *
+ * Determinism contract: the engine only ever *stops between* shot
+ * blocks, never inside one, and every block draws from RNG streams
+ * keyed by its absolute index alone — so the blocks a cancelled run
+ * did complete are bit-identical to the same blocks of an
+ * uninterrupted run, no matter when (or from which thread) the stop
+ * was requested.
+ */
+
+#ifndef ADAPT_COMMON_CANCELLATION_HH
+#define ADAPT_COMMON_CANCELLATION_HH
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+namespace adapt
+{
+
+/** Why a cooperative checkpoint asked the work to stop. */
+enum class StopCause : uint8_t
+{
+    None,      //!< keep going
+    Cancelled, //!< CancellationSource::cancel() was called
+    Deadline,  //!< the token's deadline passed
+};
+
+/**
+ * Read-side view of a stop request: a shared cancel flag (optional)
+ * plus a deadline (optional).  Default-constructed tokens can never
+ * stop anything and cost nothing to poll — the hot loops carry one
+ * unconditionally.
+ */
+class CancellationToken
+{
+  public:
+    CancellationToken() = default;
+
+    /** True when this token can ever request a stop (it has a cancel
+     *  flag or a deadline); false for the default token, letting the
+     *  engine skip wave-structured execution entirely. */
+    bool armed() const { return flag_ != nullptr || hasDeadline_; }
+
+    /**
+     * Poll the stop state.  A raised cancel flag wins over an expired
+     * deadline; the default token always answers None without reading
+     * the clock.
+     */
+    StopCause cause() const
+    {
+        if (flag_ != nullptr &&
+            flag_->load(std::memory_order_acquire)) {
+            return StopCause::Cancelled;
+        }
+        if (hasDeadline_ &&
+            std::chrono::steady_clock::now() >= deadline_) {
+            return StopCause::Deadline;
+        }
+        return StopCause::None;
+    }
+
+    bool stopRequested() const { return cause() != StopCause::None; }
+
+    /** Copy of this token that additionally expires at @p deadline
+     *  (keeping any cancel flag and the *earlier* of two deadlines). */
+    CancellationToken
+    withDeadline(std::chrono::steady_clock::time_point deadline) const
+    {
+        CancellationToken t = *this;
+        if (!t.hasDeadline_ || deadline < t.deadline_) {
+            t.hasDeadline_ = true;
+            t.deadline_ = deadline;
+        }
+        return t;
+    }
+
+    /** Copy of this token expiring @p timeout from now. */
+    CancellationToken
+    withTimeout(std::chrono::steady_clock::duration timeout) const
+    {
+        return withDeadline(std::chrono::steady_clock::now() + timeout);
+    }
+
+  private:
+    friend class CancellationSource;
+    std::shared_ptr<const std::atomic<bool>> flag_;
+    bool hasDeadline_ = false;
+    std::chrono::steady_clock::time_point deadline_{};
+};
+
+/** Write side: owns the flag, hands out tokens, raises the stop. */
+class CancellationSource
+{
+  public:
+    CancellationSource()
+        : flag_(std::make_shared<std::atomic<bool>>(false))
+    {
+    }
+
+    /** Request a stop; idempotent, safe from any thread. */
+    void cancel() { flag_->store(true, std::memory_order_release); }
+
+    bool cancelled() const
+    {
+        return flag_->load(std::memory_order_acquire);
+    }
+
+    /** A token observing this source (no deadline of its own). */
+    CancellationToken token() const
+    {
+        CancellationToken t;
+        t.flag_ = flag_;
+        return t;
+    }
+
+  private:
+    std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+} // namespace adapt
+
+#endif // ADAPT_COMMON_CANCELLATION_HH

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Hardened environment-knob parsing.
+ *
+ * Every ADAPT_* environment knob goes through these helpers so that
+ * garbage, negative, and overflowing values are rejected with a
+ * one-line warning (logging.hh) and a documented fallback — instead
+ * of strtol's silent 0 / clamp misbehaviors steering thread counts or
+ * server limits.  The string parsers are pure functions so tests can
+ * exercise every rejection path without touching the process
+ * environment.
+ */
+
+#ifndef ADAPT_COMMON_ENV_HH
+#define ADAPT_COMMON_ENV_HH
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace adapt
+{
+
+/**
+ * Strict base-10 integer parse: the entire string (modulo leading /
+ * trailing whitespace handled by strtoll, which accepts leading only —
+ * trailing junk is rejected here) must be one in-range integer.
+ * Returns nullopt on empty input, trailing garbage, or overflow.
+ */
+inline std::optional<long long>
+parseInt(const char *text)
+{
+    if (text == nullptr || *text == '\0')
+        return std::nullopt;
+    errno = 0;
+    char *end = nullptr;
+    const long long value = std::strtoll(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE)
+        return std::nullopt;
+    return value;
+}
+
+/** Strict finite decimal parse; nullopt on garbage / overflow. */
+inline std::optional<double>
+parseDouble(const char *text)
+{
+    if (text == nullptr || *text == '\0')
+        return std::nullopt;
+    errno = 0;
+    char *end = nullptr;
+    const double value = std::strtod(text, &end);
+    if (end == text || *end != '\0' || errno == ERANGE)
+        return std::nullopt;
+    return value;
+}
+
+/**
+ * Parse an integer knob value against [lo, hi]; nullopt (after a
+ * warning naming the knob) when the text is garbage or out of range.
+ */
+inline std::optional<long long>
+parseIntKnob(const char *name, const char *text, long long lo,
+             long long hi)
+{
+    const std::optional<long long> parsed = parseInt(text);
+    if (!parsed.has_value()) {
+        warn(std::string(name) + "=\"" + (text ? text : "") +
+             "\" is not an integer; ignoring it");
+        return std::nullopt;
+    }
+    if (*parsed < lo || *parsed > hi) {
+        warn(std::string(name) + "=" + std::to_string(*parsed) +
+             " is outside [" + std::to_string(lo) + ", " +
+             std::to_string(hi) + "]; ignoring it");
+        return std::nullopt;
+    }
+    return parsed;
+}
+
+/** Integer environment knob bounded to [lo, hi]; unset, garbage, or
+ *  out-of-range values fall back to @p fallback (with a warning for
+ *  the latter two). */
+inline long long
+envInt(const char *name, long long fallback, long long lo,
+       long long hi)
+{
+    const char *text = std::getenv(name);
+    if (text == nullptr)
+        return fallback;
+    return parseIntKnob(name, text, lo, hi).value_or(fallback);
+}
+
+/**
+ * Parse an on/off knob value: "1"/"on"/"true" -> true, "0"/"off"/
+ * "false" -> false, anything else nullopt after a warning.
+ */
+inline std::optional<bool>
+parseFlagKnob(const char *name, const char *text)
+{
+    if (text == nullptr)
+        return std::nullopt;
+    if (std::strcmp(text, "1") == 0 || std::strcmp(text, "on") == 0 ||
+        std::strcmp(text, "true") == 0) {
+        return true;
+    }
+    if (std::strcmp(text, "0") == 0 || std::strcmp(text, "off") == 0 ||
+        std::strcmp(text, "false") == 0) {
+        return false;
+    }
+    warn(std::string(name) + "=\"" + text +
+         "\" is not one of 1/on/true/0/off/false; ignoring it");
+    return std::nullopt;
+}
+
+/** Boolean environment knob; unset or unrecognized (warned) values
+ *  fall back to @p fallback. */
+inline bool
+envFlag(const char *name, bool fallback)
+{
+    const char *text = std::getenv(name);
+    if (text == nullptr)
+        return fallback;
+    return parseFlagKnob(name, text).value_or(fallback);
+}
+
+/** Probability environment knob in [0, 1]; garbage or out-of-range
+ *  values warn and fall back. */
+inline double
+envProbability(const char *name, double fallback)
+{
+    const char *text = std::getenv(name);
+    if (text == nullptr)
+        return fallback;
+    const std::optional<double> parsed = parseDouble(text);
+    if (!parsed.has_value() || *parsed < 0.0 || *parsed > 1.0) {
+        warn(std::string(name) + "=\"" + text +
+             "\" is not a probability in [0, 1]; ignoring it");
+        return fallback;
+    }
+    return *parsed;
+}
+
+} // namespace adapt
+
+#endif // ADAPT_COMMON_ENV_HH

@@ -53,6 +53,17 @@ panic(const std::string &msg)
     throw InternalError(msg);
 }
 
+/**
+ * Report a recoverable misconfiguration on stderr and keep going —
+ * the one-line channel the environment-knob parsers (common/env.hh)
+ * use when they reject garbage and fall back to a default.
+ */
+inline void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "adapt: warning: %s\n", msg.c_str());
+}
+
 /** Abort with fatal() unless @p cond holds. */
 inline void
 require(bool cond, const std::string &msg)

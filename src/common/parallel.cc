@@ -1,5 +1,7 @@
 #include "common/parallel.hh"
 
+#include "common/env.hh"
+
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
@@ -25,13 +27,13 @@ int
 defaultThreads()
 {
     static const int threads = [] {
-        if (const char *env = std::getenv("ADAPT_NUM_THREADS")) {
-            const long parsed = std::strtol(env, nullptr, 10);
-            if (parsed >= 1)
-                return static_cast<int>(parsed);
-        }
         const unsigned hw = std::thread::hardware_concurrency();
-        return hw >= 1 ? static_cast<int>(hw) : 1;
+        const int fallback = hw >= 1 ? static_cast<int>(hw) : 1;
+        // Hardened knob parse: garbage, zero/negative, and overflow
+        // values warn once and fall back to the hardware count
+        // instead of silently serializing (strtol's 0) or wrapping.
+        return static_cast<int>(
+            envInt("ADAPT_NUM_THREADS", fallback, 1, 1 << 16));
     }();
     return threads;
 }

@@ -1063,4 +1063,25 @@ ShotReplayer::runShot(const Rng &shot_rng)
     return packer_.key();
 }
 
+int64_t
+ShotReplayer::runBlock(const Rng &base, int64_t first_shot,
+                       int64_t count, FlatAccumulator &hist,
+                       const CancellationToken *token)
+{
+    // Every shot forks its streams from (base, absolute index) alone,
+    // so stopping after any shot leaves a prefix bit-identical to the
+    // same shots of an uninterrupted run; the token check costs one
+    // atomic load (plus a clock read when a deadline is armed) against
+    // microseconds of state-vector work per shot.
+    int64_t done = 0;
+    for (; done < count; done++) {
+        if (token != nullptr && token->stopRequested())
+            break;
+        const Rng shot_rng = base.fork(
+            static_cast<uint64_t>(first_shot + done) + 1);
+        hist.add(runShot(shot_rng), 1.0);
+    }
+    return done;
+}
+
 } // namespace adapt

@@ -49,6 +49,8 @@
 #include <vector>
 
 #include "circuit/gate.hh"
+#include "common/cancellation.hh"
+#include "common/flat_accumulator.hh"
 #include "common/matrix2.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
@@ -351,6 +353,23 @@ class ShotReplayer
      * interpreted path does, and returns the same outcome key.
      */
     uint64_t runShot(const Rng &shot_rng);
+
+    /**
+     * Run shots [first_shot, first_shot + count), forking each shot's
+     * streams from (base, absolute shot index) as the engine does,
+     * and count the outcomes into @p hist.
+     *
+     * When @p token is non-null it is polled before every shot and
+     * the block stops early on a stop request — the single-chunk
+     * cancellable path, giving one-shot cancellation latency while
+     * keeping the completed prefix bit-identical to an uninterrupted
+     * run (per-shot RNG streams never depend on where a run stops).
+     *
+     * @return Shots actually executed (== count unless stopped).
+     */
+    int64_t runBlock(const Rng &base, int64_t first_shot,
+                     int64_t count, FlatAccumulator &hist,
+                     const CancellationToken *token = nullptr);
 
     /** Shots replayed on the no-error fast stream so far. */
     uint64_t fastShots() const { return fastShots_; }

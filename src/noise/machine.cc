@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/env.hh"
 #include "common/flat_accumulator.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
@@ -279,11 +280,8 @@ resolveBackend(BackendKind requested, const ExecutionPlan &plan,
 bool
 frameBatchEnabled()
 {
-    static const bool enabled = [] {
-        const char *env = std::getenv("ADAPT_FRAME_BATCH");
-        return env == nullptr || (std::strcmp(env, "0") != 0 &&
-                                  std::strcmp(env, "off") != 0);
-    }();
+    static const bool enabled =
+        envFlag("ADAPT_FRAME_BATCH", /*fallback=*/true);
     return enabled;
 }
 
@@ -370,6 +368,16 @@ Distribution
 NoisyMachine::run(const PreparedCircuit &prepared, int shots,
                   uint64_t run_seed, int threads, ExecMode mode) const
 {
+    return runPartial(prepared, shots, run_seed, threads, RunControl{},
+                      mode)
+        .dist;
+}
+
+RunOutcome
+NoisyMachine::runPartial(const PreparedCircuit &prepared, int shots,
+                         uint64_t run_seed, int threads,
+                         const RunControl &control, ExecMode mode) const
+{
     require(shots > 0, "NoisyMachine::run requires at least one shot");
     require(prepared.valid(),
             "NoisyMachine::run on an empty PreparedCircuit");
@@ -378,13 +386,26 @@ NoisyMachine::run(const PreparedCircuit &prepared, int shots,
         mode == ExecMode::Compiled && job.program.has_value();
     const Rng base(run_seed ^ 0xadab7dd);
 
+    // With a quiet control (no armed token, no progress callback) a
+    // single wave covers the whole job and the code below is exactly
+    // the historical run() — same chunking, same RNG streams, same
+    // key-ordered merge, bit-identical output.  An armed control
+    // switches to wave-structured execution: one block per chunk per
+    // wave, token polled between waves, so the committed work is
+    // always a contiguous, deterministic prefix of the shot range.
+    const bool limited =
+        control.token.armed() || control.progress != nullptr;
+
+    RunOutcome out;
+
     if (mode == ExecMode::Compiled && job.frame.has_value()) {
         // Batched Pauli-frame engine: shots propagate kFrameLanes at
         // a time through the compiled frame op stream.  Blocks are a
         // pure function of the shot count, each block's randomness is
         // forked from (base, absolute lane group), and the per-chunk
         // histograms merge in key order — so the output is
-        // bit-identical for any thread count and batch-vs-serial.
+        // bit-identical for any thread count, batch-vs-serial, and
+        // any point a stop request lands.
         const FrameProgram &prog = *job.frame;
         const auto blocks = static_cast<int64_t>(
             (static_cast<int64_t>(shots) + kFrameLanes - 1) /
@@ -393,76 +414,159 @@ NoisyMachine::run(const PreparedCircuit &prepared, int shots,
             resolveThreads(threads), blocks));
         std::vector<FlatAccumulator> histograms(
             static_cast<size_t>(chunks));
-        parallelFor(0, blocks, chunks,
-                    [&](int64_t lo, int64_t hi, int chunk) {
-            FrameBatchBackend runner(prog);
+
+        // Per-chunk-slot workers persist across waves (the pool may
+        // hand a slot to a different thread each wave; parallelFor's
+        // batch completion orders those accesses).
+        struct ChunkWorker
+        {
+            std::unique_ptr<FrameBatchBackend> runner;
+            std::unique_ptr<StabilizerState> scratch;
+            std::unique_ptr<OutcomePacker> packer;
+            std::vector<DeferredShot> deferred;
+        };
+        std::vector<ChunkWorker> workers(static_cast<size_t>(chunks));
+
+        int64_t done = 0;
+        while (done < blocks) {
+            if ((out.cause = control.token.cause()) != StopCause::None)
+                break;
+            const int64_t hi =
+                limited ? std::min<int64_t>(done + chunks, blocks)
+                        : blocks;
+            parallelFor(done, hi, chunks,
+                        [&](int64_t lo2, int64_t hi2, int chunk) {
+                ChunkWorker &w = workers[static_cast<size_t>(chunk)];
+                FlatAccumulator &hist =
+                    histograms[static_cast<size_t>(chunk)];
+                if (!w.runner) {
+                    w.runner = std::make_unique<FrameBatchBackend>(prog);
+                }
+                for (int64_t block = lo2; block < hi2; block++) {
+                    const auto lanes =
+                        static_cast<int>(std::min<int64_t>(
+                            kFrameLanes,
+                            static_cast<int64_t>(shots) -
+                                block * kFrameLanes));
+                    w.runner->runBlock(base, block, lanes, hist,
+                                       w.deferred);
+                }
+                if (w.deferred.empty())
+                    return;
+                // Exact per-shot tableau reruns of the lanes whose T1
+                // jump fired on a reference-superposed qubit: each
+                // replays the same compiled op stream against a live
+                // tableau, consuming a dedicated stream keyed by its
+                // absolute shot index, so the merged output stays
+                // chunking- and wave-invariant.
+                if (!w.scratch) {
+                    w.scratch = std::make_unique<StabilizerState>(
+                        prog.numQubits);
+                    w.packer = std::make_unique<OutcomePacker>(
+                        prog.numClbits);
+                }
+                drainDeferredShots(prog, base, w.deferred, *w.scratch,
+                                   *w.packer, hist);
+            });
+            done = hi;
+            if (control.progress) {
+                control.progress(std::min<int64_t>(
+                    done * kFrameLanes, static_cast<int64_t>(shots)));
+            }
+        }
+        out.shotsDone = std::min<int64_t>(done * kFrameLanes,
+                                          static_cast<int64_t>(shots));
+        out.partial = done < blocks;
+        out.dist = mergeChunkHistograms(histograms);
+        return out;
+    }
+
+    // Dense / per-shot paths.  Shots are embarrassingly parallel:
+    // every shot's RNG streams are forked from (base, shot index)
+    // alone, so any partition of the shot range yields the same
+    // per-shot outcomes.  Each chunk counts outcomes into its own
+    // flat histogram; merging the histograms in key order (integer
+    // counts — exact addition) reproduces the serial result bit for
+    // bit at any thread count.
+    const int chunks = std::min(resolveThreads(threads), shots);
+    std::vector<FlatAccumulator> histograms(
+        static_cast<size_t>(chunks));
+
+    struct ChunkWorker
+    {
+        std::unique_ptr<ShotReplayer> replayer;
+        std::unique_ptr<SimBackend> state;
+        std::unique_ptr<OutcomePacker> packer;
+    };
+    std::vector<ChunkWorker> workers(static_cast<size_t>(chunks));
+
+    // Single-chunk cancellable runs poll the token per shot instead
+    // of per wave: with one chunk the committed shots are a prefix at
+    // *any* shot boundary, so the finest granularity is free.
+    const CancellationToken *shot_token =
+        limited && chunks == 1 && control.token.armed()
+            ? &control.token
+            : nullptr;
+    const int64_t wave = limited
+                             ? static_cast<int64_t>(chunks) * kShotBlock
+                             : static_cast<int64_t>(shots);
+    int64_t done = 0;
+    bool stopped_in_block = false;
+    while (done < shots && !stopped_in_block) {
+        if ((out.cause = control.token.cause()) != StopCause::None)
+            break;
+        const int64_t hi =
+            std::min<int64_t>(done + wave, static_cast<int64_t>(shots));
+        int64_t wave_done = hi - done;
+        parallelFor(done, hi, chunks,
+                    [&](int64_t lo2, int64_t hi2, int chunk) {
+            ChunkWorker &w = workers[static_cast<size_t>(chunk)];
             FlatAccumulator &hist =
                 histograms[static_cast<size_t>(chunk)];
-            std::vector<DeferredShot> deferred;
-            for (int64_t block = lo; block < hi; block++) {
-                const auto lanes = static_cast<int>(std::min<int64_t>(
-                    kFrameLanes,
-                    static_cast<int64_t>(shots) -
-                        block * kFrameLanes));
-                runner.runBlock(base, block, lanes, hist, deferred);
-            }
-            if (deferred.empty())
+            if (compiled) {
+                if (!w.replayer) {
+                    w.replayer = std::make_unique<ShotReplayer>(
+                        job.plan, *job.program);
+                }
+                const int64_t ran = w.replayer->runBlock(
+                    base, lo2, hi2 - lo2, hist, shot_token);
+                if (shot_token != nullptr)
+                    wave_done = ran; // chunks == 1: sole writer
                 return;
-            // Exact per-shot tableau reruns of the lanes whose T1
-            // jump fired on a reference-superposed qubit: each
-            // replays the same compiled op stream against a live
-            // tableau, consuming a dedicated stream keyed by its
-            // absolute shot index, so the merged output stays
-            // chunking-invariant.
-            StabilizerState state(prog.numQubits);
-            OutcomePacker packer(prog.numClbits);
-            for (const DeferredShot &d : deferred) {
-                const Rng rng = base.fork(
-                    kFrameDeferSalt + static_cast<uint64_t>(d.shot));
-                hist.add(runFrameDeferredShot(prog, state, packer,
-                                              rng, d.firstRandomT1),
+            }
+            if (!w.state) {
+                w.state = makeBackend(
+                    job.kind,
+                    static_cast<int>(job.plan.active.size()));
+                w.packer = std::make_unique<OutcomePacker>(
+                    job.plan.maxClbit + 1);
+            }
+            for (int64_t shot = lo2; shot < hi2; shot++) {
+                if (shot_token != nullptr &&
+                    shot_token->stopRequested()) {
+                    wave_done = shot - lo2; // chunks == 1
+                    return;
+                }
+                const Rng shot_rng =
+                    base.fork(static_cast<uint64_t>(shot) + 1);
+                hist.add(runShot(job.plan, cal_, flags_, *w.state,
+                                 *w.packer, shot_rng),
                          1.0);
             }
         });
-        return mergeChunkHistograms(histograms);
+        done += wave_done;
+        // A per-shot poll (chunks == 1) may stop inside the wave; the
+        // cause is re-read from the token after the loop.
+        stopped_in_block = done < hi;
+        if (control.progress)
+            control.progress(done);
     }
-
-    // Shots are embarrassingly parallel: every shot's RNG streams are
-    // forked from (base, shot index) alone, so any partition of the
-    // shot range yields the same per-shot outcomes.  Each chunk
-    // counts outcomes into its own flat histogram; merging the
-    // histograms in key order (integer counts — exact addition)
-    // reproduces the serial result bit for bit at any thread count.
-    const int chunks =
-        std::min(resolveThreads(threads), shots);
-    std::vector<FlatAccumulator> histograms(
-        static_cast<size_t>(chunks));
-    parallelFor(0, shots, chunks,
-                [&](int64_t lo, int64_t hi, int chunk) {
-        FlatAccumulator &hist =
-            histograms[static_cast<size_t>(chunk)];
-        if (compiled) {
-            ShotReplayer replayer(job.plan, *job.program);
-            for (int64_t shot = lo; shot < hi; shot++) {
-                const Rng shot_rng =
-                    base.fork(static_cast<uint64_t>(shot) + 1);
-                hist.add(replayer.runShot(shot_rng), 1.0);
-            }
-            return;
-        }
-        const std::unique_ptr<SimBackend> state = makeBackend(
-            job.kind, static_cast<int>(job.plan.active.size()));
-        OutcomePacker packer(job.plan.maxClbit + 1);
-        for (int64_t shot = lo; shot < hi; shot++) {
-            const Rng shot_rng =
-                base.fork(static_cast<uint64_t>(shot) + 1);
-            hist.add(runShot(job.plan, cal_, flags_, *state, packer,
-                             shot_rng),
-                     1.0);
-        }
-    });
-
-    return mergeChunkHistograms(histograms);
+    out.shotsDone = done;
+    out.partial = done < shots;
+    if (out.partial && out.cause == StopCause::None)
+        out.cause = control.token.cause();
+    out.dist = mergeChunkHistograms(histograms);
+    return out;
 }
 
 Distribution
@@ -482,6 +586,8 @@ NoisyMachine::runBatch(std::span<const ScheduledCircuit> jobs, int shots,
 {
     require(jobs.size() == seeds.size(),
             "runBatch requires one seed per job");
+    require(jobs.empty() || shots > 0,
+            "runBatch requires at least one shot");
     std::vector<Distribution> outputs(jobs.size());
 
     // Jobs are independent, so they fan out across the pool; each
@@ -512,6 +618,8 @@ NoisyMachine::runBatch(std::span<const PreparedCircuit> jobs, int shots,
 {
     require(jobs.size() == seeds.size(),
             "runBatch requires one seed per job");
+    require(jobs.empty() || shots > 0,
+            "runBatch requires at least one shot");
     std::vector<Distribution> outputs(jobs.size());
     parallelFor(0, static_cast<int64_t>(jobs.size()), threads,
                 [&](int64_t lo, int64_t hi, int) {
@@ -520,6 +628,45 @@ NoisyMachine::runBatch(std::span<const PreparedCircuit> jobs, int shots,
                 run(jobs[static_cast<size_t>(i)], shots,
                     seeds[static_cast<size_t>(i)], /*threads=*/0,
                     mode);
+        }
+    });
+    return outputs;
+}
+
+std::vector<RunOutcome>
+NoisyMachine::runBatchPartial(std::span<const PreparedCircuit> jobs,
+                              int shots,
+                              std::span<const uint64_t> seeds,
+                              int threads, const RunControl &control,
+                              ExecMode mode) const
+{
+    require(jobs.size() == seeds.size(),
+            "runBatch requires one seed per job");
+    require(jobs.empty() || shots > 0,
+            "runBatch requires at least one shot");
+    std::vector<RunOutcome> outputs(jobs.size());
+
+    // Same fan-out as runBatch, with the stop token threaded through:
+    // each job polls it once before starting (a stopped token skips
+    // the job — shotsDone 0, partial, cause recorded) and then runs
+    // cancellably under it.  Jobs draw only from their own seeds, so
+    // every job that completed is bit-identical to a solo run() no
+    // matter when a sibling was skipped or truncated.
+    RunControl job_control;
+    job_control.token = control.token;
+    parallelFor(0, static_cast<int64_t>(jobs.size()), threads,
+                [&](int64_t lo, int64_t hi, int) {
+        for (int64_t i = lo; i < hi; i++) {
+            RunOutcome &out = outputs[static_cast<size_t>(i)];
+            const StopCause cause = control.token.cause();
+            if (cause != StopCause::None) {
+                out.partial = true;
+                out.cause = cause;
+                continue;
+            }
+            out = runPartial(jobs[static_cast<size_t>(i)], shots,
+                             seeds[static_cast<size_t>(i)],
+                             /*threads=*/0, job_control, mode);
         }
     });
     return outputs;

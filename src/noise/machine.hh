@@ -22,10 +22,12 @@
 #define ADAPT_NOISE_MACHINE_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
 
+#include "common/cancellation.hh"
 #include "common/stats.hh"
 #include "device/device.hh"
 #include "noise/noise_model.hh"
@@ -93,6 +95,49 @@ class PreparedCircuit
   private:
     friend class NoisyMachine;
     std::shared_ptr<const PreparedJob> impl_;
+};
+
+/**
+ * Shots per cancellation block on the dense / per-shot paths: the
+ * granularity at which wave-structured cancellable runs commit work
+ * (the batch frame engine's natural block is kFrameLanes instead).
+ * Per-shot RNG streams make any block size prefix-exact; this one
+ * just bounds how much work a multi-chunk run can lose to a stop
+ * request.
+ */
+constexpr int kShotBlock = 64;
+
+/**
+ * Caller-supplied controls for a cancellable run: a stop token
+ * (cancel flag and/or deadline, polled at shot-block boundaries) and
+ * an optional progress callback.
+ *
+ * progress(shots_done) fires on the driving thread after every
+ * committed wave of blocks with the cumulative shot count — the
+ * JobServer uses it for live progress and as the deterministic
+ * injection point for worker-stall faults.  It is never called
+ * concurrently for a single run().
+ */
+struct RunControl
+{
+    CancellationToken token;
+    std::function<void(int64_t)> progress;
+};
+
+/**
+ * Outcome of a cancellable run.  When a stop request lands mid-job,
+ * dist holds the histogram of the shot blocks completed before it —
+ * a contiguous prefix [0, shotsDone) that is bit-identical to the
+ * first shotsDone shots of an uninterrupted run with the same seed
+ * (per-block RNG streams; equivalently, to run(prepared, shotsDone,
+ * seed) exactly).
+ */
+struct RunOutcome
+{
+    Distribution dist;
+    int64_t shotsDone = 0;
+    bool partial = false;               //!< stopped before all shots
+    StopCause cause = StopCause::None;  //!< why, when partial
 };
 
 /** The simulated hardware endpoint. */
@@ -200,6 +245,42 @@ class NoisyMachine
     runBatch(std::span<const PreparedCircuit> jobs, int shots,
              std::span<const uint64_t> seeds, int threads = 0,
              ExecMode mode = ExecMode::Compiled) const;
+
+    /**
+     * Cancellable execution of a prepared job.
+     *
+     * Identical to run() while control stays quiet — same chunking,
+     * same RNG streams, bit-identical output.  When control.token is
+     * armed, shots execute in waves of fixed blocks (kShotBlock shots
+     * on the dense / per-shot paths, kFrameLanes on the batch frame
+     * path) and the token is polled between waves — single-chunk
+     * dense runs poll per shot — so a cancel or deadline takes
+     * effect within one shot-chunk and the returned prefix is
+     * bit-identical to an uninterrupted run's first shotsDone shots.
+     *
+     * control.progress (if set) fires after each committed wave with
+     * the cumulative shot count.
+     */
+    RunOutcome runPartial(const PreparedCircuit &prepared, int shots,
+                          uint64_t run_seed = 1, int threads = 0,
+                          const RunControl &control = {},
+                          ExecMode mode = ExecMode::Compiled) const;
+
+    /**
+     * Cancellable batch: jobs check control.token before starting
+     * (a stopped token skips the job entirely — shotsDone 0, partial,
+     * cause set) and each started job runs cancellably under the same
+     * token.  Jobs that completed before the stop request are
+     * bit-identical to solo run() calls no matter when a sibling was
+     * cancelled (per-job seeds).  control.progress is not forwarded
+     * to the per-job runs (jobs execute concurrently; the callback
+     * contract is per-run).
+     */
+    std::vector<RunOutcome>
+    runBatchPartial(std::span<const PreparedCircuit> jobs, int shots,
+                    std::span<const uint64_t> seeds, int threads,
+                    const RunControl &control,
+                    ExecMode mode = ExecMode::Compiled) const;
 
     /**
      * The backend Auto would pick for @p sched under this machine's

@@ -1,0 +1,582 @@
+#include "serve/job_server.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+#include "serve/fault.hh"
+
+namespace adapt::serve
+{
+
+const char *
+jobStateName(JobState state)
+{
+    switch (state) {
+      case JobState::Queued:
+        return "queued";
+      case JobState::Running:
+        return "running";
+      case JobState::Done:
+        return "done";
+      case JobState::Cancelled:
+        return "cancelled";
+      case JobState::Expired:
+        return "expired";
+      case JobState::Failed:
+        return "failed";
+    }
+    return "unknown";
+}
+
+ServerOptions
+ServerOptions::fromEnv()
+{
+    ServerOptions opts;
+    opts.workers = static_cast<int>(
+        envInt("ADAPT_SERVER_WORKERS", opts.workers, 1, 1024));
+    opts.queueDepth = static_cast<int>(
+        envInt("ADAPT_SERVER_QUEUE_DEPTH", opts.queueDepth, 1,
+               1 << 20));
+    opts.maxTenants = static_cast<int>(
+        envInt("ADAPT_SERVER_MAX_TENANTS", opts.maxTenants, 1,
+               1 << 20));
+    opts.threadsPerJob = static_cast<int>(
+        envInt("ADAPT_SERVER_JOB_THREADS", opts.threadsPerJob, 1,
+               1024));
+    opts.defaultTimeout = std::chrono::milliseconds(
+        envInt("ADAPT_SERVER_TIMEOUT_MS", opts.defaultTimeout.count(),
+               0, 86400000));
+    opts.maxRetries = static_cast<int>(
+        envInt("ADAPT_SERVER_MAX_RETRIES", opts.maxRetries, 0, 1000));
+    opts.backoffBase = std::chrono::milliseconds(
+        envInt("ADAPT_SERVER_BACKOFF_MS", opts.backoffBase.count(), 1,
+               60000));
+    return opts;
+}
+
+namespace
+{
+
+/** One tracked job.  Fields split by writer: the spec/deadline block
+ *  is immutable after admission; the atomics are live progress for
+ *  concurrent readers; pendState/pendReason/outcome are written by
+ *  the single thread that retires the job and published by the
+ *  finalize under the server mutex. */
+struct Job
+{
+    JobId id = 0;
+    int tenant = 0;
+    JobSpec spec;
+    int maxRetries = 0;
+    bool hasDeadline = false;
+    std::chrono::steady_clock::time_point deadline{};
+    CancellationSource cancel;
+
+    std::atomic<JobState> state{JobState::Queued};
+    std::atomic<int64_t> shotsDone{0};
+    std::atomic<int> attempts{0};
+
+    RunOutcome outcome;
+    JobState pendState = JobState::Failed;
+    std::string pendReason;
+
+    JobResult result;
+    bool finalized = false;
+};
+
+struct Tenant
+{
+    std::string name;
+    int index = 0;
+    int weight = 1;
+    int64_t credit = 0;
+    std::deque<std::shared_ptr<Job>> queue;
+    TenantStats stats;
+};
+
+bool
+isTerminal(JobState s)
+{
+    return s == JobState::Done || s == JobState::Cancelled ||
+           s == JobState::Expired || s == JobState::Failed;
+}
+
+} // namespace
+
+struct JobServer::Impl
+{
+    const NoisyMachine &machine;
+    const ServerOptions opts;
+
+    mutable std::mutex mutex;
+    std::condition_variable cvWork; //!< workers: new job / shutdown
+    std::condition_variable cvDone; //!< waiters: job finalized
+
+    std::vector<std::unique_ptr<Tenant>> tenants; // creation order
+    std::map<std::string, int> tenantIndex;
+    std::map<JobId, std::shared_ptr<Job>> jobs;
+
+    uint64_t submitSeq = 0;
+    JobId nextId = 1;
+    uint64_t finishSeq = 0;
+    int queued = 0;
+    int running = 0;
+    bool paused = false;
+    bool accepting = true;
+    bool joined = false;
+    std::atomic<bool> stopFlag{false};
+
+    ServerStats stats;
+    std::atomic<uint64_t> retried{0};
+
+    std::vector<std::thread> workers;
+
+    explicit Impl(const NoisyMachine &m, ServerOptions o)
+        : machine(m), opts(std::move(o))
+    {
+    }
+
+    Tenant *findTenant(const std::string &name)
+    {
+        const auto it = tenantIndex.find(name);
+        return it == tenantIndex.end() ? nullptr
+                                       : tenants[it->second].get();
+    }
+
+    /** Smooth weighted round-robin over the tenants with pending
+     *  work: every candidate earns its weight in credit, the richest
+     *  (ties: creation order) pays the round's total and dispatches.
+     *  Idle tenants earn nothing, so a returning tenant gets its fair
+     *  share without a catch-up burst. */
+    std::shared_ptr<Job> popNextJobLocked()
+    {
+        int64_t total = 0;
+        Tenant *best = nullptr;
+        for (const std::unique_ptr<Tenant> &t : tenants) {
+            if (t->queue.empty())
+                continue;
+            total += t->weight;
+            t->credit += t->weight;
+            if (best == nullptr || t->credit > best->credit)
+                best = t.get();
+        }
+        if (best == nullptr)
+            return nullptr;
+        best->credit -= total;
+        std::shared_ptr<Job> job = std::move(best->queue.front());
+        best->queue.pop_front();
+        --queued;
+        return job;
+    }
+
+    void finalizeLocked(Job &job)
+    {
+        if (job.finalized)
+            return;
+        job.finalized = true;
+        job.result.state = job.pendState;
+        job.result.dist = std::move(job.outcome.dist);
+        job.result.shotsDone = job.outcome.shotsDone;
+        job.result.shotsRequested = job.spec.shots;
+        job.result.partial = job.pendState != JobState::Done;
+        job.result.attempts =
+            job.attempts.load(std::memory_order_relaxed);
+        job.result.reason = job.pendReason;
+        job.result.finishSeq = ++finishSeq;
+        switch (job.pendState) {
+          case JobState::Done:
+            ++stats.completed;
+            break;
+          case JobState::Cancelled:
+            ++stats.cancelled;
+            break;
+          case JobState::Expired:
+            ++stats.expired;
+            break;
+          default:
+            ++stats.failed;
+            break;
+        }
+        ++tenants[static_cast<size_t>(job.tenant)]->stats.completed;
+        job.shotsDone.store(job.result.shotsDone,
+                            std::memory_order_relaxed);
+        job.state.store(job.pendState, std::memory_order_release);
+        cvDone.notify_all();
+    }
+
+    /** Execute one job to a terminal pendState (no lock held).  The
+     *  attempt loop retries retryable faults with exponential backoff;
+     *  cancel/deadline/shutdown interrupt both the run (cooperative
+     *  token) and the backoff sleep (1 ms poll). */
+    void runJob(const std::shared_ptr<Job> &jobPtr)
+    {
+        Job &job = *jobPtr;
+        FaultInjector &faults = FaultInjector::global();
+        for (int attempt = 0;; ++attempt) {
+            job.attempts.store(attempt + 1,
+                               std::memory_order_relaxed);
+            CancellationToken token = job.cancel.token();
+            if (job.hasDeadline)
+                token = token.withDeadline(job.deadline);
+            const StopCause pre = token.cause();
+            if (pre != StopCause::None) {
+                job.pendState = pre == StopCause::Deadline
+                                    ? JobState::Expired
+                                    : JobState::Cancelled;
+                job.pendReason = pre == StopCause::Deadline
+                                     ? "deadline expired"
+                                     : "cancelled";
+                return;
+            }
+            std::string faultMsg;
+            try {
+                faults.maybeFailAlloc(faultKey(
+                    job.id,
+                    kAllocAttemptBase + static_cast<uint64_t>(attempt)));
+                faults.maybeFailJob(
+                    faultKey(job.id, static_cast<uint64_t>(attempt)));
+                RunControl ctl;
+                ctl.token = token;
+                uint64_t wave = 0;
+                ctl.progress = [&job, &faults,
+                                &wave](int64_t shotsDone) {
+                    job.shotsDone.store(shotsDone,
+                                        std::memory_order_relaxed);
+                    faults.maybeStall(faultKey(job.id, wave++));
+                };
+                RunOutcome out = machine.runPartial(
+                    job.spec.prepared, job.spec.shots, job.spec.seed,
+                    opts.threadsPerJob, ctl, job.spec.mode);
+                job.outcome = std::move(out);
+                if (!job.outcome.partial) {
+                    job.pendState = JobState::Done;
+                    return;
+                }
+                job.pendState =
+                    job.outcome.cause == StopCause::Deadline
+                        ? JobState::Expired
+                        : JobState::Cancelled;
+                job.pendReason =
+                    job.outcome.cause == StopCause::Deadline
+                        ? "deadline expired mid-run"
+                        : "cancelled mid-run";
+                return;
+            } catch (const TransientFault &e) {
+                faultMsg = e.what();
+            } catch (const std::bad_alloc &) {
+                faultMsg = "allocation failure";
+            } catch (const std::exception &e) {
+                job.pendState = JobState::Failed;
+                job.pendReason = e.what();
+                return;
+            }
+            if (attempt >= job.maxRetries) {
+                job.pendState = JobState::Failed;
+                job.pendReason = "retries exhausted after " +
+                                 std::to_string(attempt + 1) +
+                                 " attempts: " + faultMsg;
+                return;
+            }
+            retried.fetch_add(1, std::memory_order_relaxed);
+            std::chrono::milliseconds delay =
+                opts.backoffBase * (1LL << std::min(attempt, 16));
+            delay = std::min(delay, opts.backoffCap);
+            const auto until =
+                std::chrono::steady_clock::now() + delay;
+            for (;;) {
+                if (stopFlag.load(std::memory_order_acquire) ||
+                    token.stopRequested()) {
+                    break;
+                }
+                const auto now = std::chrono::steady_clock::now();
+                if (now >= until)
+                    break;
+                std::this_thread::sleep_for(
+                    std::min<std::chrono::steady_clock::duration>(
+                        std::chrono::milliseconds(1), until - now));
+            }
+            if (stopFlag.load(std::memory_order_acquire)) {
+                job.pendState = JobState::Cancelled;
+                job.pendReason = "server shutdown";
+                return;
+            }
+            // Cancel/deadline during backoff: the re-check at the top
+            // of the loop turns it into the terminal state.
+        }
+    }
+
+    void workerLoop()
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        for (;;) {
+            cvWork.wait(lock, [&] {
+                return stopFlag.load(std::memory_order_relaxed) ||
+                       (!paused && queued > 0);
+            });
+            if (stopFlag.load(std::memory_order_relaxed))
+                return;
+            std::shared_ptr<Job> job = popNextJobLocked();
+            if (job == nullptr)
+                continue;
+            job->state.store(JobState::Running,
+                             std::memory_order_release);
+            ++running;
+            lock.unlock();
+            runJob(job);
+            lock.lock();
+            --running;
+            finalizeLocked(*job);
+        }
+    }
+};
+
+JobServer::JobServer(const NoisyMachine &machine, ServerOptions opts)
+{
+    // Operators key a fault schedule into the process via the
+    // environment; without ADAPT_FAULT_SEED any programmatic
+    // configure() installed by a test harness is left untouched.
+    if (std::getenv("ADAPT_FAULT_SEED") != nullptr)
+        FaultInjector::global().loadEnv();
+    impl_ = std::make_unique<Impl>(machine, std::move(opts));
+    impl_->paused = impl_->opts.startPaused;
+    impl_->workers.reserve(
+        static_cast<size_t>(std::max(1, impl_->opts.workers)));
+    for (int i = 0; i < std::max(1, impl_->opts.workers); ++i)
+        impl_->workers.emplace_back([this] { impl_->workerLoop(); });
+}
+
+JobServer::~JobServer()
+{
+    shutdown();
+}
+
+Admission
+JobServer::submit(const std::string &tenant, JobSpec spec, int weight)
+{
+    FaultInjector &faults = FaultInjector::global();
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    const uint64_t seq = ++impl_->submitSeq;
+    ++impl_->stats.submitted;
+    Tenant *t = impl_->findTenant(tenant);
+    if (t != nullptr)
+        ++t->stats.submitted;
+    const auto reject = [&](const std::string &why) {
+        ++impl_->stats.rejected;
+        if (t != nullptr)
+            ++t->stats.rejected;
+        return Admission{0, false, why};
+    };
+    if (!impl_->accepting)
+        return reject("server is shutting down");
+    if (tenant.empty())
+        return reject("invalid job: tenant name is empty");
+    if (!spec.prepared.valid())
+        return reject("invalid job: PreparedCircuit is empty");
+    if (spec.shots <= 0) {
+        return reject("invalid job: shots must be >= 1 (got " +
+                      std::to_string(spec.shots) + ")");
+    }
+    if (faults.maybeRejectAdmission(seq))
+        return reject("queue full (injected admission storm)");
+    if (t == nullptr) {
+        if (static_cast<int>(impl_->tenants.size()) >=
+            impl_->opts.maxTenants) {
+            return reject(
+                "tenant limit reached (" +
+                std::to_string(impl_->opts.maxTenants) + ")");
+        }
+        auto fresh = std::make_unique<Tenant>();
+        fresh->name = tenant;
+        fresh->index = static_cast<int>(impl_->tenants.size());
+        t = fresh.get();
+        impl_->tenantIndex.emplace(tenant, fresh->index);
+        impl_->tenants.push_back(std::move(fresh));
+        ++t->stats.submitted;
+    }
+    t->weight = std::max(1, weight);
+    if (static_cast<int>(t->queue.size()) >= impl_->opts.queueDepth) {
+        return reject("queue full for tenant \"" + tenant +
+                      "\" (depth " +
+                      std::to_string(impl_->opts.queueDepth) + ")");
+    }
+    std::shared_ptr<Job> job;
+    try {
+        faults.maybeFailAlloc(faultKey(seq, kAllocAdmitOrdinal));
+        job = std::make_shared<Job>();
+    } catch (const std::bad_alloc &) {
+        return reject("allocation failure at admission");
+    }
+    job->id = impl_->nextId++;
+    job->tenant = t->index;
+    job->spec = std::move(spec);
+    job->maxRetries = job->spec.maxRetries >= 0
+                          ? job->spec.maxRetries
+                          : impl_->opts.maxRetries;
+    const std::chrono::milliseconds timeout =
+        job->spec.timeout.count() > 0 ? job->spec.timeout
+                                      : impl_->opts.defaultTimeout;
+    if (timeout.count() > 0) {
+        job->hasDeadline = true;
+        job->deadline = std::chrono::steady_clock::now() + timeout;
+    }
+    const JobId id = job->id;
+    t->queue.push_back(job);
+    impl_->jobs.emplace(id, std::move(job));
+    ++impl_->queued;
+    ++impl_->stats.accepted;
+    ++t->stats.accepted;
+    impl_->cvWork.notify_one();
+    return Admission{id, true, {}};
+}
+
+bool
+JobServer::cancel(JobId id)
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    const auto it = impl_->jobs.find(id);
+    if (it == impl_->jobs.end())
+        return false;
+    Job &job = *it->second;
+    const JobState s = job.state.load(std::memory_order_acquire);
+    if (isTerminal(s))
+        return false;
+    job.cancel.cancel();
+    if (s == JobState::Queued) {
+        Tenant &t = *impl_->tenants[static_cast<size_t>(job.tenant)];
+        const auto qit = std::find_if(
+            t.queue.begin(), t.queue.end(),
+            [&](const std::shared_ptr<Job> &q) { return q->id == id; });
+        if (qit != t.queue.end()) {
+            t.queue.erase(qit);
+            --impl_->queued;
+        }
+        job.pendState = JobState::Cancelled;
+        job.pendReason = "cancelled while queued";
+        impl_->finalizeLocked(job);
+    }
+    return true;
+}
+
+JobState
+JobServer::state(JobId id) const
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    const auto it = impl_->jobs.find(id);
+    require(it != impl_->jobs.end(),
+            "unknown job id " + std::to_string(id));
+    return it->second->state.load(std::memory_order_acquire);
+}
+
+int64_t
+JobServer::shotsDone(JobId id) const
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    const auto it = impl_->jobs.find(id);
+    require(it != impl_->jobs.end(),
+            "unknown job id " + std::to_string(id));
+    return it->second->shotsDone.load(std::memory_order_relaxed);
+}
+
+JobResult
+JobServer::wait(JobId id)
+{
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    const auto it = impl_->jobs.find(id);
+    require(it != impl_->jobs.end(),
+            "unknown job id " + std::to_string(id));
+    const std::shared_ptr<Job> job = it->second;
+    impl_->cvDone.wait(lock, [&] { return job->finalized; });
+    return job->result;
+}
+
+void
+JobServer::start()
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (!impl_->paused)
+        return;
+    impl_->paused = false;
+    impl_->cvWork.notify_all();
+}
+
+void
+JobServer::drain()
+{
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->cvDone.wait(lock, [&] {
+        return impl_->queued == 0 && impl_->running == 0;
+    });
+}
+
+void
+JobServer::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(impl_->mutex);
+        impl_->accepting = false;
+        for (const std::unique_ptr<Tenant> &t : impl_->tenants) {
+            for (const std::shared_ptr<Job> &job : t->queue) {
+                job->cancel.cancel();
+                job->pendState = JobState::Cancelled;
+                job->pendReason = "server shutdown";
+                impl_->finalizeLocked(*job);
+            }
+            impl_->queued -= static_cast<int>(t->queue.size());
+            t->queue.clear();
+        }
+        for (const auto &[id, job] : impl_->jobs) {
+            if (!job->finalized)
+                job->cancel.cancel();
+        }
+        impl_->stopFlag.store(true, std::memory_order_release);
+        impl_->cvWork.notify_all();
+    }
+    if (!impl_->joined) {
+        for (std::thread &worker : impl_->workers) {
+            if (worker.joinable())
+                worker.join();
+        }
+        impl_->joined = true;
+    }
+}
+
+bool
+JobServer::release(JobId id)
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    const auto it = impl_->jobs.find(id);
+    if (it == impl_->jobs.end() || !it->second->finalized)
+        return false;
+    impl_->jobs.erase(it);
+    return true;
+}
+
+ServerStats
+JobServer::stats() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    ServerStats out = impl_->stats;
+    out.retried = impl_->retried.load(std::memory_order_relaxed);
+    return out;
+}
+
+TenantStats
+JobServer::tenantStats(const std::string &tenant) const
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    const auto it = impl_->tenantIndex.find(tenant);
+    if (it == impl_->tenantIndex.end())
+        return TenantStats{};
+    return impl_->tenants[static_cast<size_t>(it->second)]->stats;
+}
+
+} // namespace adapt::serve

@@ -606,4 +606,20 @@ runFrameDeferredShot(const FrameProgram &prog, StabilizerState &state,
     return packer.key();
 }
 
+void
+drainDeferredShots(const FrameProgram &prog, const Rng &base,
+                   std::vector<DeferredShot> &deferred,
+                   StabilizerState &state, OutcomePacker &packer,
+                   FlatAccumulator &hist)
+{
+    for (const DeferredShot &d : deferred) {
+        const Rng rng =
+            base.fork(kFrameDeferSalt + static_cast<uint64_t>(d.shot));
+        hist.add(runFrameDeferredShot(prog, state, packer, rng,
+                                      d.firstRandomT1),
+                 1.0);
+    }
+    deferred.clear();
+}
+
 } // namespace adapt

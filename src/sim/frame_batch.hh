@@ -376,6 +376,22 @@ uint64_t runFrameDeferredShot(const FrameProgram &prog,
                               OutcomePacker &packer, const Rng &rng,
                               uint32_t forced_ordinal);
 
+/**
+ * Rerun every lane in @p deferred per-shot (runFrameDeferredShot),
+ * counting the outcomes into @p hist, and clear the list.  Each rerun
+ * consumes the dedicated stream base.fork(kFrameDeferSalt + shot), so
+ * the fold is chunking-invariant — a chunk may drain after any group
+ * of blocks (the wave-structured cancellable path drains once per
+ * wave) without perturbing a single outcome.
+ *
+ * @param state Scratch tableau of prog.numQubits qubits.
+ * @param packer Scratch packer of prog.numClbits bits.
+ */
+void drainDeferredShots(const FrameProgram &prog, const Rng &base,
+                        std::vector<DeferredShot> &deferred,
+                        StabilizerState &state, OutcomePacker &packer,
+                        FlatAccumulator &hist);
+
 } // namespace adapt
 
 #endif // ADAPT_SIM_FRAME_BATCH_HH

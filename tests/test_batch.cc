@@ -130,6 +130,53 @@ TEST(RunBatch, SeedCountMismatchThrows)
     EXPECT_THROW(machine.runBatch(jobs, 100, seeds), UsageError);
 }
 
+TEST(RunBatch, PreparedSeedCountMismatchThrows)
+{
+    const Device d = Device::ibmqRome();
+    const NoisyMachine machine(d);
+    const CompiledProgram p =
+        compileOn(makeBernsteinVazirani(4, 0b011), d);
+    const std::vector<PreparedCircuit> jobs = {
+        machine.prepare(p.schedule), machine.prepare(p.schedule)};
+    const std::vector<uint64_t> seeds = {1, 2, 3};
+    EXPECT_THROW(machine.runBatch(jobs, 100, seeds), UsageError);
+}
+
+TEST(RunBatch, ZeroShotsIsAHardError)
+{
+    const Device d = Device::ibmqRome();
+    const NoisyMachine machine(d);
+    const CompiledProgram p =
+        compileOn(makeBernsteinVazirani(4, 0b001), d);
+    const std::vector<ScheduledCircuit> jobs = {p.schedule};
+    const std::vector<PreparedCircuit> prepared = {
+        machine.prepare(p.schedule)};
+    const std::vector<uint64_t> seeds = {1};
+    EXPECT_THROW(machine.runBatch(jobs, 0, seeds), UsageError);
+    EXPECT_THROW(machine.runBatch(jobs, -5, seeds), UsageError);
+    EXPECT_THROW(machine.runBatch(prepared, 0, seeds), UsageError);
+    // An empty batch carries no work, so no shot count to validate.
+    EXPECT_TRUE(machine
+                    .runBatch(std::span<const PreparedCircuit>{}, 0,
+                              {})
+                    .empty());
+}
+
+TEST(RunBatch, PreparedSingleJobMatchesRun)
+{
+    const Device d = Device::ibmqRome();
+    const NoisyMachine machine(d);
+    const CompiledProgram p =
+        compileOn(makeBernsteinVazirani(4, 0b100), d);
+    const std::vector<PreparedCircuit> jobs = {
+        machine.prepare(p.schedule)};
+    const std::vector<uint64_t> seeds = {71};
+    const auto batch = machine.runBatch(jobs, 400, seeds, 4);
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch[0].probabilities(),
+              machine.run(jobs[0], 400, 71).probabilities());
+}
+
 // ------------------------------------------------------ batched consumers
 
 TEST(BatchDeterminism, AdaptSearchBitIdenticalAcrossThreadCounts)
