@@ -26,6 +26,24 @@ Circuit::measure(QubitId q, int clbit)
 }
 
 void
+Circuit::reset(QubitId q)
+{
+    add(Gate(GateType::Reset, {q}));
+}
+
+void
+Circuit::addIf(Gate gate, int cond_bit)
+{
+    require(cond_bit >= 0 && cond_bit < numClbits_,
+            "conditional gate classical bit out of range");
+    require(isUnitaryGate(gate.type) && gateArity(gate.type) == 1,
+            "only single-qubit unitaries may be classically "
+            "controlled");
+    gate.condBit = cond_bit;
+    add(std::move(gate));
+}
+
+void
 Circuit::add(Gate gate)
 {
     for (QubitId q : gate.qubits) {

@@ -88,6 +88,23 @@ class Circuit
     void measureAll();
     void barrier();
     void delay(TimeNs duration_ns, QubitId q);
+
+    /** Active reset: measure @p q, apply X when the outcome was 1.
+     *  The outcome is consumed internally (no classical bit). */
+    void reset(QubitId q);
+
+    /**
+     * Append @p gate conditioned on classical bit @p cond_bit: the
+     * gate executes only in shots where the most recent Measure
+     * writing @p cond_bit read 1.  Only single-qubit unitaries may be
+     * conditioned.
+     */
+    void addIf(Gate gate, int cond_bit);
+
+    /** Classically-controlled Pauli builders (feedback corrections). */
+    void xIf(QubitId q, int cond_bit) { addIf({GateType::X, {q}}, cond_bit); }
+    void yIf(QubitId q, int cond_bit) { addIf({GateType::Y, {q}}, cond_bit); }
+    void zIf(QubitId q, int cond_bit) { addIf({GateType::Z, {q}}, cond_bit); }
     /** @} */
 
     /** Number of operations of the given type. */

@@ -67,6 +67,7 @@ gateName(GateType type)
       case GateType::CZ: return "cz";
       case GateType::SWAP: return "swap";
       case GateType::Measure: return "measure";
+      case GateType::Reset: return "reset";
       case GateType::Barrier: return "barrier";
       case GateType::Delay: return "delay";
     }
@@ -78,6 +79,7 @@ isUnitaryGate(GateType type)
 {
     switch (type) {
       case GateType::Measure:
+      case GateType::Reset:
       case GateType::Barrier:
       case GateType::Delay:
         return false;
@@ -200,6 +202,8 @@ Gate::toString() const
     }
     for (size_t i = 0; i < qubits.size(); i++)
         oss << (i ? ", q" : " q") << qubits[i];
+    if (condBit >= 0)
+        oss << " if c" << condBit;
     return oss.str();
 }
 
@@ -207,6 +211,7 @@ bool
 Gate::operator==(const Gate &other) const
 {
     if (type != other.type || qubits != other.qubits ||
+        clbit != other.clbit || condBit != other.condBit ||
         params.size() != other.params.size()) {
         return false;
     }

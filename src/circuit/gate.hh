@@ -48,6 +48,7 @@ enum class GateType
     SWAP,
     // Non-unitary / structural operations.
     Measure,
+    Reset,
     Barrier,
     Delay,
 };
@@ -107,6 +108,14 @@ struct Gate
      * measured results stay in program-qubit order after SWAPs.
      */
     int clbit = -1;
+
+    /**
+     * Classical control: when >= 0 the gate executes only in shots
+     * where classical bit condBit (most recently written by a
+     * Measure) reads 1.  -1 means unconditional.  Only single-qubit
+     * unitaries may be conditioned (Circuit::addIf enforces this).
+     */
+    int condBit = -1;
 
     Gate() = default;
     Gate(GateType t, std::vector<QubitId> qs, std::vector<double> ps = {});

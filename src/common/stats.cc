@@ -113,6 +113,17 @@ OutcomePacker::set(int clbit, bool value)
     word = value ? (word | mask) : (word & ~mask);
 }
 
+bool
+OutcomePacker::get(int clbit) const
+{
+    require(clbit >= 0 && clbit < numClbits_,
+            "clbit " + std::to_string(clbit) + " out of range");
+    if (words_.empty())
+        return (direct_ >> clbit) & 1;
+    return (words_[static_cast<size_t>(clbit) / 64] >>
+            (clbit % 64)) & 1;
+}
+
 namespace
 {
 

@@ -85,6 +85,11 @@ class OutcomePacker
     /** Record one measured bit. @pre 0 <= clbit < num_clbits */
     void set(int clbit, bool value);
 
+    /** Last value set() recorded for @p clbit (false if never set
+     *  since the last clear()) — the classical-register read that
+     *  conditional gates evaluate. @pre 0 <= clbit < num_clbits */
+    bool get(int clbit) const;
+
     /** Key of the accumulated bitstring (identity packing for <= 64
      *  clbits, fingerprint beyond). */
     uint64_t key() const;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "circuit/clifford1q.hh"
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "sim/backend.hh"
 #include "sim/stabilizer.hh"
@@ -14,6 +15,40 @@ namespace adapt
 // ------------------------------------------------------------------
 // Plan lowering (shared with the interpreted reference path).
 // ------------------------------------------------------------------
+
+namespace
+{
+
+/**
+ * Pauli code of a conditional gate's action (engine packing 1 = X,
+ * 2 = Y, 3 = Z), 0 for identity, -1 for non-Pauli.  The transpiler
+ * lowers conditional unitaries to physical pulses ({X, Y, SX, RZ}
+ * with the condition carried), so a conditional SX or quarter-turn
+ * RZ is the non-Pauli case that keeps a job off the frame engine.
+ */
+int
+condPauliCode(const Gate &gate)
+{
+    switch (gate.type) {
+      case GateType::I: return 0;
+      case GateType::X: return 1;
+      case GateType::Y: return 2;
+      case GateType::Z: return 3;
+      case GateType::RZ:
+      case GateType::U1:
+        if (!gate.isClifford())
+            return -1;
+        switch (cliffordQuarterTurns(gate.params[0])) {
+          case 0: return 0;
+          case 2: return 3;
+          default: return -1;
+        }
+      default:
+        return -1;
+    }
+}
+
+} // namespace
 
 ExecutionPlan
 buildPlan(const ScheduledCircuit &sched, const Calibration &cal,
@@ -67,6 +102,44 @@ buildPlan(const ScheduledCircuit &sched, const Calibration &cal,
         if (gate.type == GateType::Delay ||
             gate.type == GateType::Barrier || gate.type == GateType::I)
             continue;
+
+        if (gate.condBit >= 0) {
+            // Classically-controlled pulse: a standalone step (never
+            // fused — it executes in a data-dependent subset of
+            // shots) that carries no gate-error channel, so RNG
+            // consumption stays a fixed property of the program on
+            // every engine.
+            const int dq = dense[static_cast<size_t>(gate.qubit())];
+            open[static_cast<size_t>(dq)] = -1;
+            PlanStep step;
+            step.kind = PlanStep::Kind::Cond1Q;
+            step.q = dq;
+            step.start = op.start;
+            step.end = op.end;
+            step.condBit = gate.condBit;
+            plan.maxClbit = std::max(plan.maxClbit, gate.condBit);
+            plan.clifford = plan.clifford && gate.isClifford();
+            if (condPauliCode(gate) < 0)
+                plan.condNonPauli = true;
+            Gate mapped = gate;
+            mapped.qubits[0] = dq;
+            step.pulses.push_back({std::move(mapped), gateMatrix(gate),
+                                   0.0});
+            steps.push_back(std::move(step));
+            continue;
+        }
+
+        if (gate.type == GateType::Reset) {
+            const int dq = dense[static_cast<size_t>(gate.qubit())];
+            open[static_cast<size_t>(dq)] = -1;
+            PlanStep step;
+            step.kind = PlanStep::Kind::Reset;
+            step.q = dq;
+            step.start = op.start;
+            step.end = op.end;
+            steps.push_back(std::move(step));
+            continue;
+        }
 
         if (gate.type == GateType::Measure) {
             const int dq = dense[static_cast<size_t>(gate.qubit())];
@@ -317,6 +390,30 @@ compileShotProgram(const ExecutionPlan &plan, const Calibration &cal,
                    /*fast=*/true);
             break;
           }
+          case PlanStep::Kind::Reset: {
+            catchUp(step.q, step);
+            ResetOp r;
+            r.q = step.q;
+            r.wordSlot = prog.measSlots++;
+            prog.resets.push_back(r);
+            pushOp(OpRef::Kind::Reset,
+                   static_cast<uint32_t>(prog.resets.size()) - 1,
+                   /*fast=*/true);
+            break;
+          }
+          case PlanStep::Kind::Cond1Q: {
+            catchUp(step.q, step);
+            Cond1QOp c;
+            c.q = step.q;
+            c.condBit = step.condBit;
+            c.mat = static_cast<uint32_t>(prog.matrices.size());
+            prog.matrices.push_back(step.pulses[0].matrix);
+            prog.cond.push_back(c);
+            pushOp(OpRef::Kind::Cond1Q,
+                   static_cast<uint32_t>(prog.cond.size()) - 1,
+                   /*fast=*/true);
+            break;
+          }
           case PlanStep::Kind::TwoQubit: {
             catchUp(step.q, step);
             catchUp(step.q2, step);
@@ -554,6 +651,37 @@ mapPauliThrough(FrameMat m, int pauli)
     return 3;
 }
 
+/** Append a branch-flip support (X-qubit list, then Z-qubit list) to
+ *  @p prog.flipQubits, writing the op's four offset/count fields. */
+template <typename Op>
+void
+recordFlipSupport(FrameProgram &prog, Op &op,
+                  const std::vector<QubitId> &flip_x,
+                  const std::vector<QubitId> &flip_z)
+{
+    op.flipXOff = static_cast<uint32_t>(prog.flipQubits.size());
+    op.flipXCnt = static_cast<uint32_t>(flip_x.size());
+    for (QubitId q : flip_x)
+        prog.flipQubits.push_back(static_cast<int>(q));
+    op.flipZOff = static_cast<uint32_t>(prog.flipQubits.size());
+    op.flipZCnt = static_cast<uint32_t>(flip_z.size());
+    for (QubitId q : flip_z)
+        prog.flipQubits.push_back(static_cast<int>(q));
+}
+
+/** Apply Pauli @p code (engine packing 1 = X, 2 = Y, 3 = Z) to the
+ *  reference tableau. */
+void
+applyPauliToRef(StabilizerState &ref, int code, int q)
+{
+    switch (code) {
+      case 1: ref.applyX(q); break;
+      case 2: ref.applyY(q); break;
+      case 3: ref.applyZ(q); break;
+      default: panic("applyPauliToRef on a non-Pauli code");
+    }
+}
+
 } // namespace
 
 FrameProgram
@@ -568,16 +696,31 @@ compileFrameProgram(const ExecutionPlan &plan, const Calibration &cal,
             "frame program does not cover per-shot OU twirl draws; "
             "keep OU jobs on the per-shot stabilizer backend");
 
+    require(!plan.condNonPauli,
+            "frame program requires conditional gates to act as "
+            "Paulis");
+
     FrameProgram prog;
     prog.numQubits = static_cast<int>(plan.active.size());
     prog.numClbits = plan.maxClbit + 1;
+    prog.branchDepth = static_cast<int>(
+        envInt("ADAPT_FRAME_BRANCH_DEPTH", 8, 0, 64));
 
     // The noiseless reference simulation: advanced through the plan
     // in step order, queried for measurement outcomes / branch-flip
     // Paulis and T1-checkpoint populations as the ops are emitted.
     StabilizerState ref(prog.numQubits);
 
+    // The reference's recorded classical bits, updated at every
+    // measurement (readout errors never apply to the noiseless
+    // reference): conditional ops resolve against these at compile
+    // time, and the reference *takes* the conditional branch its own
+    // bits select, so later outcomes and populations see it.
+    std::vector<uint8_t> refCl(
+        static_cast<size_t>(prog.numClbits), 0);
+
     std::vector<TimeNs> last_end(plan.active.size(), -1.0);
+    std::vector<QubitId> flip_x, flip_z;
 
     // Coherent idle noise over [t0, t1): with OU excluded the phase
     // is shot-invariant, so the only emission is its static Pauli
@@ -622,13 +765,34 @@ compileFrameProgram(const ExecutionPlan &plan, const Calibration &cal,
             const double gamma = t1JumpProbability(dt_us, qc.t1Us);
             const double p1 = ref.populationOne(dq);
             m.gammaThresh = bernoulliThreshold(gamma);
+            m.gamma = gamma;
             if (p1 == 0.5) {
                 // Superposed reference: the jump fires with the
-                // folded rate gamma * 1/2 and defers the lane to an
-                // exact per-shot rerun forced at this ordinal.
+                // folded rate gamma * 1/2 and hands the lane to a
+                // compiled branch tail — or, with tails disabled,
+                // defers it to an exact per-shot rerun forced at
+                // this ordinal.
                 m.t1Ref = 2;
                 m.randT1Ordinal = prog.randomT1Count++;
                 m.t1 = makeFrameBernoulli(gamma * 0.5);
+                if (prog.branchDepth > 0) {
+                    const bool sup = ref.measureFlipSupport(
+                        dq, flip_x, flip_z);
+                    require(sup, "superposed T1 checkpoint with a "
+                                 "deterministic Z measurement");
+                    recordFlipSupport(prog, m, flip_x, flip_z);
+                    // The branch-hop reference: postselect the
+                    // excited branch, then the decay jump lands it
+                    // in |0>.  One site per random ordinal, even if
+                    // the op below is elided (keeps the ordinal ->
+                    // site indexing dense).
+                    FrameT1Site site{
+                        ref, refCl,
+                        static_cast<uint32_t>(prog.ops.size())};
+                    site.refAfterJump.postselect(dq, true);
+                    site.refAfterJump.applyX(dq);
+                    prog.t1Sites.push_back(std::move(site));
+                }
             } else {
                 m.t1Ref = p1 == 1.0 ? 1 : 0;
                 m.t1 = makeFrameBernoulli(gamma);
@@ -658,7 +822,6 @@ compileFrameProgram(const ExecutionPlan &plan, const Calibration &cal,
         last_end[ai] = step.end;
     };
 
-    std::vector<QubitId> flip_x, flip_z;
     std::vector<FrameMat> suffix;
 
     for (const PlanStep &step : plan.steps) {
@@ -674,20 +837,12 @@ compileFrameProgram(const ExecutionPlan &plan, const Calibration &cal,
                 // shot re-randomizes with a fresh coin, so the choice
                 // is arbitrary (and keeps compilation seed-free).
                 m.refBit = 0;
-                m.flipXOff =
-                    static_cast<uint32_t>(prog.flipQubits.size());
-                m.flipXCnt = static_cast<uint32_t>(flip_x.size());
-                for (QubitId q : flip_x)
-                    prog.flipQubits.push_back(static_cast<int>(q));
-                m.flipZOff =
-                    static_cast<uint32_t>(prog.flipQubits.size());
-                m.flipZCnt = static_cast<uint32_t>(flip_z.size());
-                for (QubitId q : flip_z)
-                    prog.flipQubits.push_back(static_cast<int>(q));
+                recordFlipSupport(prog, m, flip_x, flip_z);
                 ref.postselect(step.q, false);
             } else {
                 m.refBit = ref.populationOne(step.q) == 1.0 ? 1 : 0;
             }
+            refCl[static_cast<size_t>(step.clbit)] = m.refBit;
             if (flags.measurementErrors) {
                 m.err01 = makeFrameBernoulli(step.err01);
                 m.err10 = makeFrameBernoulli(step.err10);
@@ -798,9 +953,255 @@ compileFrameProgram(const ExecutionPlan &plan, const Calibration &cal,
                 ref.applyGate(pulse.gate);
             break;
           }
+          case PlanStep::Kind::Reset: {
+            catchUp(step.q, step);
+            FrameResetOp r;
+            r.q = step.q;
+            r.random = ref.measureFlipSupport(step.q, flip_x, flip_z);
+            if (r.random) {
+                // The measurement half branches; the conditional-X
+                // half rejoins both branches at |0>, so the
+                // reference is outcome-independent — postselect 0
+                // for free.
+                recordFlipSupport(prog, r, flip_x, flip_z);
+                ref.postselect(step.q, false);
+            } else if (ref.populationOne(step.q) == 1.0) {
+                ref.applyX(step.q);
+            }
+            prog.resets.push_back(r);
+            prog.ops.push_back(
+                {FrameOpRef::Kind::Reset,
+                 static_cast<uint32_t>(prog.resets.size()) - 1});
+            break;
+          }
+          case PlanStep::Kind::Cond1Q: {
+            catchUp(step.q, step);
+            const int code = condPauliCode(step.pulses[0].gate);
+            require(code >= 0, "conditional non-Pauli gate reached "
+                               "the frame compiler");
+            if (code == 0)
+                break; // conditional identity: timing only
+            FrameCondOp c;
+            c.q = step.q;
+            c.condBit = step.condBit;
+            c.pauli = static_cast<uint8_t>(code);
+            c.refCond = refCl[static_cast<size_t>(step.condBit)];
+            if (c.refCond != 0) {
+                // The reference takes its own branch: the Pauli's
+                // sign action feeds later outcomes and populations.
+                applyPauliToRef(ref, code, step.q);
+            }
+            prog.cond.push_back(c);
+            prog.ops.push_back(
+                {FrameOpRef::Kind::Cond,
+                 static_cast<uint32_t>(prog.cond.size()) - 1});
+            break;
+          }
         }
     }
+    prog.branchTails =
+        prog.branchDepth > 0 && prog.randomT1Count > 0;
     return prog;
+}
+
+FrameProgram
+compileFrameTail(const FrameProgram &parent, uint32_t ordinal)
+{
+    require(ordinal < parent.t1Sites.size(),
+            "compileFrameTail: checkpoint ordinal out of range");
+    const FrameT1Site &site = parent.t1Sites[ordinal];
+    const FrameMarkovOp &fired =
+        parent.markov[parent.ops[site.opIndex].idx];
+
+    FrameProgram prog;
+    prog.numQubits = parent.numQubits;
+    prog.numClbits = parent.numClbits;
+    prog.branchDepth = parent.branchDepth - 1;
+
+    // The post-jump reference and its recorded bits, advanced through
+    // the parent's suffix to re-resolve everything
+    // reference-dependent.
+    StabilizerState ref = site.refAfterJump;
+    std::vector<uint8_t> refCl = site.refCl;
+    std::vector<QubitId> flip_x, flip_z;
+
+    // The firing checkpoint's dephasing half was not yet drawn when
+    // the lane left its walk: re-emit it as the tail's first op.
+    if (fired.deph.mode != FrameBernoulli::Mode::Never) {
+        FrameMarkovOp m;
+        m.q = fired.q;
+        m.deph = fired.deph;
+        prog.markov.push_back(m);
+        prog.ops.push_back(
+            {FrameOpRef::Kind::Markov,
+             static_cast<uint32_t>(prog.markov.size()) - 1});
+    }
+
+    for (uint32_t oi = site.opIndex + 1; oi < parent.ops.size();
+         oi++) {
+        const FrameOpRef op_ref = parent.ops[oi];
+        switch (op_ref.kind) {
+          case FrameOpRef::Kind::F1Q: {
+            const Frame1QOp &op = parent.f1q[op_ref.idx];
+            prog.f1q.push_back(op);
+            prog.ops.push_back(
+                {FrameOpRef::Kind::F1Q,
+                 static_cast<uint32_t>(prog.f1q.size()) - 1});
+            for (uint8_t i = 0; i < op.namedCount; i++)
+                ref.applyGate(Gate(op.named[i], {op.q}));
+            break;
+          }
+          case FrameOpRef::Kind::F2Q: {
+            const Frame2QOp &op = parent.f2q[op_ref.idx];
+            prog.f2q.push_back(op);
+            prog.ops.push_back(
+                {FrameOpRef::Kind::F2Q,
+                 static_cast<uint32_t>(prog.f2q.size()) - 1});
+            ref.applyGate(Gate(op.type, {op.a, op.b}));
+            break;
+          }
+          case FrameOpRef::Kind::Err1Q:
+            // Error channels copy verbatim: probabilities and
+            // suffix-conjugated Pauli images are
+            // reference-independent.
+            prog.err1q.push_back(parent.err1q[op_ref.idx]);
+            prog.ops.push_back(
+                {FrameOpRef::Kind::Err1Q,
+                 static_cast<uint32_t>(prog.err1q.size()) - 1});
+            break;
+          case FrameOpRef::Kind::Err2Q:
+            prog.err2q.push_back(parent.err2q[op_ref.idx]);
+            prog.ops.push_back(
+                {FrameOpRef::Kind::Err2Q,
+                 static_cast<uint32_t>(prog.err2q.size()) - 1});
+            break;
+          case FrameOpRef::Kind::Twirl:
+            prog.twirl.push_back(parent.twirl[op_ref.idx]);
+            prog.ops.push_back(
+                {FrameOpRef::Kind::Twirl,
+                 static_cast<uint32_t>(prog.twirl.size()) - 1});
+            break;
+          case FrameOpRef::Kind::Markov: {
+            const FrameMarkovOp &pm = parent.markov[op_ref.idx];
+            FrameMarkovOp m;
+            m.q = pm.q;
+            m.deph = pm.deph;
+            m.gammaThresh = pm.gammaThresh;
+            m.gamma = pm.gamma;
+            if (pm.gamma > 0.0) {
+                // Re-classify the T1 checkpoint against the jumped
+                // reference: a deterministic parent checkpoint can
+                // turn superposed here and vice versa.
+                const double p1 = ref.populationOne(m.q);
+                if (p1 == 0.5) {
+                    m.t1Ref = 2;
+                    m.randT1Ordinal = prog.randomT1Count++;
+                    m.t1 = makeFrameBernoulli(pm.gamma * 0.5);
+                    const bool sup =
+                        ref.measureFlipSupport(m.q, flip_x, flip_z);
+                    require(sup,
+                            "superposed T1 checkpoint with a "
+                            "deterministic Z measurement");
+                    recordFlipSupport(prog, m, flip_x, flip_z);
+                    // Tails record sites at every remaining depth:
+                    // the depth-cap fallback needs the jumped
+                    // reference even when no deeper tail compiles.
+                    FrameT1Site s{
+                        ref, refCl,
+                        static_cast<uint32_t>(prog.ops.size())};
+                    s.refAfterJump.postselect(m.q, true);
+                    s.refAfterJump.applyX(m.q);
+                    prog.t1Sites.push_back(std::move(s));
+                } else {
+                    m.t1Ref = p1 == 1.0 ? 1 : 0;
+                    m.t1 = makeFrameBernoulli(pm.gamma);
+                }
+            }
+            if (m.t1.mode == FrameBernoulli::Mode::Never &&
+                m.deph.mode == FrameBernoulli::Mode::Never)
+                break;
+            prog.markov.push_back(m);
+            prog.ops.push_back(
+                {FrameOpRef::Kind::Markov,
+                 static_cast<uint32_t>(prog.markov.size()) - 1});
+            break;
+          }
+          case FrameOpRef::Kind::Meas: {
+            const FrameMeasOp &pm = parent.meas[op_ref.idx];
+            FrameMeasOp m;
+            m.q = pm.q;
+            m.clbit = pm.clbit;
+            m.err01 = pm.err01;
+            m.err10 = pm.err10;
+            m.random = ref.measureFlipSupport(m.q, flip_x, flip_z);
+            if (m.random) {
+                m.refBit = 0;
+                recordFlipSupport(prog, m, flip_x, flip_z);
+                ref.postselect(m.q, false);
+            } else {
+                m.refBit = ref.populationOne(m.q) == 1.0 ? 1 : 0;
+            }
+            refCl[static_cast<size_t>(m.clbit)] = m.refBit;
+            prog.meas.push_back(m);
+            prog.ops.push_back(
+                {FrameOpRef::Kind::Meas,
+                 static_cast<uint32_t>(prog.meas.size()) - 1});
+            break;
+          }
+          case FrameOpRef::Kind::Reset: {
+            const FrameResetOp &pr = parent.resets[op_ref.idx];
+            FrameResetOp r;
+            r.q = pr.q;
+            r.random = ref.measureFlipSupport(r.q, flip_x, flip_z);
+            if (r.random) {
+                recordFlipSupport(prog, r, flip_x, flip_z);
+                ref.postselect(r.q, false);
+            } else if (ref.populationOne(r.q) == 1.0) {
+                ref.applyX(r.q);
+            }
+            prog.resets.push_back(r);
+            prog.ops.push_back(
+                {FrameOpRef::Kind::Reset,
+                 static_cast<uint32_t>(prog.resets.size()) - 1});
+            break;
+          }
+          case FrameOpRef::Kind::Cond: {
+            FrameCondOp c = parent.cond[op_ref.idx];
+            c.refCond = refCl[static_cast<size_t>(c.condBit)];
+            if (c.refCond != 0)
+                applyPauliToRef(ref, c.pauli, c.q);
+            prog.cond.push_back(c);
+            prog.ops.push_back(
+                {FrameOpRef::Kind::Cond,
+                 static_cast<uint32_t>(prog.cond.size()) - 1});
+            break;
+          }
+        }
+    }
+    prog.branchTails =
+        prog.branchDepth > 0 && prog.randomT1Count > 0;
+    return prog;
+}
+
+const FrameProgram &
+FrameTailCache::tail(const FrameProgram &parent, uint32_t ordinal)
+{
+    const std::pair<const FrameProgram *, uint32_t> key{&parent,
+                                                        ordinal};
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = tails_.find(key);
+        if (it != tails_.end())
+            return *it->second;
+    }
+    // Compile outside the lock: deterministic output makes a racing
+    // double-compile benign, and try_emplace keeps the first copy
+    // (stable addresses for nested tail keys).
+    auto compiled = std::make_unique<FrameProgram>(
+        compileFrameTail(parent, ordinal));
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = tails_.try_emplace(key, std::move(compiled));
+    return *it->second;
 }
 
 // ------------------------------------------------------------------
@@ -922,6 +1323,19 @@ ShotReplayer::drawTape(const Rng &shot_rng)
                 flags.measurementErrors ? gateRng_.next() : 0;
             break;
           }
+          case OpRef::Kind::Reset: {
+            // One collapse word, like a measurement without readout
+            // error; the conditional |1> -> |0> flip resolves in the
+            // replay against the live state.
+            const ResetOp &r = prog_.resets[ref.idx];
+            measWord_[size_t{2} * r.wordSlot] = gateRng_.next();
+            measWord_[size_t{2} * r.wordSlot + 1] = 0;
+            break;
+          }
+          case OpRef::Kind::Cond1Q:
+            // Conditional pulses carry no error channel: nothing to
+            // draw, and the condition resolves in the replay.
+            break;
         }
     }
 }
@@ -1039,6 +1453,21 @@ ShotReplayer::replay(const std::vector<OpRef> &stream)
                     bit = !bit;
             }
             packer_.set(m.clbit, bit);
+            break;
+          }
+          case OpRef::Kind::Reset: {
+            const ResetOp &r = prog_.resets[ref.idx];
+            const uint64_t mw = measWord_[size_t{2} * r.wordSlot];
+            const double u =
+                static_cast<double>(mw >> 11) * 0x1.0p-53;
+            if (sv_.measureCollapse(r.q, u))
+                sv_.apply1Q(pauliMatrix(1), r.q);
+            break;
+          }
+          case OpRef::Kind::Cond1Q: {
+            const Cond1QOp &c = prog_.cond[ref.idx];
+            if (packer_.get(c.condBit))
+                sv_.apply1Q(prog_.matrices[c.mat], c.q);
             break;
           }
         }

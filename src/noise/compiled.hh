@@ -46,6 +46,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "circuit/gate.hh"
@@ -96,16 +100,23 @@ struct Pulse
 /** One step of the pre-compiled execution plan. */
 struct PlanStep
 {
-    enum class Kind { Fused1Q, TwoQubit, Meas } kind;
+    enum class Kind { Fused1Q, TwoQubit, Meas, Reset, Cond1Q } kind;
     int q = -1;
     int q2 = -1;
     TimeNs start = 0.0;
     TimeNs end = 0.0;
-    std::vector<Pulse> pulses;       // Fused1Q
+    std::vector<Pulse> pulses;       // Fused1Q, Cond1Q (one pulse)
     GateType twoQubitType = GateType::CX;
     double cxError = 0.0;            // TwoQubit
     int clbit = 0;                   // Meas
     double err01 = 0.0, err10 = 0.0; // Meas
+
+    /** Classical bit the gate is conditioned on (Cond1Q only).
+     *  Conditional pulses carry no gate-error channel — the feedback
+     *  pulse fires in a data-dependent subset of shots, and keeping
+     *  it noiseless keeps every engine's RNG consumption a fixed
+     *  property of the program. */
+    int condBit = -1;
 };
 
 /**
@@ -123,9 +134,17 @@ struct ExecutionPlan
     /** Every gate Clifford: eligible for the stabilizer fast path. */
     bool clifford = true;
 
-    /** Highest classical bit written; > 63 switches the outcome keys
-     *  to OutcomePacker fingerprints (wide stabilizer registers). */
+    /** Highest classical bit written or read; > 63 switches the
+     *  outcome keys to OutcomePacker fingerprints (wide stabilizer
+     *  registers). */
     int maxClbit = 0;
+
+    /** Some conditional gate's action is not a Pauli (e.g. a
+     *  classically-controlled S): the lanes of a frame block would
+     *  need per-lane non-Pauli references, so the job is ineligible
+     *  for the batch frame engine (per-shot tableau replay handles it
+     *  exactly). */
+    bool condNonPauli = false;
 };
 
 /** Lower a scheduled executable onto the plan (once per job). */
@@ -244,11 +263,39 @@ struct MeasOp
     uint64_t thresh01 = 0, thresh10 = 0;
 };
 
+/** An active reset: a projective collapse (one reserved gateRng word,
+ *  like a measurement) followed by X when the outcome was 1.  The
+ *  outcome is consumed internally — no clbit, no readout error. */
+struct ResetOp
+{
+    int q = -1;
+    uint32_t wordSlot = 0; //!< tape slot (first word; second unused)
+};
+
+/** A classically-controlled 1Q pulse: applied in replay only (no
+ *  draws — conditional pulses carry no gate-error channel) when the
+ *  last recorded value of condBit is 1. */
+struct Cond1QOp
+{
+    int q = -1;
+    int condBit = 0;
+    uint32_t mat = 0; //!< matrices[] index of the pulse matrix
+};
+
 /** One entry of an opcode stream: a kind plus an index into the
  *  matching payload array. */
 struct OpRef
 {
-    enum class Kind : uint8_t { Coherent, Markov, Fused1Q, TwoQ, Meas };
+    enum class Kind : uint8_t
+    {
+        Coherent,
+        Markov,
+        Fused1Q,
+        TwoQ,
+        Meas,
+        Reset,
+        Cond1Q,
+    };
     Kind kind;
     uint32_t idx;
 };
@@ -276,6 +323,8 @@ struct ShotProgram
     std::vector<Fused1QOp> fused;
     std::vector<TwoQOp> twoQ;
     std::vector<MeasOp> meas;
+    std::vector<ResetOp> resets;
+    std::vector<Cond1QOp> cond;
 
     std::vector<PulseErrCheck> errChecks;
     std::vector<double> xtalkTerms;
@@ -321,6 +370,44 @@ ShotProgram compileShotProgram(const ExecutionPlan &plan,
 FrameProgram compileFrameProgram(const ExecutionPlan &plan,
                                  const Calibration &cal,
                                  const NoiseFlags &flags);
+
+/**
+ * Compile the branch-tail sub-program for random-reference T1
+ * checkpoint @p ordinal of @p parent: the suffix of the parent's op
+ * stream after that checkpoint, re-resolved against the post-jump
+ * reference (X · postselect(ref, 1) at the checkpoint — the tableau
+ * snapshot the parent recorded at compile time).  Gate and error ops
+ * copy verbatim (they are reference-independent); measurements,
+ * resets, T1 classifications, and conditional-gate reference bits are
+ * re-derived by advancing a copy of the snapshot.  The tail's
+ * branchDepth is one less than the parent's, so tail trees bottom out
+ * at the ADAPT_FRAME_BRANCH_DEPTH cap.
+ *
+ * @pre parent.branchTails and ordinal < parent.t1Sites.size()
+ */
+FrameProgram compileFrameTail(const FrameProgram &parent,
+                              uint32_t ordinal);
+
+/**
+ * Lazy, thread-safe store of compiled branch tails, keyed by
+ * (parent program, ordinal) — tails of tails nest naturally because
+ * the stored programs have stable addresses.  Shared by all the shot
+ * chunks of a prepared job: a tail is compiled at most once per job
+ * no matter how many lanes fire through it.  Compilation is
+ * deterministic, so the cache never changes results — only cost.
+ */
+class FrameTailCache final : public FrameTailSource
+{
+  public:
+    const FrameProgram &tail(const FrameProgram &parent,
+                             uint32_t ordinal) override;
+
+  private:
+    std::mutex mu_;
+    std::map<std::pair<const FrameProgram *, uint32_t>,
+             std::unique_ptr<FrameProgram>>
+        tails_;
+};
 
 // ------------------------------------------------------------------
 // Per-shot execution.

@@ -37,6 +37,10 @@ struct PreparedJob
     BackendKind kind = BackendKind::Dense;
     std::optional<ShotProgram> program; //!< dense jobs only
     std::optional<FrameProgram> frame;  //!< stabilizer jobs only
+
+    /** Lazy branch-tail store, shared by every run of this job;
+     *  non-null iff frame && frame->branchTails. */
+    std::shared_ptr<FrameTailCache> tails;
 };
 
 BackendKind
@@ -197,6 +201,28 @@ runShot(const ExecutionPlan &plan, const Calibration &cal,
             packer.set(step.clbit, bit);
             break;
           }
+          case PlanStep::Kind::Reset: {
+            // Reset as measure-and-correct: one collapse draw from
+            // the gate stream (like Measure, minus readout error),
+            // then a deterministic |1> -> |0> flip.
+            catch_up(step.q, step);
+            if (state.measure(step.q, gate_rng))
+                state.applyPauli(1, step.q);
+            break;
+          }
+          case PlanStep::Kind::Cond1Q: {
+            // Feedback pulse: fires iff the classical register reads
+            // 1 at this point in the shot.  No error channel and no
+            // draws — RNG consumption must not depend on data.
+            catch_up(step.q, step);
+            if (packer.get(step.condBit)) {
+                if (state.fusesMatrices())
+                    state.apply1Q(step.pulses[0].matrix, step.q);
+                else
+                    state.applyGate(step.pulses[0].gate);
+            }
+            break;
+          }
           case PlanStep::Kind::TwoQubit: {
             catch_up(step.q, step);
             catch_up(step.q2, step);
@@ -289,13 +315,15 @@ frameBatchEnabled()
  * True when a stabilizer job can be lowered onto the batch frame
  * engine: everything the resolved-stabilizer precondition already
  * guarantees, minus per-shot OU twirl draws (whose phase — and hence
- * Z probability — differs per shot; those jobs keep the per-shot
- * backend).
+ * Z probability — differs per shot) and minus conditional non-Pauli
+ * pulses (whose frame action is data-dependent).  Ineligible jobs
+ * keep the per-shot tableau backend.
  */
 bool
-frameEligible(const NoiseFlags &flags)
+frameEligible(const ExecutionPlan &plan, const NoiseFlags &flags)
 {
-    return !flags.ouDephasing && frameBatchEnabled();
+    return !flags.ouDephasing && !plan.condNonPauli &&
+           frameBatchEnabled();
 }
 
 /**
@@ -349,8 +377,11 @@ NoisyMachine::prepareImpl(const ScheduledCircuit &sched,
     if (compile) {
         if (job->kind == BackendKind::Dense)
             job->program = compileShotProgram(job->plan, cal_, flags_);
-        else if (frameEligible(flags_))
+        else if (frameEligible(job->plan, flags_)) {
             job->frame = compileFrameProgram(job->plan, cal_, flags_);
+            if (job->frame->branchTails)
+                job->tails = std::make_shared<FrameTailCache>();
+        }
     }
     PreparedCircuit prepared;
     prepared.impl_ = std::move(job);
@@ -424,6 +455,8 @@ NoisyMachine::runPartial(const PreparedCircuit &prepared, int shots,
             std::unique_ptr<StabilizerState> scratch;
             std::unique_ptr<OutcomePacker> packer;
             std::vector<DeferredShot> deferred;
+            std::vector<FrameTailShot> tails;
+            FrameBatchStats stats;
         };
         std::vector<ChunkWorker> workers(static_cast<size_t>(chunks));
 
@@ -449,14 +482,15 @@ NoisyMachine::runPartial(const PreparedCircuit &prepared, int shots,
                             static_cast<int64_t>(shots) -
                                 block * kFrameLanes));
                     w.runner->runBlock(base, block, lanes, hist,
-                                       w.deferred);
+                                       w.deferred, w.tails);
                 }
-                if (w.deferred.empty())
+                if (w.deferred.empty() && w.tails.empty())
                     return;
-                // Exact per-shot tableau reruns of the lanes whose T1
-                // jump fired on a reference-superposed qubit: each
-                // replays the same compiled op stream against a live
-                // tableau, consuming a dedicated stream keyed by its
+                // Lanes whose T1 jump fired on a reference-superposed
+                // qubit finish off the plane pass: via compiled
+                // branch tails when enabled, else via exact per-shot
+                // tableau reruns of the same op stream.  Either way
+                // each consumes a dedicated stream keyed by its
                 // absolute shot index, so the merged output stays
                 // chunking- and wave-invariant.
                 if (!w.scratch) {
@@ -465,8 +499,17 @@ NoisyMachine::runPartial(const PreparedCircuit &prepared, int shots,
                     w.packer = std::make_unique<OutcomePacker>(
                         prog.numClbits);
                 }
-                drainDeferredShots(prog, base, w.deferred, *w.scratch,
-                                   *w.packer, hist);
+                if (!w.deferred.empty()) {
+                    w.stats.deferredShots +=
+                        static_cast<int64_t>(w.deferred.size());
+                    drainDeferredShots(prog, base, w.deferred,
+                                       *w.scratch, *w.packer, hist);
+                }
+                if (!w.tails.empty()) {
+                    drainTailShots(prog, base, w.tails, *job.tails,
+                                   *w.scratch, *w.packer, hist,
+                                   w.stats);
+                }
             });
             done = hi;
             if (control.progress) {
@@ -478,6 +521,8 @@ NoisyMachine::runPartial(const PreparedCircuit &prepared, int shots,
                                           static_cast<int64_t>(shots));
         out.partial = done < blocks;
         out.dist = mergeChunkHistograms(histograms);
+        for (const ChunkWorker &w : workers)
+            out.frameStats.merge(w.stats);
         return out;
     }
 

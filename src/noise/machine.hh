@@ -32,6 +32,7 @@
 #include "device/device.hh"
 #include "noise/noise_model.hh"
 #include "sim/backend.hh"
+#include "sim/frame_batch.hh"
 #include "transpile/schedule.hh"
 
 namespace adapt
@@ -138,6 +139,7 @@ struct RunOutcome
     int64_t shotsDone = 0;
     bool partial = false;               //!< stopped before all shots
     StopCause cause = StopCause::None;  //!< why, when partial
+    FrameBatchStats frameStats;         //!< batch frame path only
 };
 
 /** The simulated hardware endpoint. */

@@ -245,10 +245,40 @@ FrameBatchBackend::drawMask(const FrameBernoulli &b,
     return true;
 }
 
+FrameTailShot
+FrameBatchBackend::snapshotLane(int w, int bit, int64_t shot,
+                                uint32_t ordinal) const
+{
+    FrameTailShot ts;
+    ts.shot = shot;
+    ts.ordinal = ordinal;
+    ts.xf.resize(static_cast<size_t>(prog_.numQubits));
+    ts.zf.resize(static_cast<size_t>(prog_.numQubits));
+    for (int q = 0; q < prog_.numQubits; q++) {
+        const size_t p = static_cast<size_t>(q) * kFrameLaneWords +
+                         static_cast<size_t>(w);
+        ts.xf[static_cast<size_t>(q)] =
+            static_cast<uint8_t>(x_[p] >> bit & 1);
+        ts.zf[static_cast<size_t>(q)] =
+            static_cast<uint8_t>(z_[p] >> bit & 1);
+    }
+    ts.clWords.assign(static_cast<size_t>(prog_.numClbits + 63) / 64,
+                      0);
+    for (int c = 0; c < prog_.numClbits; c++) {
+        const size_t p = static_cast<size_t>(c) * kFrameLaneWords +
+                         static_cast<size_t>(w);
+        if (bits_[p] >> bit & 1)
+            ts.clWords[static_cast<size_t>(c) / 64] |=
+                uint64_t{1} << (c % 64);
+    }
+    return ts;
+}
+
 void
 FrameBatchBackend::runBlock(const Rng &base, int64_t block, int lanes,
                             FlatAccumulator &hist,
-                            std::vector<DeferredShot> &deferred)
+                            std::vector<DeferredShot> &deferred,
+                            std::vector<FrameTailShot> &tails)
 {
     require(lanes >= 1 && lanes <= kFrameLanes,
             "runBlock lane count out of range");
@@ -349,21 +379,28 @@ FrameBatchBackend::runBlock(const Rng &base, int64_t block, int lanes,
                         // Random reference: every live lane's
                         // population is exactly 1/2 (folded into the
                         // rate), so the firing events are independent
-                        // of all other draws.  A firing lane defers
-                        // to an exact per-shot rerun forced to jump
-                        // at this checkpoint; later ops keep draining
-                        // its draws so the other lanes' streams are
-                        // unaffected.
+                        // of all other draws.  A firing lane leaves
+                        // the plane pass — snapshotted onto this
+                        // checkpoint's branch tail when the program
+                        // compiled tails, deferred to an exact
+                        // per-shot rerun otherwise; later ops keep
+                        // draining its draws so the other lanes'
+                        // streams are unaffected.
                         uint64_t fresh = m[w] & ~deferredMask_[w];
                         deferredMask_[w] |= fresh;
                         while (fresh != 0) {
                             const int lane = std::countr_zero(fresh);
                             fresh &= fresh - 1;
-                            if (w * 64 + lane < lanes) { // live lane
+                            if (w * 64 + lane >= lanes)
+                                continue;
+                            const int64_t shot =
+                                block * kFrameLanes + w * 64 + lane;
+                            if (prog_.branchTails) {
+                                tails.push_back(snapshotLane(
+                                    w, lane, shot, op.randT1Ordinal));
+                            } else {
                                 deferred.push_back(
-                                    {block * kFrameLanes + w * 64 +
-                                         lane,
-                                     op.randT1Ordinal});
+                                    {shot, op.randT1Ordinal});
                             }
                         }
                     } else {
@@ -428,6 +465,62 @@ FrameBatchBackend::runBlock(const Rng &base, int64_t block, int lanes,
                 bits ^= (~bits & m01[w]) | (bits & m10[w]);
                 out[w] = bits;
             }
+            break;
+          }
+          case FrameOpRef::Kind::Reset: {
+            const FrameResetOp &op = prog_.resets[ref.idx];
+            if (op.random) {
+                // Fresh collapse coin per lane, absorbing the
+                // branch-flip Pauli exactly like a random measure:
+                // correlations with other qubits land in their
+                // planes before q's own planes clear.
+                uint64_t coin[kFrameLaneWords];
+                for (int w = 0; w < kFrameLaneWords; w++)
+                    coin[w] = blockRng_.next();
+                for (uint32_t i = 0; i < op.flipXCnt; i++) {
+                    uint64_t *xq = xPlane(
+                        prog_.flipQubits[op.flipXOff + i]);
+                    for (int w = 0; w < kFrameLaneWords; w++)
+                        xq[w] ^= coin[w];
+                }
+                for (uint32_t i = 0; i < op.flipZCnt; i++) {
+                    uint64_t *zq = zPlane(
+                        prog_.flipQubits[op.flipZOff + i]);
+                    for (int w = 0; w < kFrameLaneWords; w++)
+                        zq[w] ^= coin[w];
+                }
+            }
+            // Post-reset the reference holds q in |0> exactly (the
+            // compile walk postselected / corrected it) and so does
+            // every lane, whatever it measured — its conditional X
+            // correction restores q = |0>.  A trivial frame on q is
+            // therefore the exact representation: clear x (lane
+            // matches reference) and z (Z_q stabilizes the
+            // reference, so it acts as identity).
+            uint64_t *x = xPlane(op.q);
+            uint64_t *z = zPlane(op.q);
+            for (int w = 0; w < kFrameLaneWords; w++) {
+                x[w] = 0;
+                z[w] = 0;
+            }
+            break;
+          }
+          case FrameOpRef::Kind::Cond: {
+            // The reference applied the Pauli iff refCond; a lane's
+            // frame absorbs it exactly where its own recorded bit
+            // differs (the outcome planes hold absolute recorded
+            // bits, readout flips included, matching the per-shot
+            // paths' classical-register reads).
+            const FrameCondOp &op = prog_.cond[ref.idx];
+            const uint64_t *cb =
+                &bits_[static_cast<size_t>(op.condBit) *
+                       kFrameLaneWords];
+            for (int w = 0; w < kFrameLaneWords; w++)
+                m[w] = op.refCond ? ~cb[w] : cb[w];
+            if (kPauliHasX[op.pauli] != 0)
+                xorWords(xPlane(op.q), m);
+            if (kPauliHasZ[op.pauli] != 0)
+                xorWords(zPlane(op.q), m);
             break;
           }
         }
@@ -510,24 +603,29 @@ applyPauliCode(StabilizerState &state, int code, int q)
 
 } // namespace
 
-uint64_t
-runFrameDeferredShot(const FrameProgram &prog, StabilizerState &state,
-                     OutcomePacker &packer, const Rng &shot_rng,
-                     uint32_t forced_ordinal)
+namespace
 {
-    state.reset();
-    packer.clear();
-    Rng rng = shot_rng;
 
-    // False until the forced jump has fired.  Before it, every
-    // random-reference T1 checkpoint's folded draw is predetermined
-    // by the deferral conditioning (quiet below the forced ordinal,
-    // firing at it); after it, the reference classification no
-    // longer describes this shot's collapsed state, and every
-    // checkpoint evolves live off the tableau.
-    bool live = false;
+/** "No checkpoint": walkFrameTableau forcing disabled / no fresh
+ *  scalar-walk fire. */
+constexpr uint32_t kNoOrdinal = ~uint32_t{0};
 
-    for (const FrameOpRef ref : prog.ops) {
+/**
+ * Live tableau walk of prog.ops[start ..): the exact per-shot
+ * semantics every frame shortcut is measured against.  With @p live
+ * false, random-reference T1 checkpoints below @p forced_ordinal are
+ * forced quiet and the one at it fires unconditionally (the deferral
+ * conditioning); from then on — or from the start when @p live is
+ * true (branch-tail depth-cap continuations) — every checkpoint
+ * evolves off the tableau.
+ */
+void
+walkFrameTableau(const FrameProgram &prog, StabilizerState &state,
+                 OutcomePacker &packer, Rng &rng, uint32_t start,
+                 bool live, uint32_t forced_ordinal)
+{
+    for (uint32_t oi = start; oi < prog.ops.size(); oi++) {
+        const FrameOpRef ref = prog.ops[oi];
         switch (ref.kind) {
           case FrameOpRef::Kind::F1Q: {
             const Frame1QOp &op = prog.f1q[ref.idx];
@@ -601,8 +699,185 @@ runFrameDeferredShot(const FrameProgram &prog, StabilizerState &state,
             packer.set(op.clbit, bit);
             break;
           }
+          case FrameOpRef::Kind::Reset: {
+            const FrameResetOp &op = prog.resets[ref.idx];
+            if (state.measure(op.q, rng))
+                state.applyX(op.q);
+            break;
+          }
+          case FrameOpRef::Kind::Cond: {
+            // Absolute semantics on a live tableau: the Pauli fires
+            // iff the recorded bit reads 1 (refCond is a
+            // frame-relative compile artifact).
+            const FrameCondOp &op = prog.cond[ref.idx];
+            if (packer.get(op.condBit))
+                applyPauliCode(state, op.pauli, op.q);
+            break;
+          }
         }
     }
+}
+
+/**
+ * Single-lane scalar frame walk of a branch-tail program from its
+ * first op: the per-byte mirror of runBlock's plane sweeps, with the
+ * lane's own outcome record driving conditional gates.  Returns the
+ * randT1Ordinal of a freshly fired superposed T1 checkpoint — frame
+ * and packer left exactly as of that instant, deph of the firing op
+ * not yet drawn (the checkpoint's tail re-emits it) — or kNoOrdinal
+ * when the walk completed and packer holds the lane's outcomes.
+ */
+uint32_t
+walkScalarFrame(const FrameProgram &prog, std::vector<uint8_t> &xf,
+                std::vector<uint8_t> &zf, OutcomePacker &packer,
+                Rng &rng)
+{
+    for (const FrameOpRef ref : prog.ops) {
+        switch (ref.kind) {
+          case FrameOpRef::Kind::F1Q: {
+            const Frame1QOp &op = prog.f1q[ref.idx];
+            uint8_t &x = xf[static_cast<size_t>(op.q)];
+            uint8_t &z = zf[static_cast<size_t>(op.q)];
+            const uint8_t t = x;
+            switch (op.kind) {
+              case Frame1QKind::Hadamard: x = z; z = t; break;
+              case Frame1QKind::Phase: z ^= x; break;
+              case Frame1QKind::HalfX: x ^= z; break;
+              case Frame1QKind::CycleA: x = z; z ^= t; break;
+              case Frame1QKind::CycleB: x ^= z; z = t; break;
+              case Frame1QKind::Identity: break;
+            }
+            break;
+          }
+          case FrameOpRef::Kind::F2Q: {
+            const Frame2QOp &op = prog.f2q[ref.idx];
+            const auto a = static_cast<size_t>(op.a);
+            const auto b = static_cast<size_t>(op.b);
+            switch (op.type) {
+              case GateType::CX:
+                xf[b] ^= xf[a];
+                zf[a] ^= zf[b];
+                break;
+              case GateType::CZ:
+                zf[a] ^= xf[b];
+                zf[b] ^= xf[a];
+                break;
+              case GateType::SWAP:
+                std::swap(xf[a], xf[b]);
+                std::swap(zf[a], zf[b]);
+                break;
+              default:
+                panic("frame replay: unexpected two-qubit gate");
+            }
+            break;
+          }
+          case FrameOpRef::Kind::Err1Q: {
+            const FrameErr1QOp &op = prog.err1q[ref.idx];
+            if (fires(rng, op.prob.thresh)) {
+                const auto pauli = static_cast<int>(
+                    op.mapped[rng.uniformInt(3)]);
+                xf[static_cast<size_t>(op.q)] ^=
+                    static_cast<uint8_t>(kPauliHasX[pauli]);
+                zf[static_cast<size_t>(op.q)] ^=
+                    static_cast<uint8_t>(kPauliHasZ[pauli]);
+            }
+            break;
+          }
+          case FrameOpRef::Kind::Err2Q: {
+            const FrameErr2QOp &op = prog.err2q[ref.idx];
+            if (fires(rng, op.prob.thresh)) {
+                const auto code =
+                    static_cast<int>(rng.uniformInt(15)) + 1;
+                xf[static_cast<size_t>(op.a)] ^=
+                    static_cast<uint8_t>(kPauliHasX[code & 3]);
+                zf[static_cast<size_t>(op.a)] ^=
+                    static_cast<uint8_t>(kPauliHasZ[code & 3]);
+                xf[static_cast<size_t>(op.b)] ^=
+                    static_cast<uint8_t>(kPauliHasX[code >> 2]);
+                zf[static_cast<size_t>(op.b)] ^=
+                    static_cast<uint8_t>(kPauliHasZ[code >> 2]);
+            }
+            break;
+          }
+          case FrameOpRef::Kind::Markov: {
+            const FrameMarkovOp &op = prog.markov[ref.idx];
+            if (op.t1Ref == 2) {
+                // Same folded gamma/2 law as the plane pass; a fire
+                // hands the lane to the next tail down.
+                if (fires(rng, op.t1.thresh))
+                    return op.randT1Ordinal;
+            } else if (fires(rng, op.t1.thresh)) {
+                if ((op.t1Ref ^ xf[static_cast<size_t>(op.q)]) & 1)
+                    xf[static_cast<size_t>(op.q)] ^= 1;
+            }
+            if (fires(rng, op.deph.thresh))
+                zf[static_cast<size_t>(op.q)] ^= 1;
+            break;
+          }
+          case FrameOpRef::Kind::Twirl: {
+            const FrameTwirlOp &op = prog.twirl[ref.idx];
+            if (fires(rng, op.prob.thresh))
+                zf[static_cast<size_t>(op.q)] ^= 1;
+            break;
+          }
+          case FrameOpRef::Kind::Meas: {
+            const FrameMeasOp &op = prog.meas[ref.idx];
+            if (op.random && rng.bernoulli(0.5)) {
+                for (uint32_t i = 0; i < op.flipXCnt; i++)
+                    xf[static_cast<size_t>(
+                        prog.flipQubits[op.flipXOff + i])] ^= 1;
+                for (uint32_t i = 0; i < op.flipZCnt; i++)
+                    zf[static_cast<size_t>(
+                        prog.flipQubits[op.flipZOff + i])] ^= 1;
+            }
+            bool bit =
+                (op.refBit ^ xf[static_cast<size_t>(op.q)]) & 1;
+            if (fires(rng, bit ? op.err10.thresh : op.err01.thresh))
+                bit = !bit;
+            packer.set(op.clbit, bit);
+            break;
+          }
+          case FrameOpRef::Kind::Reset: {
+            const FrameResetOp &op = prog.resets[ref.idx];
+            if (op.random && rng.bernoulli(0.5)) {
+                for (uint32_t i = 0; i < op.flipXCnt; i++)
+                    xf[static_cast<size_t>(
+                        prog.flipQubits[op.flipXOff + i])] ^= 1;
+                for (uint32_t i = 0; i < op.flipZCnt; i++)
+                    zf[static_cast<size_t>(
+                        prog.flipQubits[op.flipZOff + i])] ^= 1;
+            }
+            xf[static_cast<size_t>(op.q)] = 0;
+            zf[static_cast<size_t>(op.q)] = 0;
+            break;
+          }
+          case FrameOpRef::Kind::Cond: {
+            const FrameCondOp &op = prog.cond[ref.idx];
+            if (packer.get(op.condBit) != (op.refCond != 0)) {
+                xf[static_cast<size_t>(op.q)] ^=
+                    static_cast<uint8_t>(kPauliHasX[op.pauli]);
+                zf[static_cast<size_t>(op.q)] ^=
+                    static_cast<uint8_t>(kPauliHasZ[op.pauli]);
+            }
+            break;
+          }
+        }
+    }
+    return kNoOrdinal;
+}
+
+} // namespace
+
+uint64_t
+runFrameDeferredShot(const FrameProgram &prog, StabilizerState &state,
+                     OutcomePacker &packer, const Rng &shot_rng,
+                     uint32_t forced_ordinal)
+{
+    state.reset();
+    packer.clear();
+    Rng rng = shot_rng;
+    walkFrameTableau(prog, state, packer, rng, 0, /*live=*/false,
+                     forced_ordinal);
     return packer.key();
 }
 
@@ -620,6 +895,89 @@ drainDeferredShots(const FrameProgram &prog, const Rng &base,
                  1.0);
     }
     deferred.clear();
+}
+
+void
+drainTailShots(const FrameProgram &prog, const Rng &base,
+               std::vector<FrameTailShot> &tails,
+               FrameTailSource &source, StabilizerState &state,
+               OutcomePacker &packer, FlatAccumulator &hist,
+               FrameBatchStats &stats)
+{
+    std::vector<uint8_t> xf, zf;
+    for (const FrameTailShot &ts : tails) {
+        Rng rng = base.fork(kFrameDeferSalt +
+                            static_cast<uint64_t>(ts.shot));
+        xf = ts.xf;
+        zf = ts.zf;
+        packer.clear();
+        for (int c = 0; c < prog.numClbits; c++) {
+            if (ts.clWords[static_cast<size_t>(c) / 64] >> (c % 64) &
+                1)
+                packer.set(c, true);
+        }
+
+        const FrameProgram *cur = &prog;
+        uint32_t ord = ts.ordinal;
+        int depth = 0;
+        for (;;) {
+            depth++;
+            const FrameT1Site &site =
+                cur->t1Sites[static_cast<size_t>(ord)];
+            const FrameMarkovOp &mop =
+                cur->markov[cur->ops[site.opIndex].idx];
+
+            // The jump maps the lane onto the jumped reference with
+            // frame F' = F * g^{x_F(q)}: when the lane's frame
+            // carries X on q, sigma- acting through it lands on the
+            // opposite collapse branch, and g (the recorded
+            // branch-flip stabilizer) hops the frame across.
+            if (xf[static_cast<size_t>(mop.q)] & 1) {
+                for (uint32_t i = 0; i < mop.flipXCnt; i++)
+                    xf[static_cast<size_t>(
+                        cur->flipQubits[mop.flipXOff + i])] ^= 1;
+                for (uint32_t i = 0; i < mop.flipZCnt; i++)
+                    zf[static_cast<size_t>(
+                        cur->flipQubits[mop.flipZOff + i])] ^= 1;
+            }
+
+            if (cur->branchDepth < 1) {
+                // Recursion budget exhausted: exact tableau
+                // continuation from the site's jumped-reference
+                // snapshot, frame applied as Paulis, the firing
+                // checkpoint's residual dephasing drawn inline.
+                stats.depthCapHits++;
+                stats.deferredShots++;
+                state = site.refAfterJump;
+                for (int q = 0; q < prog.numQubits; q++) {
+                    if (xf[static_cast<size_t>(q)])
+                        state.applyX(q);
+                    if (zf[static_cast<size_t>(q)])
+                        state.applyZ(q);
+                }
+                if (fires(rng, mop.deph.thresh))
+                    state.applyZ(mop.q);
+                walkFrameTableau(*cur, state, packer, rng,
+                                 site.opIndex + 1, /*live=*/true,
+                                 kNoOrdinal);
+                break;
+            }
+
+            const FrameProgram &tail = source.tail(*cur, ord);
+            const uint32_t fired =
+                walkScalarFrame(tail, xf, zf, packer, rng);
+            if (fired == kNoOrdinal) {
+                stats.tailShots++;
+                break;
+            }
+            cur = &tail;
+            ord = fired;
+        }
+        if (depth > stats.maxTailDepth)
+            stats.maxTailDepth = depth;
+        hist.add(packer.key(), 1.0);
+    }
+    tails.clear();
 }
 
 } // namespace adapt

@@ -194,20 +194,33 @@ struct FrameMarkovOp
 
     /** Ordinal of this checkpoint among the job's random-reference
      *  T1 checkpoints (t1Ref == 2 only) — the forcing handle for
-     *  deferred-lane reruns. */
+     *  deferred-lane reruns and the branch-tail site index. */
     uint32_t randT1Ordinal = 0;
 
     /** Candidate rate gamma for deterministic references (the jump
      *  then fires against the shot's actual bit); the folded
      *  gamma * 1/2 firing rate for random references (a firing lane
-     *  is deferred to an exact per-shot rerun, see the file
-     *  comment). */
+     *  leaves the plane pass — branch tail or deferred rerun, see
+     *  the file comment). */
     FrameBernoulli t1;
 
     /** Raw (unfolded) gamma threshold, for the deferred-lane replay's
      *  live checkpoints: fire = bernoulli(gamma) * bernoulli(p1) with
      *  p1 read off the live tableau. */
     uint64_t gammaThresh = 0;
+
+    /** Raw jump probability, kept for branch-tail recompilation: a
+     *  tail re-resolves this checkpoint against its own reference,
+     *  and the folded threshold is not invertible. */
+    double gamma = 0.0;
+
+    /** Branch-flip support g of a superposed checkpoint (t1Ref == 2,
+     *  recorded only when the program compiles branch tails): a
+     *  firing lane's frame absorbs g iff its x bit of q reads 1, and
+     *  then rides the tail program in-frame.  Offsets into
+     *  FrameProgram::flipQubits. */
+    uint32_t flipXOff = 0, flipXCnt = 0;
+    uint32_t flipZOff = 0, flipZCnt = 0;
 
     FrameBernoulli deph;
 };
@@ -237,6 +250,39 @@ struct FrameMeasOp
     FrameBernoulli err01, err10;
 };
 
+/**
+ * Mid-circuit reset, executed in-frame as measure-and-correct: a
+ * random reference draws a fresh coin per lane (absorbing the
+ * branch-flip Pauli exactly like a random measurement), then both
+ * the x and z planes of q clear — the post-reset reference has q in
+ * |0> exactly (the compile walk postselects / corrects it), so a
+ * trivial frame on q is the exact representation of every lane.
+ */
+struct FrameResetOp
+{
+    int q = -1;
+    bool random = false;
+
+    /** Branch-flip Pauli support (random references only), into
+     *  FrameProgram::flipQubits. */
+    uint32_t flipXOff = 0, flipXCnt = 0;
+    uint32_t flipZOff = 0, flipZCnt = 0;
+};
+
+/**
+ * Classically-controlled Pauli: the reference applied it iff the
+ * reference's recorded bit (refCond) read 1 at compile time, so a
+ * lane's frame absorbs the Pauli exactly where its own recorded bit
+ * differs from refCond — one mask build plus up to two plane XORs.
+ */
+struct FrameCondOp
+{
+    int q = -1;
+    int condBit = 0;
+    uint8_t pauli = 1;   //!< engine packing (1 = X, 2 = Y, 3 = Z)
+    uint8_t refCond = 0; //!< reference's recorded bit of condBit
+};
+
 /** One entry of the frame op stream. */
 struct FrameOpRef
 {
@@ -249,9 +295,25 @@ struct FrameOpRef
         Markov,
         Twirl,
         Meas,
+        Reset,
+        Cond,
     };
     Kind kind;
     uint32_t idx;
+};
+
+/**
+ * Snapshot of the reference at a superposed T1 checkpoint — the
+ * compile-time ingredients of that checkpoint's branch tail.  The
+ * jumped reference ref' = X_q * postselect(ref, 1) seeds both the
+ * tail compilation and the runtime depth-cap fallback; the recorded
+ * reference clbits keep conditional gates resolvable downstream.
+ */
+struct FrameT1Site
+{
+    StabilizerState refAfterJump;
+    std::vector<uint8_t> refCl; //!< reference clbit record at the site
+    uint32_t opIndex = 0;       //!< Markov op position in ops
 };
 
 /**
@@ -279,8 +341,26 @@ struct FrameProgram
     std::vector<FrameMarkovOp> markov;
     std::vector<FrameTwirlOp> twirl;
     std::vector<FrameMeasOp> meas;
+    std::vector<FrameResetOp> resets;
+    std::vector<FrameCondOp> cond;
 
     std::vector<int> flipQubits; //!< branch-flip Pauli supports
+
+    /** Remaining branch-tail recursion budget: how many nested
+     *  superposed-T1 jumps a lane may take in-frame below this
+     *  program (ADAPT_FRAME_BRANCH_DEPTH at the root, parent - 1 in
+     *  each tail).  0 disables tails — firing lanes defer to the
+     *  exact per-shot tableau rerun instead. */
+    int branchDepth = 0;
+
+    /** True when this program records branch-tail sites (branchDepth
+     *  > 0 and at least one superposed T1 checkpoint exists): firing
+     *  lanes produce FrameTailShot snapshots, never DeferredShots. */
+    bool branchTails = false;
+
+    /** Per-ordinal reference snapshots (branchTails only), indexed by
+     *  FrameMarkovOp::randT1Ordinal. */
+    std::vector<FrameT1Site> t1Sites;
 };
 
 /**
@@ -299,6 +379,72 @@ struct DeferredShot
 constexpr uint64_t kFrameDeferSalt = uint64_t{1} << 33;
 
 /**
+ * A lane whose T1 jump fired at a superposed checkpoint of a
+ * branch-tail program: its frame and classical record, captured at
+ * the instant the jump fired, ride the checkpoint's tail program
+ * in-frame instead of deferring to a whole-shot tableau rerun.
+ */
+struct FrameTailShot
+{
+    int64_t shot = 0;     //!< absolute shot index in the job
+    uint32_t ordinal = 0; //!< firing checkpoint's randT1Ordinal
+
+    /** Pre-jump frame column of the lane, one byte (0 / 1) per
+     *  qubit. */
+    std::vector<uint8_t> xf, zf;
+
+    /** Recorded outcome bits at fire time, packed 64 clbits per
+     *  word. */
+    std::vector<uint64_t> clWords;
+};
+
+/** Counters of how a frame-batch run's lanes left the plane pass. */
+struct FrameBatchStats
+{
+    /** Lanes completed in-frame by branch-tail walks. */
+    int64_t tailShots = 0;
+
+    /** Lanes completed by per-shot tableau replay: the tails-disabled
+     *  deferral path plus branch-tail depth-cap fallbacks. */
+    int64_t deferredShots = 0;
+
+    /** Tail walks that exhausted the recursion budget and fell back
+     *  to the exact tableau. */
+    int64_t depthCapHits = 0;
+
+    /** Deepest nested-jump chain any lane took (0 = no lane ever
+     *  left the plane pass). */
+    int maxTailDepth = 0;
+
+    /** Fold @p other into this (chunk aggregation). */
+    void merge(const FrameBatchStats &other)
+    {
+        tailShots += other.tailShots;
+        deferredShots += other.deferredShots;
+        depthCapHits += other.depthCapHits;
+        maxTailDepth = maxTailDepth > other.maxTailDepth
+                           ? maxTailDepth
+                           : other.maxTailDepth;
+    }
+};
+
+/**
+ * Provider of branch-tail programs: tail(parent, ordinal) returns the
+ * sub-program that continues parent's op stream after the superposed
+ * T1 checkpoint @p ordinal, re-resolved against the jumped reference.
+ * Implemented by FrameTailCache (noise/compiled.hh), which compiles
+ * lazily and memoizes; must be safe to call from concurrent chunk
+ * workers.  @pre parent.branchDepth > 0 and ordinal is a valid site.
+ */
+class FrameTailSource
+{
+  public:
+    virtual ~FrameTailSource() = default;
+    virtual const FrameProgram &tail(const FrameProgram &parent,
+                                     uint32_t ordinal) = 0;
+};
+
+/**
  * Per-chunk worker that executes a FrameProgram in kFrameLanes-shot
  * blocks.  Owns the frame bit planes, the outcome planes, and the
  * packer; one instance serves all the blocks of a chunk.
@@ -315,9 +461,11 @@ class FrameBatchBackend
 
     /**
      * Execute lanes [block * kFrameLanes, block * kFrameLanes +
-     * lanes): count non-deferred lanes' outcome keys into @p hist
-     * and append deferred lanes to @p deferred for the caller to
-     * rerun per-shot (see DeferredShot).
+     * lanes): count the lanes that finish the plane pass into
+     * @p hist; lanes whose T1 jump fires at a superposed checkpoint
+     * leave the pass — as FrameTailShot snapshots in @p tails when
+     * the program compiles branch tails, as DeferredShots in
+     * @p deferred otherwise — for the caller to drain.
      *
      * @param base Job-level RNG base; the block's stream is forked
      *             from it by absolute block index, so a block's
@@ -328,7 +476,8 @@ class FrameBatchBackend
      */
     void runBlock(const Rng &base, int64_t block, int lanes,
                   FlatAccumulator &hist,
-                  std::vector<DeferredShot> &deferred);
+                  std::vector<DeferredShot> &deferred,
+                  std::vector<FrameTailShot> &tails);
 
   private:
     const FrameProgram &prog_;
@@ -351,6 +500,11 @@ class FrameBatchBackend
      */
     bool drawMask(const FrameBernoulli &b,
                   uint64_t out[kFrameLaneWords]);
+
+    /** Capture lane (@p w, @p bit)'s frame and classical columns at
+     *  the instant its T1 jump fired at checkpoint @p ordinal. */
+    FrameTailShot snapshotLane(int w, int bit, int64_t shot,
+                               uint32_t ordinal) const;
 };
 
 /**
@@ -391,6 +545,30 @@ void drainDeferredShots(const FrameProgram &prog, const Rng &base,
                         std::vector<DeferredShot> &deferred,
                         StabilizerState &state, OutcomePacker &packer,
                         FlatAccumulator &hist);
+
+/**
+ * Finish every lane in @p tails in-frame (see FrameTailShot),
+ * counting the outcomes into @p hist, and clear the list.  Each lane
+ * absorbs the checkpoint's branch-flip Pauli iff its x bit of the
+ * decaying qubit reads 1, then walks the checkpoint's tail program
+ * (from @p source) as a scalar frame; a nested superposed jump
+ * recurses one tail deeper until the parent's branchDepth is
+ * exhausted, at which point the lane falls back to an exact tableau
+ * continuation seeded from the site's jumped-reference snapshot.
+ * Each lane consumes the dedicated stream base.fork(kFrameDeferSalt +
+ * shot) — the same contract as drainDeferredShots, so the fold stays
+ * chunking- and wave-invariant.  @p stats accumulates how lanes
+ * finished (never reset here).
+ *
+ * @param prog  The root program the snapshots were taken from.
+ * @param state Scratch tableau of prog.numQubits qubits.
+ * @param packer Scratch packer of prog.numClbits bits.
+ */
+void drainTailShots(const FrameProgram &prog, const Rng &base,
+                    std::vector<FrameTailShot> &tails,
+                    FrameTailSource &source, StabilizerState &state,
+                    OutcomePacker &packer, FlatAccumulator &hist,
+                    FrameBatchStats &stats);
 
 } // namespace adapt
 

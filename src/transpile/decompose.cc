@@ -22,6 +22,7 @@ isPhysicalGate(GateType type)
       case GateType::I:
       case GateType::CX:
       case GateType::Measure:
+      case GateType::Reset:
       case GateType::Barrier:
       case GateType::Delay:
         return true;
@@ -128,7 +129,11 @@ namespace
 void
 emit(Circuit &out, Gate gate, std::vector<int> &last_rz)
 {
-    if (gate.type == GateType::RZ) {
+    // Conditional RZs must not merge into (or seed merges with)
+    // unconditional neighbours: they execute in a strict subset of
+    // shots.  They fall through to the generic path, which also
+    // invalidates any open merge window on their qubit.
+    if (gate.type == GateType::RZ && gate.condBit < 0) {
         const auto q = static_cast<size_t>(gate.qubit());
         if (last_rz[q] >= 0) {
             // Merge into the previous RZ on this qubit.
@@ -158,9 +163,30 @@ decompose(const Circuit &circuit)
     std::vector<int> last_rz(static_cast<size_t>(circuit.numQubits()), -1);
 
     for (const Gate &gate : circuit.gates()) {
+        if (gate.condBit >= 0) {
+            // Classically-controlled single-qubit unitary: lower to
+            // the physical basis with the condition carried on every
+            // emitted pulse (all fire iff the bit reads 1, which
+            // composes to the conditioned unitary; the per-shot
+            // global phase of the split is unobservable).
+            if (gate.type == GateType::I)
+                continue;
+            if (isPhysicalGate(gate.type) ||
+                gate.type == GateType::RZ) {
+                emit(out, gate, last_rz);
+            } else {
+                for (Gate &g :
+                     decompose1Q(gateMatrix(gate), gate.qubit())) {
+                    g.condBit = gate.condBit;
+                    emit(out, std::move(g), last_rz);
+                }
+            }
+            continue;
+        }
         switch (gate.type) {
           case GateType::CX:
           case GateType::Measure:
+          case GateType::Reset:
           case GateType::Barrier:
           case GateType::Delay:
           case GateType::X:

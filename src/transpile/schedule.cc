@@ -205,6 +205,10 @@ gateDuration(const Gate &gate, const Calibration &cal, int link_index)
         return cal.links.at(static_cast<size_t>(link_index)).cxLatencyNs;
       case GateType::Measure:
         return cal.measureLatencyNs;
+      case GateType::Reset:
+        // Active reset is a measurement plus a conditional feedback
+        // pulse folded into the readout window.
+        return cal.measureLatencyNs;
       case GateType::Delay:
         return gate.delayDuration();
       default:
@@ -243,9 +247,23 @@ schedule(const Circuit &physical, const Topology &topology,
     }
 
     const auto nq = static_cast<size_t>(physical.numQubits());
+    const auto ncl = static_cast<size_t>(
+        std::max(physical.numClbits(), 0));
+
+    // Classical bit touched by an op: Measure writes gate.clbit,
+    // a conditional gate reads gate.condBit.  Treating the bit as a
+    // scheduling resource serializes writer -> reader -> re-writer in
+    // program order, so clbit reuse and feedback stay causal in both
+    // scheduling modes.
+    auto clbitOf = [](const Gate &g) {
+        if (g.type == GateType::Measure)
+            return g.clbit;
+        return g.condBit;
+    };
 
     // Forward ASAP pass (also determines the makespan for ALAP).
     std::vector<TimeNs> avail(nq, 0.0);
+    std::vector<TimeNs> cl_avail(ncl, 0.0);
     TimeNs makespan = 0.0;
     for (PendingOp &op : pending) {
         if (op.gate->type == GateType::Barrier) {
@@ -257,9 +275,14 @@ schedule(const Circuit &physical, const Topology &topology,
         TimeNs start = 0.0;
         for (QubitId q : op.gate->qubits)
             start = std::max(start, avail[static_cast<size_t>(q)]);
+        const int cb = clbitOf(*op.gate);
+        if (cb >= 0)
+            start = std::max(start, cl_avail.at(static_cast<size_t>(cb)));
         op.start = start;
         for (QubitId q : op.gate->qubits)
             avail[static_cast<size_t>(q)] = start + op.duration;
+        if (cb >= 0)
+            cl_avail[static_cast<size_t>(cb)] = start + op.duration;
         makespan = std::max(makespan, start + op.duration);
     }
 
@@ -267,6 +290,7 @@ schedule(const Circuit &physical, const Topology &topology,
         // Backward pass: everything as late as the dependencies and
         // the ASAP makespan allow.
         std::vector<TimeNs> late(nq, makespan);
+        std::vector<TimeNs> cl_late(ncl, makespan);
         for (auto it = pending.rbegin(); it != pending.rend(); ++it) {
             PendingOp &op = *it;
             if (op.gate->type == GateType::Barrier) {
@@ -278,9 +302,14 @@ schedule(const Circuit &physical, const Topology &topology,
             TimeNs end = makespan;
             for (QubitId q : op.gate->qubits)
                 end = std::min(end, late[static_cast<size_t>(q)]);
+            const int cb = clbitOf(*op.gate);
+            if (cb >= 0)
+                end = std::min(end, cl_late[static_cast<size_t>(cb)]);
             op.start = end - op.duration;
             for (QubitId q : op.gate->qubits)
                 late[static_cast<size_t>(q)] = op.start;
+            if (cb >= 0)
+                cl_late[static_cast<size_t>(cb)] = op.start;
         }
     }
 

@@ -241,6 +241,48 @@ makeQpe(int counting_qubits, double phase)
     return c;
 }
 
+Circuit
+makeSyndromeExtraction(int data_qubits, int rounds)
+{
+    require(data_qubits >= 2,
+            "syndrome extraction needs at least two data qubits");
+    require(rounds >= 1,
+            "syndrome extraction needs at least one round");
+    const int n = 2 * data_qubits - 1;
+    const int ancillas = data_qubits - 1;
+    Circuit c(n, ancillas + data_qubits);
+
+    // Encode logical |+>: GHZ chain over the data qubits (even
+    // indices).  Data neighbours are distance 2 on the line, so each
+    // chain CX routes through the ancilla between them with the
+    // 4-CX distance-2 CNOT identity (middle in any state).
+    c.h(0);
+    for (int i = 1; i < data_qubits; i++) {
+        const QubitId m = 2 * i - 1;
+        c.cx(2 * (i - 1), m);
+        c.cx(m, 2 * i);
+        c.cx(2 * (i - 1), m);
+        c.cx(m, 2 * i);
+    }
+
+    for (int r = 0; r < rounds; r++) {
+        for (int i = 0; i < ancillas; i++) {
+            const QubitId a = 2 * i + 1;
+            c.cx(2 * i, a);
+            c.cx(2 * i + 2, a);
+        }
+        for (int i = 0; i < ancillas; i++) {
+            const QubitId a = 2 * i + 1;
+            c.measure(a, i); // clbit i reused every round
+            c.xIf(2 * i + 2, i);
+            c.reset(a);
+        }
+    }
+    for (int i = 0; i < data_qubits; i++)
+        c.measure(2 * i, ancillas + i);
+    return c;
+}
+
 std::vector<Workload>
 paperBenchmarks()
 {

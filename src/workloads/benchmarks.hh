@@ -70,6 +70,27 @@ Circuit makeAdder(int bits_per_operand = 1, uint64_t a = 1,
  */
 Circuit makeQpe(int counting_qubits, double phase);
 
+/**
+ * Repetition-code syndrome extraction with live feedback: a dynamic
+ * (mid-circuit measurement) workload for the batch frame engine.
+ *
+ * @p data_qubits data qubits interleaved with data_qubits - 1
+ * syndrome ancillas on a line (2 * data_qubits - 1 qubits total),
+ * encoded into the logical |+> of the Z-repetition code (a GHZ
+ * chain).  Each of the @p rounds extraction rounds entangles every
+ * ancilla with its two data neighbours (CX pairs), measures it into
+ * a per-ancilla classical bit that is *reused* across rounds, feeds
+ * the syndrome bit back as a conditional X on the right-hand data
+ * neighbour, and actively resets the ancilla.  A terminal data
+ * readout follows on clbits [data_qubits - 1, 2 * data_qubits - 1).
+ *
+ * All-Clifford by construction: noiseless ancilla outcomes are
+ * deterministic (the stabilizers are +1), so every coin, branch, and
+ * feedback fire is noise-induced — the syndrome circuit the paper's
+ * serving scenarios batch at scale.
+ */
+Circuit makeSyndromeExtraction(int data_qubits, int rounds);
+
 /** A named benchmark instance. */
 struct Workload
 {

@@ -36,38 +36,18 @@ struct CorpusSpec
 
 /**
  * Random Clifford circuit over a line of @p width qubits, in named
- * gates, with Delay-induced idle windows and terminal measurement.
+ * gates, with Delay-induced idle windows and terminal measurement —
+ * the shared CircuitFuzzer in static mode, which reproduces this
+ * suite's historical corpus stream draw for draw.
  */
 Circuit
 randomCliffordExecutable(const CorpusSpec &spec)
 {
-    Rng rng(spec.seed * 7919 + 13);
-    Circuit c(spec.width);
-    for (int layer = 0; layer < spec.depth; layer++) {
-        const auto q = static_cast<QubitId>(
-            rng.uniformInt(static_cast<uint64_t>(spec.width)));
-        switch (rng.uniformInt(9)) {
-          case 0: c.h(q); break;
-          case 1: c.s(q); break;
-          case 2: c.sdg(q); break;
-          case 3: c.x(q); break;
-          case 4: c.sx(q); break;
-          case 5: c.rz(kPi / 2.0, q); break;
-          case 6: c.delay(400.0 + 200.0 * rng.uniform(), q); break;
-          default: {
-            if (spec.width < 2) {
-                c.z(q);
-                break;
-            }
-            const QubitId a = q;
-            const QubitId b = a + 1 < spec.width ? a + 1 : a - 1;
-            c.cx(a, b);
-            break;
-          }
-        }
-    }
-    c.measureAll();
-    return c;
+    FuzzSpec fuzz;
+    fuzz.width = spec.width;
+    fuzz.depth = spec.depth;
+    fuzz.seed = spec.seed;
+    return CircuitFuzzer(fuzz).generate();
 }
 
 /** Schedule a named-gate circuit on a linear synthetic device. */

@@ -1,14 +1,18 @@
 /**
  * @file
- * Shared distribution-comparison helpers for the test suites.
+ * Shared helpers for the test suites.
  *
- * Two layers of rigor:
+ * Distribution comparison, two layers of rigor:
  *  - tvDistance(): the paper's own metric (1/2 L1), for tolerance
  *    assertions against analytic references.
  *  - chiSquared() / distributionsMatch(): a Pearson goodness-of-fit
  *    test of a sampled distribution against reference probabilities,
  *    for "these two backends sample the same law" assertions where a
  *    fixed TVD tolerance would be either too loose or flaky.
+ *
+ * Corpus generation:
+ *  - CircuitFuzzer: the seeded random-circuit generator shared by
+ *    the cross-backend and dynamic-circuit equivalence suites.
  */
 
 #ifndef ADAPT_TESTS_TEST_UTIL_HH
@@ -19,10 +23,109 @@
 #include <cmath>
 #include <map>
 
+#include "circuit/circuit.hh"
+#include "common/rng.hh"
 #include "common/stats.hh"
+#include "common/types.hh"
 
 namespace adapt::testutil
 {
+
+/** Specification of one fuzzed random-circuit corpus entry. */
+struct FuzzSpec
+{
+    int width = 4;        //!< qubits (line-topology executables)
+    int depth = 60;       //!< sampled circuit ops
+    bool withDd = false;  //!< caller pads idle windows with DD
+    bool dynamic = false; //!< mid-circuit measure / reset / feedback
+    int clbits = -1;      //!< classical register (-1: one per qubit)
+    uint64_t seed = 1;
+};
+
+/**
+ * Seeded random Clifford-circuit fuzzer over a line of qubits, with
+ * Delay-induced idle windows.  Static mode (dynamic = false)
+ * reproduces the historical test_backend_equivalence corpus stream
+ * draw for draw; dynamic mode widens the op die with mid-circuit
+ * measurement into a freely reused classical register, active reset,
+ * and classically-controlled Paulis (including conditions on bits no
+ * measurement has written), and finishes with a terminal readout
+ * that lands on the *top* of the register so word-boundary classical
+ * registers (63/64/65 bits) are exercised even at small widths.
+ *
+ * Deterministic: the emitted circuit is a pure function of the spec.
+ */
+class CircuitFuzzer
+{
+  public:
+    explicit CircuitFuzzer(const FuzzSpec &spec)
+        : spec_(spec), rng_(spec.seed * 7919 + 13)
+    {
+    }
+
+    Circuit
+    generate()
+    {
+        const FuzzSpec &spec = spec_;
+        const int clbits =
+            spec.clbits > 0 ? spec.clbits : spec.width;
+        Circuit c(spec.width, clbits);
+        const uint64_t faces = spec.dynamic ? 13 : 9;
+        for (int layer = 0; layer < spec.depth; layer++) {
+            const auto q = static_cast<QubitId>(rng_.uniformInt(
+                static_cast<uint64_t>(spec.width)));
+            switch (rng_.uniformInt(faces)) {
+              case 0: c.h(q); break;
+              case 1: c.s(q); break;
+              case 2: c.sdg(q); break;
+              case 3: c.x(q); break;
+              case 4: c.sx(q); break;
+              case 5: c.rz(kPi / 2.0, q); break;
+              case 6:
+                c.delay(400.0 + 200.0 * rng_.uniform(), q);
+                break;
+              case 9: // mid-circuit measurement, clbits reused freely
+                c.measure(q, static_cast<int>(rng_.uniformInt(
+                                 static_cast<uint64_t>(clbits))));
+                break;
+              case 10: c.reset(q); break;
+              case 11:
+              case 12: { // classically-controlled Pauli
+                const int cond = static_cast<int>(rng_.uniformInt(
+                    static_cast<uint64_t>(clbits)));
+                switch (rng_.uniformInt(3)) {
+                  case 0: c.xIf(q, cond); break;
+                  case 1: c.yIf(q, cond); break;
+                  default: c.zIf(q, cond); break;
+                }
+                break;
+              }
+              default: {
+                if (spec.width < 2) {
+                    c.z(q);
+                    break;
+                }
+                const QubitId a = q;
+                const QubitId b =
+                    a + 1 < spec.width ? a + 1 : a - 1;
+                c.cx(a, b);
+                break;
+              }
+            }
+        }
+        if (spec.dynamic) {
+            for (int q = 0; q < spec.width; q++)
+                c.measure(q, clbits - 1 - (q % clbits));
+        } else {
+            c.measureAll();
+        }
+        return c;
+    }
+
+  private:
+    FuzzSpec spec_;
+    Rng rng_;
+};
 
 /** Total variation distance (shared name so tests read uniformly). */
 inline double
