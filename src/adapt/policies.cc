@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "noise/program_cache.hh"
 
 namespace adapt
 {
@@ -82,6 +83,8 @@ evaluatePolicy(Policy policy, const CompiledProgram &program,
             runWithMask(policy, program, machine, ideal, options,
                         search.logicalMask, options.seed);
         outcome.searchRuns = search.decoysExecuted;
+        outcome.cacheHits = search.cacheHits;
+        outcome.cacheMisses = search.cacheMisses;
         return outcome;
       }
       case Policy::RuntimeBest: {
@@ -135,6 +138,9 @@ evaluatePolicy(Policy policy, const CompiledProgram &program,
         // out across the pool as well, and each candidate's one
         // compilation is shared by all of its shots.
         const size_t n_cand = candidates.size();
+        const ProgramCache *cache = machine.programCache();
+        const ProgramCache::Stats cache_before =
+            cache != nullptr ? cache->stats() : ProgramCache::Stats{};
         std::vector<PreparedCircuit> prepared(n_cand);
         std::vector<int> dd_pulses(n_cand, 0);
         std::vector<uint64_t> seeds(n_cand);
@@ -173,6 +179,11 @@ evaluatePolicy(Policy policy, const CompiledProgram &program,
         best.fidelity = best_fid;
         best.ddPulses = dd_pulses[win];
         best.searchRuns = static_cast<int>(outputs.size());
+        if (cache != nullptr) {
+            const ProgramCache::Stats after = cache->stats();
+            best.cacheHits = after.hits - cache_before.hits;
+            best.cacheMisses = after.misses - cache_before.misses;
+        }
         return best;
       }
     }

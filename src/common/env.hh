@@ -17,13 +17,53 @@
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 
 #include "common/logging.hh"
 
 namespace adapt
 {
+
+/** True when the variable is set at all (any value, including "").
+ *  Presence-only switches go through this instead of raw getenv so
+ *  every environment read in the tree is greppable via env.hh. */
+inline bool
+envPresent(const char *name)
+{
+    return std::getenv(name) != nullptr;
+}
+
+/** Raw value pointer (nullptr when unset), for sites that need the
+ *  live uninterpreted text — e.g. cache-fingerprint folds — rather
+ *  than a parsed knob. */
+inline const char *
+envText(const char *name)
+{
+    return std::getenv(name);
+}
+
+/**
+ * Emit @p message through warn() at most once per distinct @p key for
+ * the process lifetime.  Knob rejections key on name + "=" + value:
+ * a server re-reading a malformed knob every submission warns once
+ * instead of flooding the log, while a *changed* (still malformed)
+ * value warns again.
+ */
+inline void
+warnOnce(const std::string &key, const std::string &message)
+{
+    static std::mutex mu;
+    static std::set<std::string> seen;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!seen.insert(key).second)
+            return;
+    }
+    warn(message);
+}
 
 /**
  * Strict base-10 integer parse: the entire string (modulo leading /
@@ -67,15 +107,18 @@ parseIntKnob(const char *name, const char *text, long long lo,
              long long hi)
 {
     const std::optional<long long> parsed = parseInt(text);
+    const std::string key =
+        std::string(name) + "=" + (text ? text : "");
     if (!parsed.has_value()) {
-        warn(std::string(name) + "=\"" + (text ? text : "") +
-             "\" is not an integer; ignoring it");
+        warnOnce(key, std::string(name) + "=\"" + (text ? text : "") +
+                          "\" is not an integer; ignoring it");
         return std::nullopt;
     }
     if (*parsed < lo || *parsed > hi) {
-        warn(std::string(name) + "=" + std::to_string(*parsed) +
-             " is outside [" + std::to_string(lo) + ", " +
-             std::to_string(hi) + "]; ignoring it");
+        warnOnce(key, std::string(name) + "=" +
+                          std::to_string(*parsed) + " is outside [" +
+                          std::to_string(lo) + ", " +
+                          std::to_string(hi) + "]; ignoring it");
         return std::nullopt;
     }
     return parsed;
@@ -111,8 +154,9 @@ parseFlagKnob(const char *name, const char *text)
         std::strcmp(text, "false") == 0) {
         return false;
     }
-    warn(std::string(name) + "=\"" + text +
-         "\" is not one of 1/on/true/0/off/false; ignoring it");
+    warnOnce(std::string(name) + "=" + text,
+             std::string(name) + "=\"" + text +
+                 "\" is not one of 1/on/true/0/off/false; ignoring it");
     return std::nullopt;
 }
 
@@ -137,8 +181,9 @@ envProbability(const char *name, double fallback)
         return fallback;
     const std::optional<double> parsed = parseDouble(text);
     if (!parsed.has_value() || *parsed < 0.0 || *parsed > 1.0) {
-        warn(std::string(name) + "=\"" + text +
-             "\" is not a probability in [0, 1]; ignoring it");
+        warnOnce(std::string(name) + "=" + text,
+                 std::string(name) + "=\"" + text +
+                     "\" is not a probability in [0, 1]; ignoring it");
         return fallback;
     }
     return *parsed;

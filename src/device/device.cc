@@ -68,6 +68,32 @@ Device::Device(Topology topology, DeviceProfile profile)
 {
 }
 
+Device::Device(Topology topology, DeviceProfile profile,
+               DeviceOverrides overrides)
+    : topology_(std::move(topology)), profile_(profile),
+      overrides_(std::move(overrides))
+{
+    for (const auto &[q, ov] : overrides_.qubits) {
+        (void)ov;
+        require(q >= 0 && q < topology_.numQubits(),
+                "qubit override index out of range");
+    }
+    for (const auto &[li, ov] : overrides_.links) {
+        (void)ov;
+        require(li >= 0 && li < topology_.numLinks(),
+                "link override index out of range");
+    }
+    for (const auto &[key, rate] : overrides_.crosstalkRadPerUs) {
+        (void)rate;
+        require(key.first >= 0 && key.first < topology_.numLinks(),
+                "crosstalk override link index out of range");
+        require(key.second >= 0 && key.second < topology_.numQubits(),
+                "crosstalk override spectator out of range");
+        require(!topology_.link(key.first).contains(key.second),
+                "crosstalk override spectator is a link endpoint");
+    }
+}
+
 namespace
 {
 
@@ -153,6 +179,41 @@ Device::calibration(int cycle) const
             cal.crosstalkRadPerUs[static_cast<size_t>(li)]
                                [static_cast<size_t>(q)] = sign * magnitude;
         }
+    }
+
+    // Runcard overrides pin measured values on top of the generated
+    // snapshot.  This happens strictly after every RNG draw above so
+    // the random stream consumed is identical with and without
+    // overrides (bundled runcards must replay the factories exactly).
+    for (const auto &[q, ov] : overrides_.qubits) {
+        QubitCalibration &qc = cal.qubits[static_cast<size_t>(q)];
+        if (ov.t1Us)
+            qc.t1Us = *ov.t1Us;
+        if (ov.t2WhiteUs)
+            qc.t2WhiteUs = *ov.t2WhiteUs;
+        if (ov.gateError1Q)
+            qc.gateError1Q = *ov.gateError1Q;
+        if (ov.readoutError01)
+            qc.readoutError01 = *ov.readoutError01;
+        if (ov.readoutError10)
+            qc.readoutError10 = *ov.readoutError10;
+        if (ov.ouSigmaRadPerUs)
+            qc.ouSigmaRadPerUs = *ov.ouSigmaRadPerUs;
+        if (ov.ouTauUs)
+            qc.ouTauUs = *ov.ouTauUs;
+        if (ov.pulseLatencyNs)
+            qc.pulseLatencyNs = *ov.pulseLatencyNs;
+    }
+    for (const auto &[li, ov] : overrides_.links) {
+        LinkCalibration &lc = cal.links[static_cast<size_t>(li)];
+        if (ov.cxError)
+            lc.cxError = *ov.cxError;
+        if (ov.cxLatencyNs)
+            lc.cxLatencyNs = *ov.cxLatencyNs;
+    }
+    for (const auto &[key, rate] : overrides_.crosstalkRadPerUs) {
+        cal.crosstalkRadPerUs[static_cast<size_t>(key.first)]
+                           [static_cast<size_t>(key.second)] = rate;
     }
     return cal;
 }

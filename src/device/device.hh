@@ -10,7 +10,10 @@
 #define ADAPT_DEVICE_DEVICE_HH
 
 #include <cstdint>
+#include <map>
+#include <optional>
 #include <string>
+#include <utility>
 
 #include "device/calibration.hh"
 #include "device/topology.hh"
@@ -74,16 +77,68 @@ struct DeviceProfile
 };
 
 /**
+ * Pinned per-qubit calibration values from a runcard.  Each field
+ * that is present replaces the generated draw for that qubit in
+ * every cycle; absent fields keep the profile-driven value.
+ */
+struct QubitOverride
+{
+    std::optional<double> t1Us;
+    std::optional<double> t2WhiteUs;
+    std::optional<double> gateError1Q;
+    std::optional<double> readoutError01;
+    std::optional<double> readoutError10;
+    std::optional<double> ouSigmaRadPerUs;
+    std::optional<double> ouTauUs;
+    std::optional<double> pulseLatencyNs;
+};
+
+/** Pinned per-link calibration values from a runcard. */
+struct LinkOverride
+{
+    std::optional<double> cxError;
+    std::optional<double> cxLatencyNs;
+};
+
+/**
+ * Measured values a runcard pins on top of the generative profile.
+ * Overrides are applied *after* every RNG draw in
+ * Device::calibration, so a device with no overrides consumes the
+ * exact same random stream as one built from the bare profile —
+ * bundled runcards reproduce the legacy factories bit-for-bit.
+ */
+struct DeviceOverrides
+{
+    std::map<int, QubitOverride> qubits;
+
+    /** Keyed by topology link index. */
+    std::map<int, LinkOverride> links;
+
+    /** (link index, spectator qubit) -> pinned phase rate (rad/us). */
+    std::map<std::pair<int, int>, double> crosstalkRadPerUs;
+
+    bool
+    empty() const
+    {
+        return qubits.empty() && links.empty() &&
+               crosstalkRadPerUs.empty();
+    }
+};
+
+/**
  * A quantum machine: coupling graph + calibration generator.
  */
 class Device
 {
   public:
     Device(Topology topology, DeviceProfile profile);
+    Device(Topology topology, DeviceProfile profile,
+           DeviceOverrides overrides);
 
     const std::string &name() const { return topology_.name(); }
     const Topology &topology() const { return topology_; }
     const DeviceProfile &profile() const { return profile_; }
+    const DeviceOverrides &overrides() const { return overrides_; }
     int numQubits() const { return topology_.numQubits(); }
 
     /**
@@ -107,6 +162,7 @@ class Device
   private:
     Topology topology_;
     DeviceProfile profile_;
+    DeviceOverrides overrides_;
 };
 
 } // namespace adapt

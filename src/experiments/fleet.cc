@@ -1,0 +1,177 @@
+#include "experiments/fleet.hh"
+
+#include <chrono>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "device/runcard.hh"
+#include "noise/machine.hh"
+#include "noise/program_cache.hh"
+#include "sim/statevector.hh"
+#include "transpile/transpiler.hh"
+
+namespace adapt
+{
+
+namespace
+{
+
+/** Fleet member i's topology: shapes cycle, sizes grow every lap. */
+Topology
+fleetTopology(int i)
+{
+    const int lap = i / 4;
+    switch (i % 4) {
+      case 0: return Topology::linear(5 + lap);
+      case 1: return Topology::ring(6 + lap);
+      case 2: return Topology::grid(2 + lap % 2, 3 + lap / 2);
+      default: return Topology::allToAll(5 + lap);
+    }
+}
+
+/** First (link, spectator) pair legal for a crosstalk override. */
+std::pair<int, int>
+firstCrosstalkPair(const Topology &topology)
+{
+    for (int q = 0; q < topology.numQubits(); q++) {
+        if (!topology.link(0).contains(q))
+            return {0, q};
+    }
+    panic("topology has no crosstalk spectator for link 0");
+}
+
+} // namespace
+
+std::vector<Device>
+makeSyntheticFleet(const FleetOptions &options)
+{
+    require(options.devices >= 1,
+            "makeSyntheticFleet requires a positive fleet size");
+    std::vector<Device> fleet;
+    fleet.reserve(static_cast<size_t>(options.devices));
+
+    for (int i = 0; i < options.devices; i++) {
+        Rng rng = Rng(options.seed).fork(static_cast<uint64_t>(i) + 1);
+        Topology topology = fleetTopology(i);
+
+        DeviceProfile p;
+        p.meanT1Us = 60.0 + rng.uniform(0.0, 60.0);
+        p.meanT2Us = 70.0 + rng.uniform(0.0, 50.0);
+        p.meanCxError = 0.008 + rng.uniform(0.0, 0.010);
+        p.meanMeasError = 0.015 + rng.uniform(0.0, 0.020);
+        p.mean1QError = 2.0e-4 + rng.uniform(0.0, 2.0e-4);
+        p.meanCxLatencyNs = 320.0 + rng.uniform(0.0, 240.0);
+        p.seed = rng.next();
+
+        // Every third member pins a few measured values so the fleet
+        // also exercises the override sections of the format.
+        DeviceOverrides overrides;
+        if (i % 3 == 0) {
+            overrides.qubits[0].t1Us = p.meanT1Us * 1.5;
+            overrides.qubits[1].readoutError01 = 0.011;
+            overrides.links[0].cxError = 0.0055;
+            overrides.crosstalkRadPerUs[firstCrosstalkPair(topology)] =
+                -0.21;
+        }
+
+        // Round-trip through the text format: the returned device is
+        // the parsed one, so a serializer/parser regression breaks
+        // the fleet loudly.
+        const Device built(std::move(topology), p,
+                           std::move(overrides));
+        fleet.push_back(parseRuncard(
+            runcardText(built),
+            "<fleet:" + built.topology().name() + ">"));
+    }
+    return fleet;
+}
+
+DriftSweepResult
+driftSweep(const std::vector<Device> &fleet, const Workload &workload,
+           const DriftSweepOptions &options)
+{
+    require(!fleet.empty(), "driftSweep requires a non-empty fleet");
+    require(options.cycles >= 1,
+            "driftSweep requires at least one cycle");
+
+    DriftSweepResult result;
+    result.devices = static_cast<int>(fleet.size());
+    result.cycles = options.cycles;
+
+    // Sweep-local skeleton cache: results never perturb (or depend
+    // on) the process-shared instance.
+    ProgramCache cache(256);
+
+    using Clock = std::chrono::steady_clock;
+    const auto toMs = [](Clock::duration d) {
+        return std::chrono::duration<double, std::milli>(d).count();
+    };
+    std::vector<double> fid_sum(
+        static_cast<size_t>(options.cycles), 0.0);
+
+    for (const Device &device : fleet) {
+        // The executable is scheduled once, against the cycle-0
+        // calibration: timing belongs to the compiled program, the
+        // noise constants drift underneath it.
+        const Calibration cal0 = device.calibration(0);
+        const CompiledProgram program =
+            transpile(workload.circuit, device, cal0);
+        const Distribution ideal = idealDistribution(program.physical);
+
+        // Warm the skeleton once per device (untimed) so the cached
+        // prepares below are pure re-binds.
+        {
+            NoisyMachine machine(device, 0, options.flags);
+            machine.setProgramCache(&cache);
+            machine.prepare(program.schedule);
+        }
+
+        for (int cycle = 0; cycle < options.cycles; cycle++) {
+            NoisyMachine machine(device, cycle, options.flags);
+
+            machine.setProgramCache(nullptr);
+            const auto c0 = Clock::now();
+            const PreparedCircuit cold =
+                machine.prepare(program.schedule);
+            const auto c1 = Clock::now();
+            (void)cold;
+
+            machine.setProgramCache(&cache);
+            const auto w0 = Clock::now();
+            const PreparedCircuit warm =
+                machine.prepare(program.schedule);
+            const auto w1 = Clock::now();
+
+            result.coldPrepareMs += toMs(c1 - c0);
+            result.rebindPrepareMs += toMs(w1 - w0);
+            result.prepares++;
+
+            if (options.shots > 0) {
+                const Distribution dist = machine.run(
+                    warm, options.shots,
+                    options.seed + static_cast<uint64_t>(cycle));
+                fid_sum[static_cast<size_t>(cycle)] +=
+                    fidelity(ideal, dist);
+            }
+        }
+    }
+
+    const ProgramCache::Stats stats = cache.stats();
+    result.cacheHits = stats.hits;
+    result.cacheMisses = stats.misses;
+    result.speedup = result.rebindPrepareMs > 0.0
+                         ? result.coldPrepareMs / result.rebindPrepareMs
+                         : 0.0;
+    if (options.shots > 0) {
+        result.meanFidelityPerCycle.reserve(fid_sum.size());
+        for (double sum : fid_sum) {
+            result.meanFidelityPerCycle.push_back(
+                sum / static_cast<double>(fleet.size()));
+        }
+    }
+    return result;
+}
+
+} // namespace adapt

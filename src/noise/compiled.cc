@@ -50,11 +50,13 @@ condPauliCode(const Gate &gate)
 
 } // namespace
 
-ExecutionPlan
-buildPlan(const ScheduledCircuit &sched, const Calibration &cal,
-          const NoiseFlags &flags)
+ProgramSkeleton
+buildPlanSkeleton(const ScheduledCircuit &sched,
+                  const NoiseFlags &flags)
 {
-    ExecutionPlan plan;
+    (void)flags; // lowering is flag-independent today
+    ProgramSkeleton skel;
+    ExecutionPlan &plan = skel.plan;
 
     // Dense-qubit relabelling: only qubits that execute ops occupy
     // state-vector space.
@@ -69,23 +71,20 @@ buildPlan(const ScheduledCircuit &sched, const Calibration &cal,
     }
     require(!plan.active.empty(), "cannot run an empty schedule");
 
-    // Crosstalk sources per active qubit: every CX interval on a link
-    // with a non-negligible coupling to this spectator.
+    // Link-activity windows, recorded per scheduled link so the bind
+    // phase can expand crosstalk sources against any calibration
+    // without re-walking the schedule.  Links without activity
+    // contribute no sources and are skipped, exactly like the legacy
+    // per-link gather.
     plan.xtalk.resize(plan.active.size());
-    if (flags.crosstalk) {
-        const int n_links = static_cast<int>(cal.links.size());
-        for (int li = 0; li < n_links; li++) {
-            const auto intervals = sched.linkActivity(li);
-            if (intervals.empty())
-                continue;
-            for (size_t ai = 0; ai < plan.active.size(); ai++) {
-                const double rate = cal.crosstalk(li, plan.active[ai]);
-                if (std::abs(rate) < 1e-6)
-                    continue;
-                for (const auto &[t0, t1] : intervals)
-                    plan.xtalk[ai].push_back({t0, t1, rate});
-            }
-        }
+    int max_link = -1;
+    for (const TimedOp &op : sched.ops())
+        max_link = std::max(max_link, op.linkIndex);
+    for (int li = 0; li <= max_link; li++) {
+        auto intervals = sched.linkActivity(li);
+        if (intervals.empty())
+            continue;
+        skel.linkWindows.push_back({li, std::move(intervals)});
     }
 
     // Back-to-back single-qubit ops (decomposed gates, DD pulse
@@ -152,10 +151,6 @@ buildPlan(const ScheduledCircuit &sched, const Calibration &cal,
             step.clbit = gate.clbit < 0 ? static_cast<int>(gate.qubit())
                                         : gate.clbit;
             plan.maxClbit = std::max(plan.maxClbit, step.clbit);
-            const auto &qc =
-                cal.qubits[static_cast<size_t>(gate.qubit())];
-            step.err01 = qc.readoutError01;
-            step.err10 = qc.readoutError10;
             steps.push_back(std::move(step));
             continue;
         }
@@ -174,11 +169,7 @@ buildPlan(const ScheduledCircuit &sched, const Calibration &cal,
             step.twoQubitType = gate.type;
             require(op.linkIndex >= 0 || gate.type != GateType::CX,
                     "scheduled CX without a link index");
-            step.cxError =
-                op.linkIndex >= 0
-                    ? cal.links[static_cast<size_t>(op.linkIndex)]
-                          .cxError
-                    : 0.0;
+            step.linkIndex = op.linkIndex;
             steps.push_back(std::move(step));
             continue;
         }
@@ -189,15 +180,11 @@ buildPlan(const ScheduledCircuit &sched, const Calibration &cal,
         const bool physical_pulse =
             gate.type == GateType::X || gate.type == GateType::Y ||
             gate.type == GateType::SX || gate.type == GateType::SXdg;
-        const double p_err =
-            physical_pulse
-                ? cal.qubits[static_cast<size_t>(gate.qubit())]
-                      .gateError1Q
-                : 0.0;
         plan.clifford = plan.clifford && gate.isClifford();
         Gate mapped = gate;
         mapped.qubits[0] = dq;
-        Pulse pulse{std::move(mapped), gateMatrix(gate), p_err};
+        Pulse pulse{std::move(mapped), gateMatrix(gate), 0.0,
+                    physical_pulse};
         const int open_idx = open[static_cast<size_t>(dq)];
         if (open_idx >= 0 &&
             op.start - steps[static_cast<size_t>(open_idx)].end < 1e-3) {
@@ -217,7 +204,68 @@ buildPlan(const ScheduledCircuit &sched, const Calibration &cal,
         open[static_cast<size_t>(dq)] = static_cast<int>(steps.size());
         steps.push_back(std::move(step));
     }
+    return skel;
+}
+
+ExecutionPlan
+bindPlan(const ProgramSkeleton &skel, const Calibration &cal,
+         const NoiseFlags &flags)
+{
+    ExecutionPlan plan = skel.plan;
+
+    // Crosstalk sources per active qubit: every CX interval on a link
+    // with a non-negligible coupling to this spectator, expanded from
+    // the recorded link-activity windows in the legacy gather order
+    // (link ascending, spectator ascending, windows in time order).
+    if (flags.crosstalk) {
+        for (const LinkWindows &lw : skel.linkWindows) {
+            for (size_t ai = 0; ai < plan.active.size(); ai++) {
+                const double rate =
+                    cal.crosstalk(lw.link, plan.active[ai]);
+                if (std::abs(rate) < 1e-6)
+                    continue;
+                for (const auto &[t0, t1] : lw.windows)
+                    plan.xtalk[ai].push_back({t0, t1, rate});
+            }
+        }
+    }
+
+    for (PlanStep &step : plan.steps) {
+        switch (step.kind) {
+          case PlanStep::Kind::Meas: {
+            const auto &qc = cal.qubits[static_cast<size_t>(
+                plan.active[static_cast<size_t>(step.q)])];
+            step.err01 = qc.readoutError01;
+            step.err10 = qc.readoutError10;
+            break;
+          }
+          case PlanStep::Kind::TwoQubit:
+            step.cxError =
+                step.linkIndex >= 0
+                    ? cal.links[static_cast<size_t>(step.linkIndex)]
+                          .cxError
+                    : 0.0;
+            break;
+          case PlanStep::Kind::Fused1Q: {
+            const auto &qc = cal.qubits[static_cast<size_t>(
+                plan.active[static_cast<size_t>(step.q)])];
+            for (Pulse &pulse : step.pulses)
+                pulse.errorProb = pulse.physical ? qc.gateError1Q : 0.0;
+            break;
+          }
+          case PlanStep::Kind::Reset:
+          case PlanStep::Kind::Cond1Q:
+            break;
+        }
+    }
     return plan;
+}
+
+ExecutionPlan
+buildPlan(const ScheduledCircuit &sched, const Calibration &cal,
+          const NoiseFlags &flags)
+{
+    return bindPlan(buildPlanSkeleton(sched, flags), cal, flags);
 }
 
 // ------------------------------------------------------------------
@@ -234,14 +282,58 @@ constexpr uint32_t kSuffixTablePulses = 64;
 
 } // namespace
 
+ShotTables
+buildShotTables(const ExecutionPlan &plan)
+{
+    ShotTables tables;
+    tables.perStep.resize(plan.steps.size());
+    for (size_t si = 0; si < plan.steps.size(); si++) {
+        const PlanStep &step = plan.steps[si];
+        ShotTables::StepRef &ref = tables.perStep[si];
+        if (step.kind == PlanStep::Kind::Cond1Q) {
+            ref.mat = static_cast<uint32_t>(tables.matrices.size());
+            tables.matrices.push_back(step.pulses[0].matrix);
+            continue;
+        }
+        if (step.kind != PlanStep::Kind::Fused1Q)
+            continue;
+        const auto k = static_cast<uint32_t>(step.pulses.size());
+
+        // prefix[i] = fold of pulses 0..i, accumulated exactly like
+        // the interpreter's running product (including the initial
+        // multiply by identity).
+        ref.mat = static_cast<uint32_t>(tables.matrices.size());
+        Matrix2 acc = Matrix2::identity();
+        for (const Pulse &pulse : step.pulses) {
+            acc = pulse.matrix * acc;
+            tables.matrices.push_back(acc);
+        }
+
+        // suffix[i] = fold of pulses i+1..end from identity — the
+        // exact product the interpreter would re-accumulate after an
+        // error at pulse i (O(k^2) to build, so capped).
+        if (k <= kSuffixTablePulses) {
+            ref.suffixOff = static_cast<uint32_t>(tables.matrices.size());
+            for (uint32_t i = 0; i < k; i++) {
+                Matrix2 tail = Matrix2::identity();
+                for (uint32_t j = i + 1; j < k; j++)
+                    tail = step.pulses[j].matrix * tail;
+                tables.matrices.push_back(tail);
+            }
+        }
+    }
+    return tables;
+}
+
 ShotProgram
-compileShotProgram(const ExecutionPlan &plan, const Calibration &cal,
-                   const NoiseFlags &flags)
+bindShotProgram(const ExecutionPlan &plan, const ShotTables &tables,
+                const Calibration &cal, const NoiseFlags &flags)
 {
     ShotProgram prog;
     prog.numQubits = static_cast<int>(plan.active.size());
     prog.numClbits = plan.maxClbit + 1;
     prog.flags = flags;
+    prog.matrices = tables.matrices;
 
     if (flags.ouDephasing) {
         prog.ouSigma.reserve(plan.active.size());
@@ -406,8 +498,7 @@ compileShotProgram(const ExecutionPlan &plan, const Calibration &cal,
             Cond1QOp c;
             c.q = step.q;
             c.condBit = step.condBit;
-            c.mat = static_cast<uint32_t>(prog.matrices.size());
-            prog.matrices.push_back(step.pulses[0].matrix);
+            c.mat = tables.perStep[si].mat;
             prog.cond.push_back(c);
             pushOp(OpRef::Kind::Cond1Q,
                    static_cast<uint32_t>(prog.cond.size()) - 1,
@@ -440,30 +531,12 @@ compileShotProgram(const ExecutionPlan &plan, const Calibration &cal,
             f.step = static_cast<uint32_t>(si);
             f.pulseCnt = k;
 
-            // prefix[i] = fold of pulses 0..i, accumulated exactly
-            // like the interpreter's running product (including the
-            // initial multiply by identity).
-            f.prefixOff = static_cast<uint32_t>(prog.matrices.size());
-            Matrix2 acc = Matrix2::identity();
-            for (const Pulse &pulse : step.pulses) {
-                acc = pulse.matrix * acc;
-                prog.matrices.push_back(acc);
-            }
+            // The splice tables (prefix, full, optional suffix
+            // products) were built once with the skeleton; only their
+            // offsets are stamped here.
+            f.prefixOff = tables.perStep[si].mat;
             f.fullMat = f.prefixOff + k - 1;
-
-            // suffix[i] = fold of pulses i+1..end from identity — the
-            // exact product the interpreter would re-accumulate after
-            // an error at pulse i (O(k^2) to build, so capped).
-            if (k <= kSuffixTablePulses) {
-                f.suffixOff =
-                    static_cast<uint32_t>(prog.matrices.size());
-                for (uint32_t i = 0; i < k; i++) {
-                    Matrix2 tail = Matrix2::identity();
-                    for (uint32_t j = i + 1; j < k; j++)
-                        tail = step.pulses[j].matrix * tail;
-                    prog.matrices.push_back(tail);
-                }
-            }
+            f.suffixOff = tables.perStep[si].suffixOff;
 
             f.errOff = static_cast<uint32_t>(prog.errChecks.size());
             if (flags.gateErrors) {
@@ -490,6 +563,13 @@ compileShotProgram(const ExecutionPlan &plan, const Calibration &cal,
         }
     }
     return prog;
+}
+
+ShotProgram
+compileShotProgram(const ExecutionPlan &plan, const Calibration &cal,
+                   const NoiseFlags &flags)
+{
+    return bindShotProgram(plan, buildShotTables(plan), cal, flags);
 }
 
 // ------------------------------------------------------------------
@@ -684,9 +764,8 @@ applyPauliToRef(StabilizerState &ref, int code, int q)
 
 } // namespace
 
-FrameProgram
-compileFrameProgram(const ExecutionPlan &plan, const Calibration &cal,
-                    const NoiseFlags &flags)
+FrameSkeleton
+buildFrameSkeleton(const ExecutionPlan &plan, const NoiseFlags &flags)
 {
     require(plan.clifford,
             "frame program requires an all-Clifford executable");
@@ -695,7 +774,223 @@ compileFrameProgram(const ExecutionPlan &plan, const Calibration &cal,
     require(!flags.ouDephasing,
             "frame program does not cover per-shot OU twirl draws; "
             "keep OU jobs on the per-shot stabilizer backend");
+    require(!plan.condNonPauli,
+            "frame program requires conditional gates to act as "
+            "Paulis");
 
+    FrameSkeleton skel;
+    skel.branchDepth = static_cast<int>(
+        envInt("ADAPT_FRAME_BRANCH_DEPTH", 8, 0, 64));
+
+    // The noiseless reference simulation: advanced through the plan
+    // in step order.  Everything it answers — measurement outcomes,
+    // branch-flip Paulis, T1-checkpoint populations — depends only on
+    // the circuit structure, never on calibration constants, so the
+    // walk runs once per skeleton and its answers are recorded as
+    // traces the bind phase replays against any device snapshot.
+    StabilizerState ref(static_cast<int>(plan.active.size()));
+
+    // The reference's recorded classical bits, updated at every
+    // measurement (readout errors never apply to the noiseless
+    // reference): conditional ops resolve against these, and the
+    // reference *takes* the conditional branch its own bits select,
+    // so later outcomes and populations see it.
+    std::vector<uint8_t> refCl(
+        static_cast<size_t>(plan.maxClbit + 1), 0);
+
+    std::vector<TimeNs> last_end(plan.active.size(), -1.0);
+    std::vector<QubitId> flip_x, flip_z;
+
+    // One trace per Markov window the bind phase will consider, in
+    // emission order: the gate conditions here are the exact
+    // structure-only guards bindFrameProgram re-evaluates, so the
+    // cursors stay in lock-step.
+    auto traceMarkov = [&](int dq, double dt_us) {
+        if (dt_us <= 0.0)
+            return;
+        if (!flags.t1Damping && !flags.whiteDephasing)
+            return;
+        FrameSkeleton::T1Trace trace;
+        if (flags.t1Damping) {
+            const double p1 = ref.populationOne(dq);
+            if (p1 == 0.5) {
+                trace.t1Ref = 2;
+                if (skel.branchDepth > 0) {
+                    const bool sup =
+                        ref.measureFlipSupport(dq, flip_x, flip_z);
+                    require(sup, "superposed T1 checkpoint with a "
+                                 "deterministic Z measurement");
+                    trace.flipX = flip_x;
+                    trace.flipZ = flip_z;
+                    // The branch-hop reference: postselect the
+                    // excited branch, then the decay jump lands it
+                    // in |0>.  The op index is stamped at bind time.
+                    FrameT1Site site{ref, refCl, 0};
+                    site.refAfterJump.postselect(dq, true);
+                    site.refAfterJump.applyX(dq);
+                    trace.site = static_cast<int>(skel.sites.size());
+                    skel.sites.push_back(std::move(site));
+                }
+            } else {
+                trace.t1Ref = p1 == 1.0 ? 1 : 0;
+            }
+        }
+        skel.t1.push_back(std::move(trace));
+    };
+
+    auto catchUp = [&](int dq, const PlanStep &step) {
+        const auto ai = static_cast<size_t>(dq);
+        if (last_end[ai] >= 0.0) {
+            // Coherent idle noise never queries the reference:
+            // nothing to trace for it.
+            traceMarkov(dq, (step.end - last_end[ai]) * kNsToUs);
+        } else {
+            traceMarkov(dq, (step.end - step.start) * kNsToUs);
+        }
+        last_end[ai] = step.end;
+    };
+
+    std::vector<FrameMat> suffix;
+
+    for (const PlanStep &step : plan.steps) {
+        switch (step.kind) {
+          case PlanStep::Kind::Meas: {
+            catchUp(step.q, step);
+            FrameSkeleton::MeasTrace trace;
+            trace.random =
+                ref.measureFlipSupport(step.q, flip_x, flip_z);
+            if (trace.random) {
+                // Fix the reference on the outcome-0 branch; each
+                // shot re-randomizes with a fresh coin, so the choice
+                // is arbitrary (and keeps compilation seed-free).
+                trace.refBit = 0;
+                trace.flipX = flip_x;
+                trace.flipZ = flip_z;
+                ref.postselect(step.q, false);
+            } else {
+                trace.refBit =
+                    ref.populationOne(step.q) == 1.0 ? 1 : 0;
+            }
+            refCl[static_cast<size_t>(step.clbit)] = trace.refBit;
+            skel.meas.push_back(std::move(trace));
+            break;
+          }
+          case PlanStep::Kind::TwoQubit: {
+            catchUp(step.q, step);
+            catchUp(step.q2, step);
+            ref.applyGate(Gate(step.twoQubitType, {step.q, step.q2}));
+            break;
+          }
+          case PlanStep::Kind::Fused1Q: {
+            catchUp(step.q, step);
+            const size_t k = step.pulses.size();
+
+            // suffix[i] = frame action of pulses i+1 .. k-1: the
+            // conjugation a mid-train error travels through once the
+            // train is fused into a single transform.
+            suffix.assign(k, kFrameIdentity);
+            for (size_t i = k - 1; i > 0; i--) {
+                suffix[i - 1] = composeFrame(
+                    suffix[i], frameMatOfGate(step.pulses[i].gate));
+            }
+            const FrameMat full = composeFrame(
+                suffix[0], frameMatOfGate(step.pulses[0].gate));
+
+            // The train's Clifford product up to global phase, as a
+            // named-gate realization: the deferred-lane tableau
+            // replay needs it even when the frame action is the
+            // identity (a Pauli train — DD padding — still flips
+            // tableau signs).
+            Matrix2 product = Matrix2::identity();
+            for (const Pulse &pulse : step.pulses)
+                product = pulse.matrix * product;
+            const Clifford1Q &element = nearestClifford(product);
+            require(unitaryDistance(product, element.matrix) < 1e-6,
+                    "fused Clifford train not found in group table");
+
+            FrameSkeleton::FusedTrace trace;
+            trace.kind = isFrameIdentity(full)
+                             ? Frame1QKind::Identity
+                             : classifyFrameMat(full);
+            FrameMat check = kFrameIdentity;
+            for (GateType g : element.gates) {
+                if (g == GateType::I)
+                    continue;
+                require(trace.namedCount < trace.named.size(),
+                        "Clifford realization longer than the "
+                        "Frame1QOp named-gate capacity");
+                trace.named[trace.namedCount++] = g;
+                check = composeFrame(frameMatOfNamed(g), check);
+            }
+            require(check.xx == full.xx && check.xz == full.xz &&
+                        check.zx == full.zx && check.zz == full.zz,
+                    "realization frame action diverged from the "
+                    "fused train");
+
+            // Suffix-conjugated Pauli images for every pulse: the
+            // bind phase selects the error-carrying subset once the
+            // per-pulse error probabilities are known.
+            trace.mapped.resize(k);
+            for (size_t i = 0; i < k; i++) {
+                for (int p = 1; p <= 3; p++) {
+                    trace.mapped[i][static_cast<size_t>(p - 1)] =
+                        mapPauliThrough(suffix[i], p);
+                }
+            }
+            skel.fused.push_back(std::move(trace));
+            for (const Pulse &pulse : step.pulses)
+                ref.applyGate(pulse.gate);
+            break;
+          }
+          case PlanStep::Kind::Reset: {
+            catchUp(step.q, step);
+            FrameSkeleton::ResetTrace trace;
+            trace.random =
+                ref.measureFlipSupport(step.q, flip_x, flip_z);
+            if (trace.random) {
+                // The measurement half branches; the conditional-X
+                // half rejoins both branches at |0>, so the
+                // reference is outcome-independent — postselect 0
+                // for free.
+                trace.flipX = flip_x;
+                trace.flipZ = flip_z;
+                ref.postselect(step.q, false);
+            } else if (ref.populationOne(step.q) == 1.0) {
+                ref.applyX(step.q);
+            }
+            skel.resets.push_back(std::move(trace));
+            break;
+          }
+          case PlanStep::Kind::Cond1Q: {
+            catchUp(step.q, step);
+            const int code = condPauliCode(step.pulses[0].gate);
+            require(code >= 0, "conditional non-Pauli gate reached "
+                               "the frame compiler");
+            if (code == 0)
+                break; // conditional identity: timing only
+            if (refCl[static_cast<size_t>(step.condBit)] != 0) {
+                // The reference takes its own branch: the Pauli's
+                // sign action feeds later outcomes and populations.
+                applyPauliToRef(ref, code, step.q);
+            }
+            break;
+          }
+        }
+    }
+    return skel;
+}
+
+FrameProgram
+bindFrameProgram(const ExecutionPlan &plan, const FrameSkeleton &skel,
+                 const Calibration &cal, const NoiseFlags &flags)
+{
+    require(plan.clifford,
+            "frame program requires an all-Clifford executable");
+    require(flags.pauliExpressible(),
+            "frame program requires Pauli-expressible noise");
+    require(!flags.ouDephasing,
+            "frame program does not cover per-shot OU twirl draws; "
+            "keep OU jobs on the per-shot stabilizer backend");
     require(!plan.condNonPauli,
             "frame program requires conditional gates to act as "
             "Paulis");
@@ -703,24 +998,20 @@ compileFrameProgram(const ExecutionPlan &plan, const Calibration &cal,
     FrameProgram prog;
     prog.numQubits = static_cast<int>(plan.active.size());
     prog.numClbits = plan.maxClbit + 1;
-    prog.branchDepth = static_cast<int>(
-        envInt("ADAPT_FRAME_BRANCH_DEPTH", 8, 0, 64));
+    prog.branchDepth = skel.branchDepth;
 
-    // The noiseless reference simulation: advanced through the plan
-    // in step order, queried for measurement outcomes / branch-flip
-    // Paulis and T1-checkpoint populations as the ops are emitted.
-    StabilizerState ref(prog.numQubits);
+    // Cursors into the recorded reference-walk traces, consumed in
+    // lock-step with the structure-only guards the skeleton used.
+    size_t fused_cursor = 0;
+    size_t t1_cursor = 0;
+    size_t meas_cursor = 0;
+    size_t reset_cursor = 0;
 
-    // The reference's recorded classical bits, updated at every
-    // measurement (readout errors never apply to the noiseless
-    // reference): conditional ops resolve against these at compile
-    // time, and the reference *takes* the conditional branch its own
-    // bits select, so later outcomes and populations see it.
+    // The reference's classical bits, replayed from the measurement
+    // traces so conditional ops resolve identically to the walk.
     std::vector<uint8_t> refCl(
         static_cast<size_t>(prog.numClbits), 0);
-
     std::vector<TimeNs> last_end(plan.active.size(), -1.0);
-    std::vector<QubitId> flip_x, flip_z;
 
     // Coherent idle noise over [t0, t1): with OU excluded the phase
     // is shot-invariant, so the only emission is its static Pauli
@@ -757,44 +1048,39 @@ compileFrameProgram(const ExecutionPlan &plan, const Calibration &cal,
             return;
         if (!flags.t1Damping && !flags.whiteDephasing)
             return;
+        require(t1_cursor < skel.t1.size(),
+                "frame skeleton T1 traces out of sync with the plan");
+        const FrameSkeleton::T1Trace &trace = skel.t1[t1_cursor++];
         const auto &qc = cal.qubits[static_cast<size_t>(
             plan.active[static_cast<size_t>(dq)])];
         FrameMarkovOp m;
         m.q = dq;
         if (flags.t1Damping) {
             const double gamma = t1JumpProbability(dt_us, qc.t1Us);
-            const double p1 = ref.populationOne(dq);
             m.gammaThresh = bernoulliThreshold(gamma);
             m.gamma = gamma;
-            if (p1 == 0.5) {
+            m.t1Ref = trace.t1Ref;
+            if (trace.t1Ref == 2) {
                 // Superposed reference: the jump fires with the
                 // folded rate gamma * 1/2 and hands the lane to a
                 // compiled branch tail — or, with tails disabled,
                 // defers it to an exact per-shot rerun forced at
                 // this ordinal.
-                m.t1Ref = 2;
                 m.randT1Ordinal = prog.randomT1Count++;
                 m.t1 = makeFrameBernoulli(gamma * 0.5);
                 if (prog.branchDepth > 0) {
-                    const bool sup = ref.measureFlipSupport(
-                        dq, flip_x, flip_z);
-                    require(sup, "superposed T1 checkpoint with a "
-                                 "deterministic Z measurement");
-                    recordFlipSupport(prog, m, flip_x, flip_z);
-                    // The branch-hop reference: postselect the
-                    // excited branch, then the decay jump lands it
-                    // in |0>.  One site per random ordinal, even if
-                    // the op below is elided (keeps the ordinal ->
-                    // site indexing dense).
-                    FrameT1Site site{
-                        ref, refCl,
-                        static_cast<uint32_t>(prog.ops.size())};
-                    site.refAfterJump.postselect(dq, true);
-                    site.refAfterJump.applyX(dq);
+                    recordFlipSupport(prog, m, trace.flipX,
+                                      trace.flipZ);
+                    // One site per random ordinal, even if the op
+                    // below is elided (keeps the ordinal -> site
+                    // indexing dense).
+                    FrameT1Site site =
+                        skel.sites[static_cast<size_t>(trace.site)];
+                    site.opIndex =
+                        static_cast<uint32_t>(prog.ops.size());
                     prog.t1Sites.push_back(std::move(site));
                 }
             } else {
-                m.t1Ref = p1 == 1.0 ? 1 : 0;
                 m.t1 = makeFrameBernoulli(gamma);
             }
         }
@@ -822,26 +1108,22 @@ compileFrameProgram(const ExecutionPlan &plan, const Calibration &cal,
         last_end[ai] = step.end;
     };
 
-    std::vector<FrameMat> suffix;
-
     for (const PlanStep &step : plan.steps) {
         switch (step.kind) {
           case PlanStep::Kind::Meas: {
             catchUp(step.q, step);
+            require(meas_cursor < skel.meas.size(),
+                    "frame skeleton measurement traces out of sync "
+                    "with the plan");
+            const FrameSkeleton::MeasTrace &trace =
+                skel.meas[meas_cursor++];
             FrameMeasOp m;
             m.q = step.q;
             m.clbit = step.clbit;
-            m.random = ref.measureFlipSupport(step.q, flip_x, flip_z);
-            if (m.random) {
-                // Fix the reference on the outcome-0 branch; each
-                // shot re-randomizes with a fresh coin, so the choice
-                // is arbitrary (and keeps compilation seed-free).
-                m.refBit = 0;
-                recordFlipSupport(prog, m, flip_x, flip_z);
-                ref.postselect(step.q, false);
-            } else {
-                m.refBit = ref.populationOne(step.q) == 1.0 ? 1 : 0;
-            }
+            m.random = trace.random;
+            m.refBit = trace.refBit;
+            if (m.random)
+                recordFlipSupport(prog, m, trace.flipX, trace.flipZ);
             refCl[static_cast<size_t>(step.clbit)] = m.refBit;
             if (flags.measurementErrors) {
                 m.err01 = makeFrameBernoulli(step.err01);
@@ -864,7 +1146,6 @@ compileFrameProgram(const ExecutionPlan &plan, const Calibration &cal,
             prog.ops.push_back(
                 {FrameOpRef::Kind::F2Q,
                  static_cast<uint32_t>(prog.f2q.size()) - 1});
-            ref.applyGate(Gate(step.twoQubitType, {step.q, step.q2}));
             if (flags.gateErrors && step.cxError > 0.0) {
                 FrameErr2QOp e;
                 e.a = step.q;
@@ -879,50 +1160,16 @@ compileFrameProgram(const ExecutionPlan &plan, const Calibration &cal,
           }
           case PlanStep::Kind::Fused1Q: {
             catchUp(step.q, step);
-            const size_t k = step.pulses.size();
-
-            // suffix[i] = frame action of pulses i+1 .. k-1: the
-            // conjugation a mid-train error travels through once the
-            // train is fused into a single transform.
-            suffix.assign(k, kFrameIdentity);
-            for (size_t i = k - 1; i > 0; i--) {
-                suffix[i - 1] = composeFrame(
-                    suffix[i], frameMatOfGate(step.pulses[i].gate));
-            }
-            const FrameMat full = composeFrame(
-                suffix[0], frameMatOfGate(step.pulses[0].gate));
-
-            // The train's Clifford product up to global phase, as a
-            // named-gate realization: the deferred-lane tableau
-            // replay needs it even when the frame action is the
-            // identity (a Pauli train — DD padding — still flips
-            // tableau signs).
-            Matrix2 product = Matrix2::identity();
-            for (const Pulse &pulse : step.pulses)
-                product = pulse.matrix * product;
-            const Clifford1Q &element = nearestClifford(product);
-            require(unitaryDistance(product, element.matrix) < 1e-6,
-                    "fused Clifford train not found in group table");
-
+            require(fused_cursor < skel.fused.size(),
+                    "frame skeleton fused traces out of sync with "
+                    "the plan");
+            const FrameSkeleton::FusedTrace &trace =
+                skel.fused[fused_cursor++];
             Frame1QOp op;
             op.q = step.q;
-            op.kind = isFrameIdentity(full)
-                          ? Frame1QKind::Identity
-                          : classifyFrameMat(full);
-            FrameMat check = kFrameIdentity;
-            for (GateType g : element.gates) {
-                if (g == GateType::I)
-                    continue;
-                require(op.namedCount < op.named.size(),
-                        "Clifford realization longer than the "
-                        "Frame1QOp named-gate capacity");
-                op.named[op.namedCount++] = g;
-                check = composeFrame(frameMatOfNamed(g), check);
-            }
-            require(check.xx == full.xx && check.xz == full.xz &&
-                        check.zx == full.zx && check.zz == full.zz,
-                    "realization frame action diverged from the "
-                    "fused train");
+            op.kind = trace.kind;
+            op.namedCount = trace.namedCount;
+            op.named = trace.named;
             if (op.kind != Frame1QKind::Identity ||
                 op.namedCount != 0) {
                 prog.f1q.push_back(op);
@@ -931,17 +1178,15 @@ compileFrameProgram(const ExecutionPlan &plan, const Calibration &cal,
                      static_cast<uint32_t>(prog.f1q.size()) - 1});
             }
             if (flags.gateErrors) {
-                for (size_t i = 0; i < k; i++) {
+                for (size_t i = 0; i < step.pulses.size(); i++) {
                     if (step.pulses[i].errorProb <= 0.0)
                         continue;
                     FrameErr1QOp e;
                     e.q = step.q;
                     e.prob =
                         makeFrameBernoulli(step.pulses[i].errorProb);
-                    for (int p = 1; p <= 3; p++) {
-                        e.mapped[p - 1] = mapPauliThrough(
-                            suffix[i], p);
-                    }
+                    for (size_t p = 0; p < 3; p++)
+                        e.mapped[p] = trace.mapped[i][p];
                     prog.err1q.push_back(e);
                     prog.ops.push_back(
                         {FrameOpRef::Kind::Err1Q,
@@ -949,25 +1194,20 @@ compileFrameProgram(const ExecutionPlan &plan, const Calibration &cal,
                              1});
                 }
             }
-            for (const Pulse &pulse : step.pulses)
-                ref.applyGate(pulse.gate);
             break;
           }
           case PlanStep::Kind::Reset: {
             catchUp(step.q, step);
+            require(reset_cursor < skel.resets.size(),
+                    "frame skeleton reset traces out of sync with "
+                    "the plan");
+            const FrameSkeleton::ResetTrace &trace =
+                skel.resets[reset_cursor++];
             FrameResetOp r;
             r.q = step.q;
-            r.random = ref.measureFlipSupport(step.q, flip_x, flip_z);
-            if (r.random) {
-                // The measurement half branches; the conditional-X
-                // half rejoins both branches at |0>, so the
-                // reference is outcome-independent — postselect 0
-                // for free.
-                recordFlipSupport(prog, r, flip_x, flip_z);
-                ref.postselect(step.q, false);
-            } else if (ref.populationOne(step.q) == 1.0) {
-                ref.applyX(step.q);
-            }
+            r.random = trace.random;
+            if (r.random)
+                recordFlipSupport(prog, r, trace.flipX, trace.flipZ);
             prog.resets.push_back(r);
             prog.ops.push_back(
                 {FrameOpRef::Kind::Reset,
@@ -986,11 +1226,6 @@ compileFrameProgram(const ExecutionPlan &plan, const Calibration &cal,
             c.condBit = step.condBit;
             c.pauli = static_cast<uint8_t>(code);
             c.refCond = refCl[static_cast<size_t>(step.condBit)];
-            if (c.refCond != 0) {
-                // The reference takes its own branch: the Pauli's
-                // sign action feeds later outcomes and populations.
-                applyPauliToRef(ref, code, step.q);
-            }
             prog.cond.push_back(c);
             prog.ops.push_back(
                 {FrameOpRef::Kind::Cond,
@@ -999,9 +1234,22 @@ compileFrameProgram(const ExecutionPlan &plan, const Calibration &cal,
           }
         }
     }
+    require(fused_cursor == skel.fused.size() &&
+                t1_cursor == skel.t1.size() &&
+                meas_cursor == skel.meas.size() &&
+                reset_cursor == skel.resets.size(),
+            "frame skeleton traces not fully consumed by the bind");
     prog.branchTails =
         prog.branchDepth > 0 && prog.randomT1Count > 0;
     return prog;
+}
+
+FrameProgram
+compileFrameProgram(const ExecutionPlan &plan, const Calibration &cal,
+                    const NoiseFlags &flags)
+{
+    return bindFrameProgram(plan, buildFrameSkeleton(plan, flags),
+                            cal, flags);
 }
 
 FrameProgram

@@ -44,11 +44,13 @@
 #define ADAPT_NOISE_COMPILED_HH
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -60,6 +62,7 @@
 #include "common/stats.hh"
 #include "device/calibration.hh"
 #include "noise/noise_model.hh"
+#include "sim/backend.hh"
 #include "sim/frame_batch.hh"
 #include "sim/statevector.hh"
 #include "transpile/schedule.hh"
@@ -95,6 +98,11 @@ struct Pulse
     Gate gate; //!< dense-relabelled operands (tableau replay)
     Matrix2 matrix;
     double errorProb;
+
+    /** True for physical pulses (X/Y/SX/SXdg) that carry the
+     *  calibration's 1Q gate-error channel; lets the bind phase
+     *  re-stamp errorProb without re-classifying the gate. */
+    bool physical = false;
 };
 
 /** One step of the pre-compiled execution plan. */
@@ -108,6 +116,7 @@ struct PlanStep
     std::vector<Pulse> pulses;       // Fused1Q, Cond1Q (one pulse)
     GateType twoQubitType = GateType::CX;
     double cxError = 0.0;            // TwoQubit
+    int linkIndex = -1;              // TwoQubit (cxError's source)
     int clbit = 0;                   // Meas
     double err01 = 0.0, err10 = 0.0; // Meas
 
@@ -370,6 +379,202 @@ ShotProgram compileShotProgram(const ExecutionPlan &plan,
 FrameProgram compileFrameProgram(const ExecutionPlan &plan,
                                  const Calibration &cal,
                                  const NoiseFlags &flags);
+
+// ------------------------------------------------------------------
+// Structure / constants split.
+//
+// Compilation is factored into a device-independent *structure* phase
+// and a cheap device-dependent *bind* phase:
+//
+//   ScheduledCircuit --buildPlanSkeleton--> ProgramSkeleton
+//   (skeleton, Calibration) --bindPlan/bindShotProgram/
+//                             bindFrameProgram--> executable program
+//
+// The skeleton captures everything that does not depend on the
+// calibration snapshot: the lowered step stream, link-activity
+// windows, the dense splice tables (every Matrix2 product), and the
+// frame path's entire reference-tableau walk (measurement outcomes,
+// branch-flip supports, T1 classifications, fused-train frame
+// transforms, branch-hop tableau snapshots).  Binding stamps the
+// remaining constants — T1 / dephasing / readout / gate-error rates,
+// OU terms, crosstalk coefficients, fixed-point Bernoulli thresholds
+// — and is orders of magnitude cheaper than a cold compile.  Drift
+// sweeps, adaptSearch mask neighbourhoods, and repeated JobServer
+// submissions share skeletons through the ProgramCache
+// (noise/program_cache.hh) and only re-bind.
+//
+// Determinism: a bound program is field-for-field identical to a
+// cold compile of the same (schedule, calibration, flags) — the
+// legacy entry points buildPlan / compileShotProgram /
+// compileFrameProgram are now thin build+bind compositions, so cold
+// and cached paths run literally the same code.
+// ------------------------------------------------------------------
+
+/** Per-link CX activity windows recorded by the structure phase so
+ *  the bind phase can expand crosstalk sources without re-walking
+ *  the schedule.  Only links with activity are recorded. */
+struct LinkWindows
+{
+    int link = -1;
+    std::vector<std::pair<TimeNs, TimeNs>> windows;
+};
+
+/**
+ * Dense-path splice tables: every Matrix2 product compileShotProgram
+ * historically built per job (fused-train prefix products, suffix
+ * tables, conditional pulse matrices), laid out in the exact order
+ * the ShotProgram matrix pool expects so binding is a single vector
+ * copy.
+ */
+struct ShotTables
+{
+    struct StepRef
+    {
+        /** Cond1Q: the pulse matrix; Fused1Q: the prefix-table
+         *  offset (fullMat = mat + pulseCnt - 1). */
+        uint32_t mat = kNoTable;
+
+        /** Fused1Q suffix table, when the train is short enough. */
+        uint32_t suffixOff = kNoTable;
+    };
+
+    std::vector<Matrix2> matrices;
+    std::vector<StepRef> perStep; //!< parallel to ExecutionPlan::steps
+};
+
+/**
+ * Frame-path structure trace: the complete record of the noiseless
+ * reference-tableau walk compileFrameProgram performs.  Every
+ * reference query (measurement randomness, flip supports, T1
+ * population classes) and every fused-train Clifford resolution is
+ * device-independent, so it is recorded once here and consumed in
+ * plan-step order by bindFrameProgram — which then only evaluates
+ * calibration-dependent probabilities.
+ */
+struct FrameSkeleton
+{
+    /** ADAPT_FRAME_BRANCH_DEPTH at structure time (part of the
+     *  program-cache key). */
+    int branchDepth = 0;
+
+    /** One per Fused1Q step: the train's frame transform, its
+     *  named-gate realization, and each pulse's Pauli images through
+     *  the train suffix. */
+    struct FusedTrace
+    {
+        Frame1QKind kind = Frame1QKind::Identity;
+        uint8_t namedCount = 0;
+        std::array<GateType, 6> named{};
+        std::vector<std::array<uint8_t, 3>> mapped; //!< per pulse
+    };
+
+    /** One per Markov emission (dt > 0 and a Markov flag enabled):
+     *  the T1 checkpoint's reference class and branch-flip support. */
+    struct T1Trace
+    {
+        uint8_t t1Ref = 0; //!< 0 / 1 deterministic, 2 superposed
+        int site = -1;     //!< sites[] index (superposed, depth > 0)
+        std::vector<QubitId> flipX, flipZ;
+    };
+
+    /** One per Meas step. */
+    struct MeasTrace
+    {
+        bool random = false;
+        uint8_t refBit = 0;
+        std::vector<QubitId> flipX, flipZ;
+    };
+
+    /** One per Reset step. */
+    struct ResetTrace
+    {
+        bool random = false;
+        std::vector<QubitId> flipX, flipZ;
+    };
+
+    std::vector<FusedTrace> fused;
+    std::vector<T1Trace> t1;
+    std::vector<MeasTrace> meas;
+    std::vector<ResetTrace> resets;
+
+    /** Branch-hop tableau snapshots, indexed by random-T1 ordinal;
+     *  FrameT1Site::opIndex is stamped at bind time. */
+    std::vector<FrameT1Site> sites;
+};
+
+/**
+ * A compiled program with its device constants factored out: the
+ * unit the ProgramCache shares across machines, drift cycles, and
+ * mask variants.  `plan` carries zeroed constants and empty
+ * crosstalk; `kind` is the resolved backend; exactly one of
+ * `tables` / `frame` is set when `compiled` (none on the per-shot
+ * interpreted stabilizer path).
+ */
+struct ProgramSkeleton
+{
+    ExecutionPlan plan;
+    std::vector<LinkWindows> linkWindows;
+    std::optional<ShotTables> tables;
+    std::optional<FrameSkeleton> frame;
+    BackendKind kind = BackendKind::Auto;
+    bool compiled = false;
+};
+
+/**
+ * Structure phase: lower the schedule into an unbound plan skeleton
+ * (steps with constants zeroed, link-activity windows recorded,
+ * crosstalk left empty).  Does not touch a Calibration; `tables` /
+ * `frame` / `kind` are filled by the caller (NoisyMachine).
+ */
+ProgramSkeleton buildPlanSkeleton(const ScheduledCircuit &sched,
+                                  const NoiseFlags &flags);
+
+/**
+ * Bind phase: stamp @p cal's constants (readout / CX / 1Q-pulse
+ * error rates, crosstalk sources) into a copy of the skeleton's
+ * plan.  The result is field-for-field identical to
+ * buildPlan(sched, cal, flags).
+ */
+ExecutionPlan bindPlan(const ProgramSkeleton &skel,
+                       const Calibration &cal,
+                       const NoiseFlags &flags);
+
+/** Structure phase of the dense compiler: precompute every Matrix2
+ *  product of @p plan's step stream. */
+ShotTables buildShotTables(const ExecutionPlan &plan);
+
+/**
+ * Bind phase of the dense compiler: evaluate the
+ * calibration-dependent constants (OU transitions, crosstalk folds,
+ * fixed-point thresholds) against a *bound* plan and splice in the
+ * precomputed tables.  Identical output to compileShotProgram.
+ */
+ShotProgram bindShotProgram(const ExecutionPlan &plan,
+                            const ShotTables &tables,
+                            const Calibration &cal,
+                            const NoiseFlags &flags);
+
+/**
+ * Structure phase of the frame compiler: run the noiseless reference
+ * tableau once over @p plan, recording every reference query and
+ * fused-train resolution.  Reads ADAPT_FRAME_BRANCH_DEPTH.
+ *
+ * @pre As compileFrameProgram (all-Clifford, Pauli-expressible
+ *      flags, no OU, no non-Pauli conditionals).
+ */
+FrameSkeleton buildFrameSkeleton(const ExecutionPlan &plan,
+                                 const NoiseFlags &flags);
+
+/**
+ * Bind phase of the frame compiler: replay the recorded reference
+ * trace against a *bound* plan, evaluating FrameBernoullis from the
+ * calibration.  Identical output to compileFrameProgram under the
+ * skeleton's branch depth.
+ */
+FrameProgram bindFrameProgram(const ExecutionPlan &plan,
+                              const FrameSkeleton &skel,
+                              const Calibration &cal,
+                              const NoiseFlags &flags);
 
 /**
  * Compile the branch-tail sub-program for random-reference T1

@@ -14,6 +14,7 @@
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "noise/compiled.hh"
+#include "noise/program_cache.hh"
 #include "sim/backend.hh"
 #include "sim/frame_batch.hh"
 
@@ -22,7 +23,8 @@ namespace adapt
 
 NoisyMachine::NoisyMachine(const Device &device, int cycle,
                            NoiseFlags flags)
-    : device_(device), cal_(device.calibration(cycle)), flags_(flags)
+    : device_(device), cal_(device.calibration(cycle)), flags_(flags),
+      cache_(ProgramCache::processShared())
 {
 }
 
@@ -327,6 +329,33 @@ frameEligible(const ExecutionPlan &plan, const NoiseFlags &flags)
 }
 
 /**
+ * The structure phase of prepare(): everything device-independent —
+ * plan lowering, backend resolution, dense splice tables or the frame
+ * engine's reference-tableau walk.  A skeleton is a pure function of
+ * (schedule, flags, requested backend, frame-engine env knobs), which
+ * is exactly what skeletonFingerprint folds, so instances are safely
+ * shared across machines, calibration cycles, and threads.
+ */
+ProgramSkeleton
+buildProgramSkeleton(const ScheduledCircuit &sched,
+                     const NoiseFlags &flags, BackendKind backend,
+                     bool compile)
+{
+    ProgramSkeleton skel = buildPlanSkeleton(sched, flags);
+    skel.kind = resolveBackend(backend, skel.plan, flags);
+    if (compile) {
+        if (skel.kind == BackendKind::Dense) {
+            skel.tables = buildShotTables(skel.plan);
+            skel.compiled = true;
+        } else if (frameEligible(skel.plan, flags)) {
+            skel.frame = buildFrameSkeleton(skel.plan, flags);
+            skel.compiled = true;
+        }
+    }
+    return skel;
+}
+
+/**
  * Merge per-chunk histograms into the output distribution: gather
  * every chunk's raw items, sort the combined list once, and fold
  * duplicate keys before they reach the Distribution map — instead of
@@ -371,17 +400,36 @@ PreparedCircuit
 NoisyMachine::prepareImpl(const ScheduledCircuit &sched,
                           BackendKind backend, bool compile) const
 {
+    // Structure phase: cached when a cache is installed and the job
+    // is compiled (interpreted prepares skip compilation and are too
+    // cheap to be worth a cache slot).  Cold and cached prepares run
+    // the identical build + bind code — only the skeleton's object
+    // identity differs — so the executed programs are bit-identical.
+    std::shared_ptr<const ProgramSkeleton> skel;
+    if (cache_ != nullptr && compile) {
+        const ProgramFingerprint fp =
+            skeletonFingerprint(sched, flags_, backend);
+        skel = cache_->findOrBuild(fp, [&] {
+            return buildProgramSkeleton(sched, flags_, backend,
+                                        compile);
+        });
+    } else {
+        skel = std::make_shared<const ProgramSkeleton>(
+            buildProgramSkeleton(sched, flags_, backend, compile));
+    }
+
+    // Bind phase: stamp this machine's calibration constants.
     auto job = std::make_shared<PreparedJob>();
-    job->plan = buildPlan(sched, cal_, flags_);
-    job->kind = resolveBackend(backend, job->plan, flags_);
-    if (compile) {
-        if (job->kind == BackendKind::Dense)
-            job->program = compileShotProgram(job->plan, cal_, flags_);
-        else if (frameEligible(job->plan, flags_)) {
-            job->frame = compileFrameProgram(job->plan, cal_, flags_);
-            if (job->frame->branchTails)
-                job->tails = std::make_shared<FrameTailCache>();
-        }
+    job->plan = bindPlan(*skel, cal_, flags_);
+    job->kind = skel->kind;
+    if (skel->tables) {
+        job->program =
+            bindShotProgram(job->plan, *skel->tables, cal_, flags_);
+    } else if (skel->frame) {
+        job->frame =
+            bindFrameProgram(job->plan, *skel->frame, cal_, flags_);
+        if (job->frame->branchTails)
+            job->tails = std::make_shared<FrameTailCache>();
     }
     PreparedCircuit prepared;
     prepared.impl_ = std::move(job);

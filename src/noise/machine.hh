@@ -41,6 +41,9 @@ namespace adapt
 /** Internal prepared-job state (plan + compiled program). */
 struct PreparedJob;
 
+/** Process-wide skeleton cache (noise/program_cache.hh). */
+class ProgramCache;
+
 /**
  * How shots execute.
  *
@@ -290,6 +293,19 @@ class NoisyMachine
      */
     BackendKind chooseBackend(const ScheduledCircuit &sched) const;
 
+    /**
+     * The skeleton cache prepare() consults: compilation is split
+     * into a device-independent structure phase (ProgramSkeleton,
+     * cached under a fingerprint of circuit + flags + backend) and a
+     * cheap per-calibration bind phase, so re-preparing the same
+     * executable against a drifted calibration, a mask variant's
+     * sibling machine, or a repeated JobServer submission skips the
+     * expensive half.  Defaults to ProgramCache::processShared();
+     * nullptr compiles every prepare cold.
+     */
+    void setProgramCache(ProgramCache *cache) { cache_ = cache; }
+    ProgramCache *programCache() const { return cache_; }
+
   private:
     /** prepare() with the shot-program compilation optional (skipped
      *  for pure ExecMode::Interpreted runs, which never read it). */
@@ -300,6 +316,7 @@ class NoisyMachine
     const Device &device_;
     Calibration cal_;
     NoiseFlags flags_;
+    ProgramCache *cache_ = nullptr;
 };
 
 } // namespace adapt

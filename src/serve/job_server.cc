@@ -344,7 +344,7 @@ JobServer::JobServer(const NoisyMachine &machine, ServerOptions opts)
     // Operators key a fault schedule into the process via the
     // environment; without ADAPT_FAULT_SEED any programmatic
     // configure() installed by a test harness is left untouched.
-    if (std::getenv("ADAPT_FAULT_SEED") != nullptr)
+    if (envPresent("ADAPT_FAULT_SEED"))
         FaultInjector::global().loadEnv();
     impl_ = std::make_unique<Impl>(machine, std::move(opts));
     impl_->paused = impl_->opts.startPaused;
