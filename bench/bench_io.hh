@@ -25,6 +25,7 @@
 #ifndef ADAPT_BENCH_BENCH_IO_HH
 #define ADAPT_BENCH_BENCH_IO_HH
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <ctime>
@@ -203,11 +204,19 @@ finish()
         if (!c.metrics.empty()) {
             std::fprintf(out, ",\n      \"metrics\": {");
             for (size_t j = 0; j < c.metrics.size(); j++) {
-                std::fprintf(out, "%s\n        \"%s\": %.9g",
+                const double v = c.metrics[j].second;
+                std::fprintf(out, "%s\n        \"%s\": ",
                              j == 0 ? "" : ",",
                              detail::escape(c.metrics[j].first)
-                                 .c_str(),
-                             c.metrics[j].second);
+                                 .c_str());
+                // NaN / Inf have no JSON representation; %g would
+                // emit "nan" and corrupt the artefact for every
+                // consumer.  null keeps the document well-formed and
+                // is unambiguous about a metric that did not measure.
+                if (std::isfinite(v))
+                    std::fprintf(out, "%.9g", v);
+                else
+                    std::fprintf(out, "null");
             }
             std::fprintf(out, "\n      }");
         }

@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "noise/program_cache.hh"
+#include "serve/shard_executor.hh"
 
 namespace adapt
 {
@@ -113,22 +114,39 @@ adaptSearch(const CompiledProgram &program, const NoisyMachine &machine,
         // exactly once and that compilation is shared by all of its
         // decoy shots.  Outputs land by combo index, so the parallel
         // build changes nothing observable.
-        std::vector<PreparedCircuit> prepared(num_combos);
+        // With a shard executor the variants ship to worker processes
+        // as candidate leases (which prepare them there), so keep the
+        // schedules; otherwise prepare locally as before.
+        const bool sharded = options.sharder != nullptr &&
+                             options.sharder->available();
+        std::vector<PreparedCircuit> prepared(
+            sharded ? 0 : num_combos);
+        std::vector<ScheduledCircuit> variants(
+            sharded ? num_combos : 0, ScheduledCircuit(0, 0));
         parallelFor(0, static_cast<int64_t>(num_combos),
                     options.threads,
                     [&](int64_t lo, int64_t hi, int) {
             for (int64_t i = lo; i < hi; i++) {
-                const ScheduledCircuit variant = insertDD(
+                ScheduledCircuit variant = insertDD(
                     decoy_sched, machine.calibration(), options.dd,
                     liftMask(program,
                              candidates[static_cast<size_t>(i)]));
-                prepared[static_cast<size_t>(i)] =
-                    machine.prepare(variant, options.backend);
+                if (sharded) {
+                    variants[static_cast<size_t>(i)] =
+                        std::move(variant);
+                } else {
+                    prepared[static_cast<size_t>(i)] =
+                        machine.prepare(variant, options.backend);
+                }
             }
         });
 
-        const std::vector<Distribution> outputs = machine.runBatch(
-            prepared, options.decoyShots, seeds, options.threads);
+        const std::vector<Distribution> outputs =
+            sharded ? options.sharder->runShardedBatch(
+                          variants, options.decoyShots, seeds,
+                          options.backend)
+                    : machine.runBatch(prepared, options.decoyShots,
+                                       seeds, options.threads);
 
         std::vector<double> fids(num_combos);
         for (uint32_t combo = 0; combo < num_combos; combo++) {

@@ -31,6 +31,11 @@
 #include "noise/machine.hh"
 #include "transpile/transpiler.hh"
 
+namespace adapt::serve
+{
+class ShardExecutor;
+} // namespace adapt::serve
+
 namespace adapt
 {
 
@@ -71,6 +76,16 @@ struct AdaptOptions
      * and falls back to dense otherwise.
      */
     BackendKind backend = BackendKind::Auto;
+
+    /**
+     * Optional multi-process shard executor for the candidate sweeps
+     * (serve/shard_executor.hh): each neighbourhood's 2^k variants
+     * become candidate leases executed across the worker pool, with
+     * crash/hang recovery.  nullptr (default) keeps the in-process
+     * runBatch path.  Masks and fidelities are bit-identical either
+     * way (same per-candidate seeds, exact histogram merge).
+     */
+    const serve::ShardExecutor *sharder = nullptr;
 };
 
 /** Search outcome. */

@@ -662,6 +662,159 @@ NoisyMachine::runPartial(const PreparedCircuit &prepared, int shots,
     return out;
 }
 
+namespace
+{
+
+/** Fold one FlatAccumulator into key-sorted, key-unique integer
+ *  items — the wire form of a shard range's histogram. */
+std::vector<std::pair<uint64_t, uint64_t>>
+foldShardItems(const FlatAccumulator &hist)
+{
+    std::vector<std::pair<uint64_t, double>> raw;
+    raw.reserve(hist.size());
+    hist.appendItemsTo(raw);
+    std::sort(raw.begin(), raw.end());
+    std::vector<std::pair<uint64_t, uint64_t>> items;
+    items.reserve(raw.size());
+    for (size_t i = 0; i < raw.size();) {
+        const uint64_t key = raw[i].first;
+        double count = 0.0;
+        for (; i < raw.size() && raw[i].first == key; i++)
+            count += raw[i].second;
+        items.emplace_back(
+            key, static_cast<uint64_t>(std::llround(count)));
+    }
+    return items;
+}
+
+} // namespace
+
+int64_t
+NoisyMachine::shardBlockShots(const PreparedCircuit &prepared,
+                              ExecMode mode) const
+{
+    require(prepared.valid(),
+            "shardBlockShots on an empty PreparedCircuit");
+    const PreparedJob &job = *prepared.impl_;
+    return mode == ExecMode::Compiled && job.frame.has_value()
+               ? static_cast<int64_t>(kFrameLanes)
+               : static_cast<int64_t>(kShotBlock);
+}
+
+int64_t
+NoisyMachine::shardBlockCount(const PreparedCircuit &prepared,
+                              int shots, ExecMode mode) const
+{
+    require(shots > 0, "shardBlockCount requires at least one shot");
+    const int64_t block = shardBlockShots(prepared, mode);
+    return (static_cast<int64_t>(shots) + block - 1) / block;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>>
+NoisyMachine::runShardRange(
+    const PreparedCircuit &prepared, int shots, int64_t block_lo,
+    int64_t block_hi, uint64_t run_seed, ExecMode mode,
+    const std::function<void(int64_t)> &progress) const
+{
+    require(shots > 0, "runShardRange requires at least one shot");
+    require(prepared.valid(),
+            "runShardRange on an empty PreparedCircuit");
+    const int64_t blocks = shardBlockCount(prepared, shots, mode);
+    require(block_lo >= 0 && block_lo <= block_hi && block_hi <= blocks,
+            "runShardRange block range out of bounds");
+    const PreparedJob &job = *prepared.impl_;
+    const Rng base(run_seed ^ 0xadab7dd);
+    FlatAccumulator hist;
+    int64_t range_shots = 0;
+
+    if (mode == ExecMode::Compiled && job.frame.has_value()) {
+        // Batch frame path: identical per-block randomness to
+        // runPartial — runBlock forks off (base, absolute block), the
+        // drains consume streams keyed by absolute shot index and are
+        // wave/chunking-invariant, so draining after every block
+        // matches any other drain cadence bit for bit.
+        const FrameProgram &prog = *job.frame;
+        FrameBatchBackend runner(prog);
+        StabilizerState scratch(prog.numQubits);
+        OutcomePacker packer(prog.numClbits);
+        std::vector<DeferredShot> deferred;
+        std::vector<FrameTailShot> tails;
+        FrameBatchStats stats;
+        for (int64_t block = block_lo; block < block_hi; block++) {
+            const auto lanes = static_cast<int>(std::min<int64_t>(
+                kFrameLanes,
+                static_cast<int64_t>(shots) - block * kFrameLanes));
+            runner.runBlock(base, block, lanes, hist, deferred, tails);
+            if (!deferred.empty()) {
+                drainDeferredShots(prog, base, deferred, scratch,
+                                   packer, hist);
+            }
+            if (!tails.empty()) {
+                drainTailShots(prog, base, tails, *job.tails, scratch,
+                               packer, hist, stats);
+            }
+            range_shots += lanes;
+            if (progress)
+                progress(range_shots);
+        }
+        return foldShardItems(hist);
+    }
+
+    // Dense / per-shot paths: per-shot streams forked from
+    // (base, absolute shot index), exactly as in runPartial.
+    const bool compiled =
+        mode == ExecMode::Compiled && job.program.has_value();
+    std::unique_ptr<ShotReplayer> replayer;
+    std::unique_ptr<SimBackend> state;
+    std::unique_ptr<OutcomePacker> packer;
+    for (int64_t block = block_lo; block < block_hi; block++) {
+        const int64_t lo = block * kShotBlock;
+        const int64_t hi = std::min<int64_t>(
+            lo + kShotBlock, static_cast<int64_t>(shots));
+        if (compiled) {
+            if (!replayer) {
+                replayer = std::make_unique<ShotReplayer>(
+                    job.plan, *job.program);
+            }
+            replayer->runBlock(base, lo, hi - lo, hist, nullptr);
+        } else {
+            if (!state) {
+                state = makeBackend(
+                    job.kind,
+                    static_cast<int>(job.plan.active.size()));
+                packer = std::make_unique<OutcomePacker>(
+                    job.plan.maxClbit + 1);
+            }
+            for (int64_t shot = lo; shot < hi; shot++) {
+                const Rng shot_rng =
+                    base.fork(static_cast<uint64_t>(shot) + 1);
+                hist.add(runShot(job.plan, cal_, flags_, *state,
+                                 *packer, shot_rng),
+                         1.0);
+            }
+        }
+        range_shots += hi - lo;
+        if (progress)
+            progress(range_shots);
+    }
+    return foldShardItems(hist);
+}
+
+Distribution
+mergeShardItems(std::vector<std::pair<uint64_t, uint64_t>> items)
+{
+    std::sort(items.begin(), items.end());
+    Distribution dist;
+    for (size_t i = 0; i < items.size();) {
+        const uint64_t key = items[i].first;
+        uint64_t count = 0;
+        for (; i < items.size() && items[i].first == key; i++)
+            count += items[i].second;
+        dist.addSamples(key, count);
+    }
+    return dist;
+}
+
 Distribution
 NoisyMachine::run(const ScheduledCircuit &sched, int shots,
                   uint64_t run_seed, int threads,

@@ -288,6 +288,49 @@ class NoisyMachine
                     ExecMode mode = ExecMode::Compiled) const;
 
     /**
+     * @name Shard-range execution (serve/shard_executor.hh)
+     *
+     * A job's shot range factors into fixed blocks — kFrameLanes on
+     * the batch frame path, kShotBlock otherwise — and every block's
+     * randomness is forked from (run_seed, absolute block / shot
+     * index) alone.  runShardRange executes one contiguous block
+     * subrange and returns its histogram as sorted (key, count)
+     * items; because blocks are independent, concatenating the item
+     * lists of any partition of [0, blockCount) and folding duplicate
+     * keys (mergeShardItems) reproduces run()'s output bit for bit —
+     * regardless of which process ran which range, in what order, or
+     * how many times a range was re-executed after a failure.
+     * @{
+     */
+
+    /** Shots per shard block for this prepared job under @p mode. */
+    int64_t shardBlockShots(const PreparedCircuit &prepared,
+                            ExecMode mode = ExecMode::Compiled) const;
+
+    /** Number of shard blocks covering @p shots. */
+    int64_t shardBlockCount(const PreparedCircuit &prepared, int shots,
+                            ExecMode mode = ExecMode::Compiled) const;
+
+    /**
+     * Execute blocks [block_lo, block_hi) of a @p shots-shot job
+     * serially (shard workers are single-threaded by design — the
+     * parallelism is the process fan-out) and return the subrange's
+     * histogram as key-sorted, key-unique (outcome, count) items.
+     *
+     * @param progress Optional; fires after each committed block with
+     *        the cumulative shots done *within this range* — the
+     *        worker's heartbeat hook.
+     */
+    std::vector<std::pair<uint64_t, uint64_t>>
+    runShardRange(const PreparedCircuit &prepared, int shots,
+                  int64_t block_lo, int64_t block_hi,
+                  uint64_t run_seed = 1,
+                  ExecMode mode = ExecMode::Compiled,
+                  const std::function<void(int64_t)> &progress = {}) const;
+
+    /** @} */
+
+    /**
      * The backend Auto would pick for @p sched under this machine's
      * noise flags (introspection for logs / benches / tests).
      */
@@ -318,6 +361,16 @@ class NoisyMachine
     NoiseFlags flags_;
     ProgramCache *cache_ = nullptr;
 };
+
+/**
+ * Fold concatenated shard items (any order, duplicate keys allowed)
+ * into a Distribution.  Sort + exact integer addition: the result is
+ * identical for any partition of a job into ranges and any arrival
+ * order of their item lists — the coordinator-side half of the
+ * runShardRange contract.
+ */
+Distribution
+mergeShardItems(std::vector<std::pair<uint64_t, uint64_t>> items);
 
 } // namespace adapt
 

@@ -24,6 +24,14 @@ faultSiteName(FaultSite site)
         return "alloc-failure";
       case FaultSite::AdmitReject:
         return "admit-reject";
+      case FaultSite::WorkerCrash:
+        return "worker-crash";
+      case FaultSite::LeaseStall:
+        return "lease-stall";
+      case FaultSite::FrameCorrupt:
+        return "frame-corrupt";
+      case FaultSite::ExecFailure:
+        return "exec-failure";
     }
     return "unknown";
 }
@@ -96,6 +104,14 @@ FaultInjector::loadEnv()
         envProbability("ADAPT_FAULT_P_ALLOC", 0.0);
     cfg.probability[static_cast<int>(FaultSite::AdmitReject)] =
         envProbability("ADAPT_FAULT_P_REJECT", 0.0);
+    cfg.probability[static_cast<int>(FaultSite::WorkerCrash)] =
+        envProbability("ADAPT_FAULT_P_CRASH", 0.0);
+    cfg.probability[static_cast<int>(FaultSite::LeaseStall)] =
+        envProbability("ADAPT_FAULT_P_LEASE_STALL", 0.0);
+    cfg.probability[static_cast<int>(FaultSite::FrameCorrupt)] =
+        envProbability("ADAPT_FAULT_P_CORRUPT", 0.0);
+    cfg.probability[static_cast<int>(FaultSite::ExecFailure)] =
+        envProbability("ADAPT_FAULT_P_EXECFAIL", 0.0);
     cfg.stallMs =
         static_cast<int>(envInt("ADAPT_FAULT_STALL_MS", 10, 0, 60000));
     configure(std::move(cfg));
@@ -186,6 +202,12 @@ FaultInjector::maybeRejectAdmission(uint64_t key)
         .fired[static_cast<int>(FaultSite::AdmitReject)]
         .fetch_add(1, std::memory_order_relaxed);
     return true;
+}
+
+FaultConfig
+FaultInjector::config() const
+{
+    return *impl().snapshot();
 }
 
 uint64_t

@@ -50,16 +50,24 @@ class TransientFault : public std::runtime_error
     }
 };
 
-/** Injection points the harness can arm. */
+/** Injection points the harness can arm.  The first four live inside
+ *  the in-process JobServer; the last four are process-level sites for
+ *  the shard executor (keys chosen so schedules are independent of
+ *  worker count — see shard_executor.hh). */
 enum class FaultSite : uint8_t
 {
     JobFailure,  //!< transient failure before a run attempt starts
     WorkerStall, //!< stall at a shot-block wave boundary
     AllocFailure,//!< std::bad_alloc at a chosen allocation point
     AdmitReject, //!< admission control forced to reject (queue storm)
+    WorkerCrash, //!< worker _exit()s mid-lease, key (lease, attempt)
+    LeaseStall,  //!< worker stops heartbeating, key (lease, attempt)
+    FrameCorrupt,//!< worker's RESULT frame is corrupted in flight,
+                 //!< key (lease, attempt)
+    ExecFailure, //!< fork/exec of a worker fails, key = spawn ordinal
 };
 
-constexpr int kNumFaultSites = 4;
+constexpr int kNumFaultSites = 8;
 
 const char *faultSiteName(FaultSite site);
 
@@ -75,8 +83,8 @@ const char *faultSiteName(FaultSite site);
 struct FaultConfig
 {
     uint64_t seed = 0;
-    double probability[kNumFaultSites] = {0.0, 0.0, 0.0, 0.0};
-    int stallMs = 0; //!< WorkerStall duration per firing
+    double probability[kNumFaultSites] = {};
+    int stallMs = 0; //!< WorkerStall / LeaseStall duration per firing
 
     std::vector<std::pair<FaultSite, uint64_t>> force;
 
@@ -116,6 +124,10 @@ class FaultInjector
      *   ADAPT_FAULT_P_STALL    (probability)
      *   ADAPT_FAULT_P_ALLOC    (probability)
      *   ADAPT_FAULT_P_REJECT   (probability)
+     *   ADAPT_FAULT_P_CRASH    (probability, worker crash mid-lease)
+     *   ADAPT_FAULT_P_LEASE_STALL (probability, heartbeat stall)
+     *   ADAPT_FAULT_P_CORRUPT  (probability, corrupted result frame)
+     *   ADAPT_FAULT_P_EXECFAIL (probability, worker spawn failure)
      *   ADAPT_FAULT_STALL_MS   (int >= 0, default 10)
      * Values are parsed through common/env.hh (garbage warns and
      * falls back).  Without ADAPT_FAULT_SEED the harness stays
@@ -144,6 +156,11 @@ class FaultInjector
 
     /** Firings of @p site since the last configure()/reset(). */
     uint64_t firedCount(FaultSite site) const;
+
+    /** Immutable snapshot of the installed schedule — what the shard
+     *  coordinator ships to workers in SUBMIT so their injectors
+     *  replay the same schedule. */
+    FaultConfig config() const;
 
   private:
     FaultInjector() = default;

@@ -60,6 +60,7 @@ ServerOptions::fromEnv()
     opts.backoffBase = std::chrono::milliseconds(
         envInt("ADAPT_SERVER_BACKOFF_MS", opts.backoffBase.count(), 1,
                60000));
+    opts.shard = ShardOptions::fromEnv();
     return opts;
 }
 
@@ -140,9 +141,17 @@ struct JobServer::Impl
 
     std::vector<std::thread> workers;
 
+    /** Multi-process sharding; nullptr when opts.shard.workers == 0
+     *  (jobs run in-process exactly as before). */
+    std::unique_ptr<ShardExecutor> sharder;
+
     explicit Impl(const NoisyMachine &m, ServerOptions o)
         : machine(m), opts(std::move(o))
     {
+        if (opts.shard.workers > 0) {
+            sharder =
+                std::make_unique<ShardExecutor>(machine, opts.shard);
+        }
     }
 
     Tenant *findTenant(const std::string &name)
@@ -253,9 +262,21 @@ struct JobServer::Impl
                                         std::memory_order_relaxed);
                     faults.maybeStall(faultKey(job.id, wave++));
                 };
-                RunOutcome out = machine.runPartial(
-                    job.spec.prepared, job.spec.shots, job.spec.seed,
-                    opts.threadsPerJob, ctl, job.spec.mode);
+                // Sharded dispatch needs the schedule (workers
+                // rebuild the job from it); the merged histogram is
+                // bit-identical to the in-process path either way.
+                const bool sharded = sharder != nullptr &&
+                                     sharder->available() &&
+                                     job.spec.sched != nullptr;
+                RunOutcome out =
+                    sharded ? sharder->runSharded(
+                                  job.spec.prepared, *job.spec.sched,
+                                  job.spec.shots, job.spec.seed,
+                                  job.spec.mode, ctl)
+                            : machine.runPartial(
+                                  job.spec.prepared, job.spec.shots,
+                                  job.spec.seed, opts.threadsPerJob,
+                                  ctl, job.spec.mode);
                 job.outcome = std::move(out);
                 if (!job.outcome.partial) {
                     job.pendState = JobState::Done;
@@ -346,11 +367,30 @@ JobServer::JobServer(const NoisyMachine &machine, ServerOptions opts)
     // configure() installed by a test harness is left untouched.
     if (envPresent("ADAPT_FAULT_SEED"))
         FaultInjector::global().loadEnv();
+    // Programmatic options bypass fromEnv()'s range checks; a zero or
+    // negative pool/queue would deadlock submitters or reject every
+    // job, so fall back to the documented defaults instead of
+    // silently reinterpreting the value.
+    if (opts.workers <= 0) {
+        warnOnce("server-workers-invalid",
+                 "ServerOptions.workers=" +
+                     std::to_string(opts.workers) +
+                     " invalid (must be >= 1); using default " +
+                     std::to_string(ServerOptions{}.workers));
+        opts.workers = ServerOptions{}.workers;
+    }
+    if (opts.queueDepth <= 0) {
+        warnOnce("server-queue-depth-invalid",
+                 "ServerOptions.queueDepth=" +
+                     std::to_string(opts.queueDepth) +
+                     " invalid (must be >= 1); using default " +
+                     std::to_string(ServerOptions{}.queueDepth));
+        opts.queueDepth = ServerOptions{}.queueDepth;
+    }
     impl_ = std::make_unique<Impl>(machine, std::move(opts));
     impl_->paused = impl_->opts.startPaused;
-    impl_->workers.reserve(
-        static_cast<size_t>(std::max(1, impl_->opts.workers)));
-    for (int i = 0; i < std::max(1, impl_->opts.workers); ++i)
+    impl_->workers.reserve(static_cast<size_t>(impl_->opts.workers));
+    for (int i = 0; i < impl_->opts.workers; ++i)
         impl_->workers.emplace_back([this] { impl_->workerLoop(); });
 }
 
@@ -577,6 +617,12 @@ JobServer::tenantStats(const std::string &tenant) const
     if (it == impl_->tenantIndex.end())
         return TenantStats{};
     return impl_->tenants[static_cast<size_t>(it->second)]->stats;
+}
+
+const ShardExecutor *
+JobServer::sharder() const
+{
+    return impl_->sharder.get();
 }
 
 } // namespace adapt::serve

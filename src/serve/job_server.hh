@@ -46,6 +46,7 @@
 #include <string>
 
 #include "noise/machine.hh"
+#include "serve/shard_executor.hh"
 
 namespace adapt::serve
 {
@@ -90,6 +91,12 @@ struct JobSpec
 
     /** Retry budget for retryable faults; -1 = server default. */
     int maxRetries = -1;
+
+    /** The schedule @p prepared was prepared from.  Optional — but
+     *  required for multi-process sharded execution (workers rebuild
+     *  the job from it; see serve/shard_executor.hh).  Jobs without
+     *  it always run in-process. */
+    std::shared_ptr<const ScheduledCircuit> sched;
 };
 
 /** Admission verdict: either an id to wait on, or a reason. */
@@ -154,6 +161,11 @@ struct ServerOptions
      *  start() releases the workers. */
     bool startPaused = false;
 
+    /** Multi-process sharding (serve/shard_executor.hh).
+     *  shard.workers == 0 (the default) keeps every job on the
+     *  in-process path, untouched. */
+    ShardOptions shard;
+
     /**
      * Defaults overlaid with the environment:
      *   ADAPT_SERVER_WORKERS      (int >= 1)
@@ -163,6 +175,7 @@ struct ServerOptions
      *   ADAPT_SERVER_TIMEOUT_MS   (int >= 0, 0 = none)
      *   ADAPT_SERVER_MAX_RETRIES  (int >= 0)
      *   ADAPT_SERVER_BACKOFF_MS   (int >= 1)
+     * plus the ADAPT_SHARD_* knobs via ShardOptions::fromEnv().
      * Garbage values warn (common/env.hh) and keep the default.
      */
     static ServerOptions fromEnv();
@@ -236,6 +249,10 @@ class JobServer
 
     /** Counters for @p tenant (zeros for unknown tenants). */
     TenantStats tenantStats(const std::string &tenant) const;
+
+    /** The shard executor, or nullptr when opts.shard.workers == 0.
+     *  Exposes recovery stats and worker pids (kill-storm tests). */
+    const ShardExecutor *sharder() const;
 
   private:
     struct Impl;

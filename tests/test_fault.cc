@@ -32,6 +32,7 @@
 #include "noise/machine.hh"
 #include "serve/fault.hh"
 #include "serve/job_server.hh"
+#include "serve/wire.hh"
 #include "test_util.hh"
 #include "transpile/transpiler.hh"
 #include "workloads/benchmarks.hh"
@@ -478,4 +479,141 @@ TEST_F(FaultTest, ScheduleAndOutputsInvariantAcrossWorkerCounts)
     for (int a : reference_attempts)
         total_attempts += a;
     EXPECT_GT(total_attempts, kJobs);
+}
+
+// ------------------------------------- process-level sites (PR 9)
+
+TEST_F(FaultTest, ProcessLevelSitesArePureFunctionsOfTheSchedule)
+{
+    FaultConfig cfg;
+    cfg.seed = 2024;
+    cfg.probability[static_cast<int>(FaultSite::WorkerCrash)] = 0.3;
+    cfg.probability[static_cast<int>(FaultSite::LeaseStall)] = 0.2;
+    cfg.probability[static_cast<int>(FaultSite::FrameCorrupt)] = 0.25;
+    cfg.probability[static_cast<int>(FaultSite::ExecFailure)] = 0.15;
+    FaultInjector &injector = FaultInjector::global();
+    const std::vector<FaultSite> sites = {
+        FaultSite::WorkerCrash, FaultSite::LeaseStall,
+        FaultSite::FrameCorrupt, FaultSite::ExecFailure};
+
+    // Record the schedule over a (lease, attempt) grid, then replay
+    // it after a reconfigure, querying in reverse order: the answers
+    // must be identical point for point — the property that makes an
+    // injected kill-storm independent of pool size and interleaving.
+    injector.configure(cfg);
+    std::vector<bool> first;
+    for (const FaultSite site : sites) {
+        for (uint64_t lease = 0; lease < 16; lease++) {
+            for (uint32_t attempt = 0; attempt < 4; attempt++) {
+                first.push_back(injector.fires(
+                    site, faultKey(lease, attempt)));
+            }
+        }
+    }
+    injector.configure(cfg);
+    std::vector<bool> replay(first.size());
+    for (size_t i = first.size(); i-- > 0;) {
+        const size_t site_idx = i / 64;
+        const uint64_t lease = (i % 64) / 4;
+        const uint32_t attempt = static_cast<uint32_t>(i % 4);
+        replay[i] = injector.fires(sites[site_idx],
+                                   faultKey(lease, attempt));
+    }
+    EXPECT_EQ(first, replay);
+
+    // The schedule is live (some point fires) but not saturated, and
+    // the sites draw from distinct streams (patterns differ).
+    int fired = 0;
+    for (const bool f : first)
+        fired += f;
+    EXPECT_GT(fired, 0);
+    EXPECT_LT(fired, static_cast<int>(first.size()));
+    EXPECT_NE(std::vector<bool>(first.begin(), first.begin() + 64),
+              std::vector<bool>(first.begin() + 64,
+                                first.begin() + 128));
+}
+
+TEST_F(FaultTest, FaultConfigWireRoundTripReplaysTheSchedule)
+{
+    // What the shard coordinator ships in SUBMIT must make a worker's
+    // injector answer exactly like the coordinator's own.
+    FaultConfig cfg;
+    cfg.seed = 77;
+    cfg.probability[static_cast<int>(FaultSite::WorkerCrash)] = 0.4;
+    cfg.probability[static_cast<int>(FaultSite::FrameCorrupt)] = 0.1;
+    cfg.stallMs = 123;
+    cfg.forceAt(FaultSite::LeaseStall, faultKey(3, 1));
+    cfg.forceAt(FaultSite::ExecFailure, 2);
+
+    wire::Writer w;
+    wire::encodeFaultConfig(w, cfg);
+    const std::vector<uint8_t> bytes = w.take();
+    wire::Reader r(bytes.data(), bytes.size());
+    const FaultConfig back = wire::decodeFaultConfig(r);
+    EXPECT_TRUE(r.done());
+    EXPECT_EQ(back.seed, cfg.seed);
+    EXPECT_EQ(back.stallMs, cfg.stallMs);
+    ASSERT_EQ(back.force.size(), cfg.force.size());
+
+    FaultInjector &injector = FaultInjector::global();
+    for (const FaultSite site :
+         {FaultSite::WorkerCrash, FaultSite::LeaseStall,
+          FaultSite::FrameCorrupt, FaultSite::ExecFailure}) {
+        for (uint64_t lease = 0; lease < 12; lease++) {
+            for (uint32_t attempt = 0; attempt < 3; attempt++) {
+                const uint64_t key = faultKey(lease, attempt);
+                injector.configure(cfg);
+                const bool coordinator = injector.fires(site, key);
+                injector.configure(back);
+                EXPECT_EQ(injector.fires(site, key), coordinator)
+                    << faultSiteName(site) << " lease=" << lease
+                    << " attempt=" << attempt;
+            }
+        }
+    }
+    // The forced points survived the round trip.
+    injector.configure(back);
+    EXPECT_TRUE(
+        injector.fires(FaultSite::LeaseStall, faultKey(3, 1)));
+    EXPECT_TRUE(injector.fires(FaultSite::ExecFailure, 2));
+}
+
+TEST_F(FaultTest, LoadEnvReadsTheProcessLevelKnobs)
+{
+    setenv("ADAPT_FAULT_SEED", "5", 1);
+    setenv("ADAPT_FAULT_P_CRASH", "0.5", 1);
+    setenv("ADAPT_FAULT_P_LEASE_STALL", "0.25", 1);
+    setenv("ADAPT_FAULT_P_CORRUPT", "0.125", 1);
+    setenv("ADAPT_FAULT_P_EXECFAIL", "1.0", 1);
+    FaultInjector::global().loadEnv();
+    unsetenv("ADAPT_FAULT_SEED");
+    unsetenv("ADAPT_FAULT_P_CRASH");
+    unsetenv("ADAPT_FAULT_P_LEASE_STALL");
+    unsetenv("ADAPT_FAULT_P_CORRUPT");
+    unsetenv("ADAPT_FAULT_P_EXECFAIL");
+
+    const FaultConfig cfg = FaultInjector::global().config();
+    EXPECT_EQ(cfg.seed, 5u);
+    EXPECT_EQ(
+        cfg.probability[static_cast<int>(FaultSite::WorkerCrash)],
+        0.5);
+    EXPECT_EQ(
+        cfg.probability[static_cast<int>(FaultSite::LeaseStall)],
+        0.25);
+    EXPECT_EQ(
+        cfg.probability[static_cast<int>(FaultSite::FrameCorrupt)],
+        0.125);
+    EXPECT_EQ(
+        cfg.probability[static_cast<int>(FaultSite::ExecFailure)],
+        1.0);
+    // probability 1.0 fires everywhere; distinct site names resolve.
+    EXPECT_TRUE(FaultInjector::global().fires(FaultSite::ExecFailure,
+                                              12345));
+    EXPECT_STREQ(faultSiteName(FaultSite::WorkerCrash),
+                 "worker-crash");
+    EXPECT_STREQ(faultSiteName(FaultSite::LeaseStall), "lease-stall");
+    EXPECT_STREQ(faultSiteName(FaultSite::FrameCorrupt),
+                 "frame-corrupt");
+    EXPECT_STREQ(faultSiteName(FaultSite::ExecFailure),
+                 "exec-failure");
 }

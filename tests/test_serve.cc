@@ -691,3 +691,45 @@ TEST_F(ServeTest, ServerOptionsFromEnvParsesAndFallsBack)
     EXPECT_EQ(opts.maxRetries, ServerOptions{}.maxRetries);
     EXPECT_EQ(opts.backoffBase, ServerOptions{}.backoffBase);
 }
+
+TEST_F(ServeTest, InvalidProgrammaticOptionsFallBackToDefaults)
+{
+    const Device d = Device::ibmqRome();
+    const NoisyMachine machine(d);
+    const PreparedCircuit prepared = denseJob(machine, d);
+
+    // Programmatic options bypass fromEnv()'s range checks; a zero or
+    // negative pool / queue depth must warn and fall back to the
+    // documented defaults (not deadlock, not reject everything).
+    ServerOptions opts;
+    opts.workers = 0;
+    opts.queueDepth = -5;
+    JobServer server(machine, opts);
+
+    JobSpec spec;
+    spec.prepared = prepared;
+    spec.shots = 200;
+    spec.seed = 3;
+    const Admission adm = server.submit("tenant", std::move(spec));
+    ASSERT_TRUE(adm.accepted) << adm.reason;
+    const JobResult result = server.wait(adm.id);
+    EXPECT_EQ(result.state, JobState::Done);
+    EXPECT_TRUE(distributionsIdentical(
+        result.dist, machine.run(prepared, 200, 3)));
+
+    // The fallback queue depth is the real default, not 1: a burst of
+    // default-depth submissions is admitted without rejections.
+    std::vector<JobId> ids;
+    for (int i = 0; i < ServerOptions{}.queueDepth; i++) {
+        JobSpec burst;
+        burst.prepared = prepared;
+        burst.shots = 60;
+        burst.seed = 100 + static_cast<uint64_t>(i);
+        const Admission a = server.submit("burst", std::move(burst));
+        ASSERT_TRUE(a.accepted) << "submission " << i << ": "
+                                << a.reason;
+        ids.push_back(a.id);
+    }
+    for (const JobId id : ids)
+        EXPECT_EQ(server.wait(id).state, JobState::Done);
+}
