@@ -1,6 +1,8 @@
 #include "noise/compiled.hh"
 
 #include <cmath>
+#include <cstring>
+#include <type_traits>
 #include <utility>
 
 #include "circuit/clifford1q.hh"
@@ -999,6 +1001,11 @@ bindFrameProgram(const ExecutionPlan &plan, const FrameSkeleton &skel,
     prog.numQubits = static_cast<int>(plan.active.size());
     prog.numClbits = plan.maxClbit + 1;
     prog.branchDepth = skel.branchDepth;
+    // Lane width is a bind-time property: the skeleton (and so the
+    // program cache) stays lane-independent, while every Sparse
+    // anyThresh below is resolved for this width.
+    prog.laneWords = frameLaneWordsFromEnv();
+    const int frame_lanes = prog.laneCount();
 
     // Cursors into the recorded reference-walk traces, consumed in
     // lock-step with the structure-only guards the skeleton used.
@@ -1034,7 +1041,8 @@ bindFrameProgram(const ExecutionPlan &plan, const FrameSkeleton &skel,
                 "twirlCoherent");
         FrameTwirlOp t;
         t.q = dq;
-        t.prob = makeFrameBernoulli(twirlZProbability(phase));
+        t.prob = makeFrameBernoulli(twirlZProbability(phase),
+                                     frame_lanes);
         if (t.prob.mode == FrameBernoulli::Mode::Never)
             return;
         prog.twirl.push_back(t);
@@ -1067,7 +1075,7 @@ bindFrameProgram(const ExecutionPlan &plan, const FrameSkeleton &skel,
                 // defers it to an exact per-shot rerun forced at
                 // this ordinal.
                 m.randT1Ordinal = prog.randomT1Count++;
-                m.t1 = makeFrameBernoulli(gamma * 0.5);
+                m.t1 = makeFrameBernoulli(gamma * 0.5, frame_lanes);
                 if (prog.branchDepth > 0) {
                     recordFlipSupport(prog, m, trace.flipX,
                                       trace.flipZ);
@@ -1081,12 +1089,13 @@ bindFrameProgram(const ExecutionPlan &plan, const FrameSkeleton &skel,
                     prog.t1Sites.push_back(std::move(site));
                 }
             } else {
-                m.t1 = makeFrameBernoulli(gamma);
+                m.t1 = makeFrameBernoulli(gamma, frame_lanes);
             }
         }
         if (flags.whiteDephasing) {
             m.deph = makeFrameBernoulli(
-                whiteDephasingFlipProbability(dt_us, qc.t2WhiteUs));
+                whiteDephasingFlipProbability(dt_us, qc.t2WhiteUs),
+                frame_lanes);
         }
         if (m.t1.mode == FrameBernoulli::Mode::Never &&
             m.deph.mode == FrameBernoulli::Mode::Never)
@@ -1126,8 +1135,8 @@ bindFrameProgram(const ExecutionPlan &plan, const FrameSkeleton &skel,
                 recordFlipSupport(prog, m, trace.flipX, trace.flipZ);
             refCl[static_cast<size_t>(step.clbit)] = m.refBit;
             if (flags.measurementErrors) {
-                m.err01 = makeFrameBernoulli(step.err01);
-                m.err10 = makeFrameBernoulli(step.err10);
+                m.err01 = makeFrameBernoulli(step.err01, frame_lanes);
+                m.err10 = makeFrameBernoulli(step.err10, frame_lanes);
             }
             prog.meas.push_back(m);
             prog.ops.push_back(
@@ -1150,7 +1159,7 @@ bindFrameProgram(const ExecutionPlan &plan, const FrameSkeleton &skel,
                 FrameErr2QOp e;
                 e.a = step.q;
                 e.b = step.q2;
-                e.prob = makeFrameBernoulli(step.cxError);
+                e.prob = makeFrameBernoulli(step.cxError, frame_lanes);
                 prog.err2q.push_back(e);
                 prog.ops.push_back(
                     {FrameOpRef::Kind::Err2Q,
@@ -1184,7 +1193,7 @@ bindFrameProgram(const ExecutionPlan &plan, const FrameSkeleton &skel,
                     FrameErr1QOp e;
                     e.q = step.q;
                     e.prob =
-                        makeFrameBernoulli(step.pulses[i].errorProb);
+                        makeFrameBernoulli(step.pulses[i].errorProb, frame_lanes);
                     for (size_t p = 0; p < 3; p++)
                         e.mapped[p] = trace.mapped[i][p];
                     prog.err1q.push_back(e);
@@ -1265,6 +1274,7 @@ compileFrameTail(const FrameProgram &parent, uint32_t ordinal)
     prog.numQubits = parent.numQubits;
     prog.numClbits = parent.numClbits;
     prog.branchDepth = parent.branchDepth - 1;
+    prog.laneWords = parent.laneWords;
 
     // The post-jump reference and its recorded bits, advanced through
     // the parent's suffix to re-resolve everything
@@ -1344,7 +1354,7 @@ compileFrameTail(const FrameProgram &parent, uint32_t ordinal)
                 if (p1 == 0.5) {
                     m.t1Ref = 2;
                     m.randT1Ordinal = prog.randomT1Count++;
-                    m.t1 = makeFrameBernoulli(pm.gamma * 0.5);
+                    m.t1 = makeFrameBernoulli(pm.gamma * 0.5, parent.laneCount());
                     const bool sup =
                         ref.measureFlipSupport(m.q, flip_x, flip_z);
                     require(sup,
@@ -1362,7 +1372,7 @@ compileFrameTail(const FrameProgram &parent, uint32_t ordinal)
                     prog.t1Sites.push_back(std::move(s));
                 } else {
                     m.t1Ref = p1 == 1.0 ? 1 : 0;
-                    m.t1 = makeFrameBernoulli(pm.gamma);
+                    m.t1 = makeFrameBernoulli(pm.gamma, parent.laneCount());
                 }
             }
             if (m.t1.mode == FrameBernoulli::Mode::Never &&
@@ -1461,15 +1471,13 @@ ShotReplayer::ShotReplayer(const ExecutionPlan &plan,
     : plan_(plan), prog_(prog), sv_(prog.numQubits),
       packer_(prog.numClbits),
       qubitRng_(static_cast<size_t>(prog.numQubits)),
-      ouVal_(static_cast<size_t>(prog.numQubits), 0.0),
-      phases_(prog.phaseSlots, 0.0),
-      measWord_(size_t{2} * prog.measSlots, 0)
+      ouVal_(static_cast<size_t>(prog.numQubits), 0.0)
 {
-    events_.reserve(64);
+    tape_.events.reserve(64);
 }
 
 void
-ShotReplayer::drawTape(const Rng &shot_rng)
+ShotReplayer::drawTape(const Rng &shot_rng, ShotTape &tape)
 {
     const NoiseFlags &flags = prog_.flags;
     gateRng_ = shot_rng.fork(0x6a7e);
@@ -1481,7 +1489,12 @@ ShotReplayer::drawTape(const Rng &shot_rng)
             ouVal_[ai] = qubitRng_[ai].normal(0.0, prog_.ouSigma[ai]);
         }
     }
-    events_.clear();
+    // Every written slot is unconditionally overwritten before any
+    // read (dynamic phases on emission, meas words per Meas / Reset
+    // op), so resize without zeroing is safe.
+    tape.phases.resize(prog_.phaseSlots);
+    tape.measWord.resize(size_t{2} * prog_.measSlots);
+    tape.events.clear();
 
     for (uint32_t i = 0; i < prog_.ops.size(); i++) {
         const OpRef ref = prog_.ops[i];
@@ -1502,17 +1515,17 @@ ShotReplayer::drawTape(const Rng &shot_rng)
                     if (phase != 0.0) {
                         if (qubitRng_[ai].bernoulli(
                                 twirlZProbability(phase))) {
-                            events_.push_back(
+                            tape.events.push_back(
                                 {i, 0, 0, ShotEvent::Kind::TwirlZ, 0,
                                  0});
                         }
                     }
                 } else {
-                    phases_[c.phaseSlot] = phase;
+                    tape.phases[c.phaseSlot] = phase;
                 }
             } else if (c.twirlThresh != kNoDraw) {
                 if ((qubitRng_[ai].next() >> 11) < c.twirlThresh) {
-                    events_.push_back(
+                    tape.events.push_back(
                         {i, 0, 0, ShotEvent::Kind::TwirlZ, 0, 0});
                 }
             }
@@ -1526,12 +1539,12 @@ ShotReplayer::drawTape(const Rng &shot_rng)
                 (qubitRng_[ai].next() >> 11) < m.t1Thresh) {
                 // Reserve the population-conditional word; the replay
                 // resolves it against the live state.
-                events_.push_back({i, 0, qubitRng_[ai].next(),
-                                   ShotEvent::Kind::T1Jump, 0, 0});
+                tape.events.push_back({i, 0, qubitRng_[ai].next(),
+                                       ShotEvent::Kind::T1Jump, 0, 0});
             }
             if (m.dephThresh != kNoDraw &&
                 (qubitRng_[ai].next() >> 11) < m.dephThresh) {
-                events_.push_back(
+                tape.events.push_back(
                     {i, 0, 0, ShotEvent::Kind::DephZ, 0, 0});
             }
             break;
@@ -1544,9 +1557,9 @@ ShotReplayer::drawTape(const Rng &shot_rng)
                 if ((gateRng_.next() >> 11) < chk.thresh) {
                     const auto pauli = static_cast<uint8_t>(
                         gateRng_.uniformInt(3) + 1);
-                    events_.push_back({i, chk.pulse, 0,
-                                       ShotEvent::Kind::Err1Q, pauli,
-                                       0});
+                    tape.events.push_back({i, chk.pulse, 0,
+                                           ShotEvent::Kind::Err1Q,
+                                           pauli, 0});
                 }
             }
             break;
@@ -1557,7 +1570,7 @@ ShotReplayer::drawTape(const Rng &shot_rng)
                 (gateRng_.next() >> 11) < t.errThresh) {
                 const auto code =
                     static_cast<int>(gateRng_.uniformInt(15)) + 1;
-                events_.push_back(
+                tape.events.push_back(
                     {i, 0, 0, ShotEvent::Kind::Err2Q,
                      static_cast<uint8_t>(code & 3),
                      static_cast<uint8_t>(code >> 2)});
@@ -1566,8 +1579,8 @@ ShotReplayer::drawTape(const Rng &shot_rng)
           }
           case OpRef::Kind::Meas: {
             const MeasOp &m = prog_.meas[ref.idx];
-            measWord_[size_t{2} * m.wordSlot] = gateRng_.next();
-            measWord_[size_t{2} * m.wordSlot + 1] =
+            tape.measWord[size_t{2} * m.wordSlot] = gateRng_.next();
+            tape.measWord[size_t{2} * m.wordSlot + 1] =
                 flags.measurementErrors ? gateRng_.next() : 0;
             break;
           }
@@ -1576,8 +1589,8 @@ ShotReplayer::drawTape(const Rng &shot_rng)
             // error; the conditional |1> -> |0> flip resolves in the
             // replay against the live state.
             const ResetOp &r = prog_.resets[ref.idx];
-            measWord_[size_t{2} * r.wordSlot] = gateRng_.next();
-            measWord_[size_t{2} * r.wordSlot + 1] = 0;
+            tape.measWord[size_t{2} * r.wordSlot] = gateRng_.next();
+            tape.measWord[size_t{2} * r.wordSlot + 1] = 0;
             break;
           }
           case OpRef::Kind::Cond1Q:
@@ -1589,34 +1602,37 @@ ShotReplayer::drawTape(const Rng &shot_rng)
 }
 
 void
-ShotReplayer::replay(const std::vector<OpRef> &stream)
+ShotReplayer::replayRange(const std::vector<OpRef> &stream,
+                          uint32_t first_op, const ShotTape &tape,
+                          size_t cursor)
 {
     const NoiseFlags &flags = prog_.flags;
-    size_t cursor = 0;
-    const size_t n_events = events_.size();
+    const std::vector<ShotEvent> &events = tape.events;
+    const size_t n_events = events.size();
 
-    for (uint32_t i = 0; i < stream.size(); i++) {
+    for (uint32_t i = first_op; i < stream.size(); i++) {
         const OpRef ref = stream[i];
         switch (ref.kind) {
           case OpRef::Kind::Coherent: {
             const CoherentOp &c = prog_.coherent[ref.idx];
             if (flags.twirlCoherent) {
-                if (cursor < n_events && events_[cursor].op == i) {
+                if (cursor < n_events && events[cursor].op == i) {
                     sv_.apply1Q(pauliMatrix(3), c.q);
                     cursor++;
                 }
                 break;
             }
-            const double phi = c.ouKind != 0 ? phases_[c.phaseSlot]
-                                             : c.staticPhi;
+            const double phi = c.ouKind != 0
+                                   ? tape.phases[c.phaseSlot]
+                                   : c.staticPhi;
             if (phi != 0.0)
                 sv_.applyPhase(c.q, phi);
             break;
           }
           case OpRef::Kind::Markov: {
             const MarkovOp &m = prog_.markov[ref.idx];
-            while (cursor < n_events && events_[cursor].op == i) {
-                const ShotEvent &e = events_[cursor++];
+            while (cursor < n_events && events[cursor].op == i) {
+                const ShotEvent &e = events[cursor++];
                 if (e.kind == ShotEvent::Kind::T1Jump) {
                     const double p = sv_.populationOne(m.q);
                     const double u =
@@ -1631,7 +1647,7 @@ ShotReplayer::replay(const std::vector<OpRef> &stream)
           }
           case OpRef::Kind::Fused1Q: {
             const Fused1QOp &f = prog_.fused[ref.idx];
-            if (cursor >= n_events || events_[cursor].op != i) {
+            if (cursor >= n_events || events[cursor].op != i) {
                 sv_.apply1Q(prog_.matrices[f.fullMat], f.q);
                 break;
             }
@@ -1641,8 +1657,8 @@ ShotReplayer::replay(const std::vector<OpRef> &stream)
             const std::vector<Pulse> &pulses =
                 plan_.steps[f.step].pulses;
             int64_t prev = -1;
-            while (cursor < n_events && events_[cursor].op == i) {
-                const ShotEvent &e = events_[cursor++];
+            while (cursor < n_events && events[cursor].op == i) {
+                const ShotEvent &e = events[cursor++];
                 if (prev < 0) {
                     sv_.apply1Q(prog_.matrices[f.prefixOff + e.pulse],
                                 f.q);
@@ -1679,8 +1695,8 @@ ShotReplayer::replay(const std::vector<OpRef> &stream)
               default:
                 panic("compiled replay: unexpected two-qubit gate");
             }
-            if (cursor < n_events && events_[cursor].op == i) {
-                const ShotEvent &e = events_[cursor++];
+            if (cursor < n_events && events[cursor].op == i) {
+                const ShotEvent &e = events[cursor++];
                 if (e.a != 0)
                     sv_.apply1Q(pauliMatrix(e.a), t.q);
                 if (e.b != 0)
@@ -1690,13 +1706,13 @@ ShotReplayer::replay(const std::vector<OpRef> &stream)
           }
           case OpRef::Kind::Meas: {
             const MeasOp &m = prog_.meas[ref.idx];
-            const uint64_t mw = measWord_[size_t{2} * m.wordSlot];
+            const uint64_t mw = tape.measWord[size_t{2} * m.wordSlot];
             const double u =
                 static_cast<double>(mw >> 11) * 0x1.0p-53;
             bool bit = sv_.measureCollapse(m.q, u);
             if (flags.measurementErrors) {
                 const uint64_t ew =
-                    measWord_[size_t{2} * m.wordSlot + 1];
+                    tape.measWord[size_t{2} * m.wordSlot + 1];
                 if ((ew >> 11) < (bit ? m.thresh10 : m.thresh01))
                     bit = !bit;
             }
@@ -1705,7 +1721,7 @@ ShotReplayer::replay(const std::vector<OpRef> &stream)
           }
           case OpRef::Kind::Reset: {
             const ResetOp &r = prog_.resets[ref.idx];
-            const uint64_t mw = measWord_[size_t{2} * r.wordSlot];
+            const uint64_t mw = tape.measWord[size_t{2} * r.wordSlot];
             const double u =
                 static_cast<double>(mw >> 11) * 0x1.0p-53;
             if (sv_.measureCollapse(r.q, u))
@@ -1723,21 +1739,27 @@ ShotReplayer::replay(const std::vector<OpRef> &stream)
 }
 
 uint64_t
-ShotReplayer::runShot(const Rng &shot_rng)
+ShotReplayer::replayShot(const ShotTape &tape)
 {
-    drawTape(shot_rng);
     sv_.reset();
     packer_.clear();
     totalShots_++;
-    if (events_.empty()) {
+    if (tape.events.empty()) {
         // No stochastic event fired: maximally fused deterministic
         // replay (no Markov ops, one matrix per pulse train).
         fastShots_++;
-        replay(prog_.fastOps);
+        replayRange(prog_.fastOps, 0, tape, 0);
     } else {
-        replay(prog_.ops);
+        replayRange(prog_.ops, 0, tape, 0);
     }
     return packer_.key();
+}
+
+uint64_t
+ShotReplayer::runShot(const Rng &shot_rng)
+{
+    drawTape(shot_rng, tape_);
+    return replayShot(tape_);
 }
 
 int64_t
@@ -1757,6 +1779,676 @@ ShotReplayer::runBlock(const Rng &base, int64_t first_shot,
         const Rng shot_rng = base.fork(
             static_cast<uint64_t>(first_shot + done) + 1);
         hist.add(runShot(shot_rng), 1.0);
+    }
+    return done;
+}
+
+// ------------------------------------------------------------------
+// Grouped (shot-batched) dense execution.
+// ------------------------------------------------------------------
+
+namespace
+{
+
+/** True when two tapes resolved the same event pattern.  The per-shot
+ *  measurement / T1 words are deliberately excluded: grouped lanes
+ *  may differ in them because they are only consumed after the peel
+ *  point. */
+bool
+sameSignature(const ShotTape &x, const ShotTape &y)
+{
+    if (x.events.size() != y.events.size())
+        return false;
+    for (size_t k = 0; k < x.events.size(); k++) {
+        const ShotEvent &a = x.events[k];
+        const ShotEvent &b = y.events[k];
+        if (a.op != b.op || a.pulse != b.pulse || a.kind != b.kind ||
+            a.a != b.a || a.b != b.b)
+            return false;
+    }
+    return true;
+}
+
+/** One scalar draw on lane @p l of a structure-of-arrays stream
+ *  block (word w of lane l at words[w * stride + l]) — the rare
+ *  follow-up word after a firing threshold check. */
+uint64_t
+laneStep(uint64_t *words, size_t stride, int l)
+{
+    const auto u = static_cast<size_t>(l);
+    uint64_t st[4] = {words[u], words[stride + u],
+                      words[2 * stride + u], words[3 * stride + u]};
+    const uint64_t r = Rng::step(st);
+    words[u] = st[0];
+    words[stride + u] = st[1];
+    words[2 * stride + u] = st[2];
+    words[3 * stride + u] = st[3];
+    return r;
+}
+
+/** Rng::uniformInt on lane @p l of a stream block (Pauli error code
+ *  draws after a firing gate-error check). */
+uint64_t
+laneUniformInt(uint64_t *words, size_t stride, int l, uint64_t n)
+{
+    const auto u = static_cast<size_t>(l);
+    uint64_t st[4] = {words[u], words[stride + u],
+                      words[2 * stride + u], words[3 * stride + u]};
+    const uint64_t r = Rng::uniformIntFromState(st, n);
+    words[u] = st[0];
+    words[stride + u] = st[1];
+    words[2 * stride + u] = st[2];
+    words[3 * stride + u] = st[3];
+    return r;
+}
+
+} // namespace
+
+BatchShotReplayer::BatchShotReplayer(const ExecutionPlan &plan,
+                                     const ShotProgram &prog)
+    : scalar_(plan, prog), bsv_(prog.numQubits, kBatchLanes),
+      tapes_(kBatchLanes),
+      laneAmps_(uint64_t{1} << prog.numQubits),
+      laneFactors_(kBatchLanes),
+      drawBatched_(!prog.flags.ouDephasing),
+      gateWords_(drawBatched_ ? size_t{4} * kBatchLanes : 0),
+      qubitWords_(drawBatched_
+                      ? size_t{4} * kBatchLanes *
+                            static_cast<size_t>(prog.numQubits)
+                      : 0),
+      refMode_(prog.phaseSlots == 0)
+{
+    require(eligible(prog),
+            "BatchShotReplayer requires an eligible program");
+    if (refMode_) {
+        // The event-free evolution of the general stream is
+        // shot-invariant when no per-shot dynamic phases exist:
+        // checkpoint it once, up to the first state-dependent op.
+        refDivOp_ = static_cast<uint32_t>(prog.ops.size());
+        for (uint32_t i = 0; i < prog.ops.size(); i++) {
+            const OpRef::Kind k = prog.ops[i].kind;
+            if (k == OpRef::Kind::Meas || k == OpRef::Kind::Reset) {
+                refDivOp_ = i;
+                break;
+            }
+        }
+        const uint64_t dim = uint64_t{1} << prog.numQubits;
+        const auto max_cp = static_cast<uint32_t>(std::max<size_t>(
+            2, kRefBudgetBytes / (dim * sizeof(Complex))));
+        refStride_ = std::max<uint32_t>(
+            1, (refDivOp_ + max_cp - 1) / max_cp);
+        const uint32_t num_cp = refDivOp_ / refStride_ + 1;
+        refAmps_.resize(size_t{num_cp} * dim);
+        scalar_.sv_.reset();
+        for (uint32_t c = 0; c < num_cp; c++) {
+            std::memcpy(refAmps_.data() + size_t{c} * dim,
+                        scalar_.sv_.data(), dim * sizeof(Complex));
+            replayPrefix(scalar_.sv_, prog.ops, c * refStride_,
+                         std::min((c + 1) * refStride_, refDivOp_),
+                         emptyTape_, nullptr, 0);
+        }
+        // The no-error prefix on the fast stream, likewise
+        // tape-invariant, shared by every no-error shot of a run.
+        size_t fast_cursor = 0;
+        refFastDivOp_ =
+            divergenceOp(prog.fastOps, emptyTape_, fast_cursor);
+        refFastAmps_.resize(dim);
+        scalar_.sv_.reset();
+        replayPrefix(scalar_.sv_, prog.fastOps, 0, refFastDivOp_,
+                     emptyTape_, nullptr, 0);
+        std::memcpy(refFastAmps_.data(), scalar_.sv_.data(),
+                    dim * sizeof(Complex));
+    }
+}
+
+uint64_t
+BatchShotReplayer::replayShotFromRef(const ShotTape &tape)
+{
+    // Mirrors ShotReplayer::replayShot, except the state starts at
+    // the precomputed reference below the shot's first divergence —
+    // the fast-stream prefix state for a no-error tape, or the
+    // checkpoint below the first event — instead of |0...0>.
+    const ShotProgram &prog = scalar_.prog_;
+    const uint64_t dim = uint64_t{1} << prog.numQubits;
+    scalar_.packer_.clear();
+    scalar_.totalShots_++;
+    if (tape.events.empty()) {
+        scalar_.fastShots_++;
+        scalar_.sv_.setAmplitudes(refFastAmps_.data(), dim);
+        scalar_.replayRange(prog.fastOps, refFastDivOp_, tape, 0);
+    } else {
+        const uint32_t j = std::min(tape.events[0].op, refDivOp_);
+        const uint32_t cp = j / refStride_;
+        scalar_.sv_.setAmplitudes(refAmps_.data() + size_t{cp} * dim,
+                                  dim);
+        scalar_.replayRange(prog.ops, cp * refStride_, tape, 0);
+    }
+    return scalar_.packer_.key();
+}
+
+void
+BatchShotReplayer::drawBlockTapes(const Rng &base, int64_t first_shot,
+                                  int count)
+{
+    // Mirrors ShotReplayer::drawTape op by op: each lane's streams
+    // consume the same words in the same order, so the tapes are
+    // bitwise those of count scalar draw passes.  The per-shot
+    // Gaussians of OU dephasing are the one draw kind with no
+    // lockstep form (Box-Muller caches a second value per stream);
+    // programs that sample them construct with drawBatched_ false.
+    const ShotProgram &prog = scalar_.prog_;
+    const NoiseFlags &flags = prog.flags;
+    constexpr size_t kL = kBatchLanes;
+    const auto n = static_cast<size_t>(prog.numQubits);
+
+    uint64_t st[4];
+    for (int l = 0; l < count; l++) {
+        const auto ul = static_cast<size_t>(l);
+        const Rng shot_rng =
+            base.fork(static_cast<uint64_t>(first_shot + l) + 1);
+        shot_rng.fork(0x6a7e).exportState(st);
+        for (size_t w = 0; w < 4; w++)
+            gateWords_[w * kL + ul] = st[w];
+        for (size_t ai = 0; ai < n; ai++) {
+            shot_rng.fork(0x0b5e + ai).exportState(st);
+            uint64_t *qs = qubitWords_.data() + ai * 4 * kL;
+            for (size_t w = 0; w < 4; w++)
+                qs[w * kL + ul] = st[w];
+        }
+        ShotTape &tape = tapes_[ul];
+        tape.phases.resize(prog.phaseSlots);
+        tape.measWord.resize(size_t{2} * prog.measSlots);
+        tape.events.clear();
+    }
+
+    uint64_t words[kBatchLanes];
+    uint64_t *gs = gateWords_.data();
+    const auto sweep = [&](uint64_t *s) {
+        Rng::stepLanes(s, s + kL, s + 2 * kL, s + 3 * kL, words,
+                       count);
+    };
+    // Draw + threshold check in one pass; the caller scans for the
+    // firing lanes only when at least one fired (events are rare, so
+    // the vectorizable count skips nearly every scalar scan).
+    const auto sweepCount = [&](uint64_t *s, uint64_t thresh) {
+        Rng::stepLanes(s, s + kL, s + 2 * kL, s + 3 * kL, words,
+                       count);
+        int fired = 0;
+        for (int l = 0; l < count; l++)
+            fired += (words[l] >> 11) < thresh ? 1 : 0;
+        return fired;
+    };
+
+    for (uint32_t i = 0; i < prog.ops.size(); i++) {
+        const OpRef ref = prog.ops[i];
+        switch (ref.kind) {
+          case OpRef::Kind::Coherent: {
+            // ouKind != 0 implies flags.ouDephasing, which disables
+            // the batched draw; only static-phase twirls draw here.
+            const CoherentOp &c = prog.coherent[ref.idx];
+            if (c.twirlThresh != kNoDraw &&
+                sweepCount(qubitWords_.data() +
+                               static_cast<size_t>(c.q) * 4 * kL,
+                           c.twirlThresh) != 0) {
+                for (int l = 0; l < count; l++) {
+                    if ((words[l] >> 11) < c.twirlThresh) {
+                        tapes_[static_cast<size_t>(l)]
+                            .events.push_back(
+                                {i, 0, 0, ShotEvent::Kind::TwirlZ, 0,
+                                 0});
+                    }
+                }
+            }
+            break;
+          }
+          case OpRef::Kind::Markov: {
+            const MarkovOp &m = prog.markov[ref.idx];
+            uint64_t *qs = qubitWords_.data() +
+                           static_cast<size_t>(m.q) * 4 * kL;
+            if (m.t1Thresh != kNoDraw &&
+                sweepCount(qs, m.t1Thresh) != 0) {
+                for (int l = 0; l < count; l++) {
+                    if ((words[l] >> 11) < m.t1Thresh) {
+                        // Reserve the population-conditional word
+                        // from this lane's stream, like the scalar
+                        // draw.
+                        tapes_[static_cast<size_t>(l)]
+                            .events.push_back(
+                                {i, 0, laneStep(qs, kL, l),
+                                 ShotEvent::Kind::T1Jump, 0, 0});
+                    }
+                }
+            }
+            if (m.dephThresh != kNoDraw &&
+                sweepCount(qs, m.dephThresh) != 0) {
+                for (int l = 0; l < count; l++) {
+                    if ((words[l] >> 11) < m.dephThresh) {
+                        tapes_[static_cast<size_t>(l)]
+                            .events.push_back(
+                                {i, 0, 0, ShotEvent::Kind::DephZ, 0,
+                                 0});
+                    }
+                }
+            }
+            break;
+          }
+          case OpRef::Kind::Fused1Q: {
+            const Fused1QOp &f = prog.fused[ref.idx];
+            for (uint32_t e = 0; e < f.errCnt; e++) {
+                const PulseErrCheck &chk =
+                    prog.errChecks[f.errOff + e];
+                if (sweepCount(gs, chk.thresh) == 0)
+                    continue;
+                for (int l = 0; l < count; l++) {
+                    if ((words[l] >> 11) < chk.thresh) {
+                        const auto pauli = static_cast<uint8_t>(
+                            laneUniformInt(gs, kL, l, 3) + 1);
+                        tapes_[static_cast<size_t>(l)]
+                            .events.push_back(
+                                {i, chk.pulse, 0,
+                                 ShotEvent::Kind::Err1Q, pauli, 0});
+                    }
+                }
+            }
+            break;
+          }
+          case OpRef::Kind::TwoQ: {
+            const TwoQOp &t = prog.twoQ[ref.idx];
+            if (t.errThresh != kNoDraw &&
+                sweepCount(gs, t.errThresh) != 0) {
+                for (int l = 0; l < count; l++) {
+                    if ((words[l] >> 11) < t.errThresh) {
+                        const auto code = static_cast<int>(
+                                              laneUniformInt(gs, kL,
+                                                             l, 15)) +
+                                          1;
+                        tapes_[static_cast<size_t>(l)]
+                            .events.push_back(
+                                {i, 0, 0, ShotEvent::Kind::Err2Q,
+                                 static_cast<uint8_t>(code & 3),
+                                 static_cast<uint8_t>(code >> 2)});
+                    }
+                }
+            }
+            break;
+          }
+          case OpRef::Kind::Meas: {
+            const MeasOp &m = prog.meas[ref.idx];
+            sweep(gs);
+            for (int l = 0; l < count; l++) {
+                tapes_[static_cast<size_t>(l)]
+                    .measWord[size_t{2} * m.wordSlot] = words[l];
+            }
+            if (flags.measurementErrors) {
+                sweep(gs);
+                for (int l = 0; l < count; l++) {
+                    tapes_[static_cast<size_t>(l)]
+                        .measWord[size_t{2} * m.wordSlot + 1] =
+                        words[l];
+                }
+            } else {
+                for (int l = 0; l < count; l++) {
+                    tapes_[static_cast<size_t>(l)]
+                        .measWord[size_t{2} * m.wordSlot + 1] = 0;
+                }
+            }
+            break;
+          }
+          case OpRef::Kind::Reset: {
+            const ResetOp &r = prog.resets[ref.idx];
+            sweep(gs);
+            for (int l = 0; l < count; l++) {
+                ShotTape &tape = tapes_[static_cast<size_t>(l)];
+                tape.measWord[size_t{2} * r.wordSlot] = words[l];
+                tape.measWord[size_t{2} * r.wordSlot + 1] = 0;
+            }
+            break;
+          }
+          case OpRef::Kind::Cond1Q:
+            break;
+        }
+    }
+}
+
+bool
+BatchShotReplayer::phasesUniform(const ShotTape &rep,
+                                 const int *lanes,
+                                 int group_size) const
+{
+    if (rep.phases.empty())
+        return true;
+    const size_t bytes = rep.phases.size() * sizeof(double);
+    for (int g = 1; g < group_size; g++) {
+        const ShotTape &t = tapes_[static_cast<size_t>(lanes[g])];
+        if (std::memcmp(t.phases.data(), rep.phases.data(), bytes) !=
+            0)
+            return false;
+    }
+    return true;
+}
+
+uint32_t
+BatchShotReplayer::divergenceOp(const std::vector<OpRef> &stream,
+                                const ShotTape &rep,
+                                size_t &cursor_out) const
+{
+    const std::vector<ShotEvent> &events = rep.events;
+    size_t cursor = 0;
+    for (uint32_t i = 0; i < stream.size(); i++) {
+        const OpRef ref = stream[i];
+        if (ref.kind == OpRef::Kind::Meas ||
+            ref.kind == OpRef::Kind::Reset) {
+            cursor_out = cursor;
+            return i;
+        }
+        if (ref.kind == OpRef::Kind::Markov &&
+            cursor < events.size() && events[cursor].op == i &&
+            events[cursor].kind == ShotEvent::Kind::T1Jump) {
+            // The draw pass emits a Markov op's T1Jump before its
+            // DephZ, so a population-conditional jump is always the
+            // first event at its op index.
+            cursor_out = cursor;
+            return i;
+        }
+        while (cursor < events.size() && events[cursor].op == i)
+            cursor++;
+    }
+    cursor_out = cursor;
+    return static_cast<uint32_t>(stream.size());
+}
+
+template <class SV>
+void
+BatchShotReplayer::replayPrefix(SV &sv,
+                                const std::vector<OpRef> &stream,
+                                uint32_t from, uint32_t to,
+                                const ShotTape &rep,
+                                const int *lanes, int group_size)
+{
+    constexpr bool kBatch = std::is_same_v<SV, BatchStateVector>;
+    const ShotProgram &prog = scalar_.prog_;
+    const NoiseFlags &flags = prog.flags;
+    const std::vector<ShotEvent> &events = rep.events;
+    const size_t n_events = events.size();
+    size_t cursor = 0;
+
+    for (uint32_t i = from; i < to; i++) {
+        const OpRef ref = stream[i];
+        switch (ref.kind) {
+          case OpRef::Kind::Coherent: {
+            const CoherentOp &c = prog.coherent[ref.idx];
+            if (flags.twirlCoherent) {
+                if (cursor < n_events && events[cursor].op == i) {
+                    sv.apply1Q(pauliMatrix(3), c.q);
+                    cursor++;
+                }
+                break;
+            }
+            if (c.ouKind != 0) {
+                if constexpr (kBatch) {
+                    // Per-lane dynamic phases.  A lane whose phase
+                    // is 0.0 (the scalar path skips its sweep)
+                    // receives the exact factor (1, +0); only the
+                    // sign of zero amplitudes can differ, which no
+                    // population sum or outcome key observes.
+                    for (int g = 0; g < group_size; g++) {
+                        const double phi =
+                            tapes_[static_cast<size_t>(lanes[g])]
+                                .phases[c.phaseSlot];
+                        laneFactors_[static_cast<size_t>(g)] =
+                            std::exp(kImag * phi);
+                    }
+                    sv.applyPhaseFactors(c.q, laneFactors_.data());
+                } else {
+                    // Uniform group: every member's phase equals the
+                    // representative's, so the scalar replay's exact
+                    // skip-on-zero semantics apply.
+                    const double phi = rep.phases[c.phaseSlot];
+                    if (phi != 0.0)
+                        sv.applyPhase(c.q, phi);
+                }
+            } else if (c.staticPhi != 0.0) {
+                sv.applyPhase(c.q, c.staticPhi);
+            }
+            break;
+          }
+          case OpRef::Kind::Markov: {
+            const MarkovOp &m = prog.markov[ref.idx];
+            while (cursor < n_events && events[cursor].op == i) {
+                // Only DephZ can appear here: a T1Jump would have
+                // bounded the prefix at this op.
+                sv.apply1Q(pauliMatrix(3), m.q);
+                cursor++;
+            }
+            break;
+          }
+          case OpRef::Kind::Fused1Q: {
+            const Fused1QOp &f = prog.fused[ref.idx];
+            if (cursor >= n_events || events[cursor].op != i) {
+                sv.apply1Q(prog.matrices[f.fullMat], f.q);
+                break;
+            }
+            const std::vector<Pulse> &pulses =
+                scalar_.plan_.steps[f.step].pulses;
+            int64_t prev = -1;
+            while (cursor < n_events && events[cursor].op == i) {
+                const ShotEvent &e = events[cursor++];
+                if (prev < 0) {
+                    sv.apply1Q(
+                        prog.matrices[f.prefixOff + e.pulse], f.q);
+                } else {
+                    Matrix2 seg = Matrix2::identity();
+                    for (auto j = static_cast<uint32_t>(prev + 1);
+                         j <= e.pulse; j++)
+                        seg = pulses[j].matrix * seg;
+                    sv.apply1Q(seg, f.q);
+                }
+                sv.apply1Q(pauliMatrix(e.a), f.q);
+                prev = e.pulse;
+            }
+            if (f.suffixOff != kNoTable) {
+                sv.apply1Q(
+                    prog.matrices[f.suffixOff +
+                                  static_cast<uint32_t>(prev)],
+                    f.q);
+            } else {
+                Matrix2 tail = Matrix2::identity();
+                for (auto j = static_cast<uint32_t>(prev + 1);
+                     j < f.pulseCnt; j++)
+                    tail = pulses[j].matrix * tail;
+                sv.apply1Q(tail, f.q);
+            }
+            break;
+          }
+          case OpRef::Kind::TwoQ: {
+            const TwoQOp &t = prog.twoQ[ref.idx];
+            switch (t.type) {
+              case GateType::CX: sv.applyCX(t.q, t.q2); break;
+              case GateType::CZ: sv.applyCZ(t.q, t.q2); break;
+              case GateType::SWAP: sv.applySwap(t.q, t.q2); break;
+              default:
+                panic("grouped replay: unexpected two-qubit gate");
+            }
+            if (cursor < n_events && events[cursor].op == i) {
+                const ShotEvent &e = events[cursor++];
+                if (e.a != 0)
+                    sv.apply1Q(pauliMatrix(e.a), t.q);
+                if (e.b != 0)
+                    sv.apply1Q(pauliMatrix(e.b), t.q2);
+            }
+            break;
+          }
+          case OpRef::Kind::Meas:
+          case OpRef::Kind::Reset:
+            panic("grouped dense prefix crossed a divergent op");
+          case OpRef::Kind::Cond1Q:
+            // No measurement has run before the divergence point, so
+            // the condition bit is 0 in every lane: uniform no-op.
+            break;
+        }
+    }
+}
+
+void
+BatchShotReplayer::runSubBlock(const Rng &base, int64_t first_shot,
+                               int count, FlatAccumulator &hist)
+{
+    const ShotProgram &prog = scalar_.prog_;
+    if (drawBatched_) {
+        drawBlockTapes(base, first_shot, count);
+    } else {
+        for (int s = 0; s < count; s++) {
+            const Rng shot_rng =
+                base.fork(static_cast<uint64_t>(first_shot + s) + 1);
+            scalar_.drawTape(shot_rng, tapes_[static_cast<size_t>(s)]);
+        }
+    }
+    for (int s = 0; s < count; s++) {
+        if (tapes_[static_cast<size_t>(s)].events.empty())
+            stats_.noErrorShots++;
+    }
+    stats_.shots += count;
+    stats_.blocks++;
+
+    // Group by event signature with an order-preserving scan against
+    // each group's representative (<= 64 members per block keeps the
+    // quadratic comparison trivial; tapes of one group share every
+    // event, so comparing against the representative suffices).
+    int groupOf[kBatchLanes];
+    int repOf[kBatchLanes];
+    int num_groups = 0;
+    for (int s = 0; s < count; s++) {
+        int g = -1;
+        for (int k = 0; k < num_groups; k++) {
+            if (sameSignature(tapes_[static_cast<size_t>(s)],
+                              tapes_[static_cast<size_t>(repOf[k])])) {
+                g = k;
+                break;
+            }
+        }
+        if (g < 0) {
+            g = num_groups++;
+            repOf[g] = s;
+        }
+        groupOf[s] = g;
+    }
+    stats_.groups += num_groups;
+
+    const uint64_t dim = uint64_t{1} << prog.numQubits;
+    int lanes[kBatchLanes];
+    for (int k = 0; k < num_groups; k++) {
+        int group_size = 0;
+        for (int s = 0; s < count; s++) {
+            if (groupOf[s] == k)
+                lanes[group_size++] = s;
+        }
+        const ShotTape &rep = tapes_[static_cast<size_t>(repOf[k])];
+        const std::vector<OpRef> &stream =
+            rep.events.empty() ? prog.fastOps : prog.ops;
+        size_t cursor_at_d = 0;
+        const uint32_t d =
+            group_size >= 2
+                ? divergenceOp(stream, rep, cursor_at_d)
+                : 0;
+        if (group_size < 2 || d == 0) {
+            // Nothing to share across lanes: per-shot replay, from
+            // the precomputed reference below the shot's first
+            // divergence when the event-free prefix is
+            // shot-invariant.
+            for (int g = 0; g < group_size; g++) {
+                const ShotTape &tape =
+                    tapes_[static_cast<size_t>(lanes[g])];
+                if (refMode_)
+                    hist.add(replayShotFromRef(tape), 1.0);
+                else
+                    hist.add(scalar_.replayShot(tape), 1.0);
+            }
+            continue;
+        }
+
+        stats_.batchedShots += group_size;
+        if (phasesUniform(rep, lanes, group_size)) {
+            // Every member's prefix is the identical operator
+            // sequence (equal events AND equal dynamic phases): run
+            // it once on the scalar state, snapshot, and give each
+            // member the shared state for its divergent tail.  An
+            // event-carrying group additionally starts from the
+            // reference checkpoint below its first event (refMode_).
+            if (refMode_ && rep.events.empty()) {
+                // No-error group: its fast-stream prefix state is
+                // block-invariant, and d here always equals
+                // refFastDivOp_ (both are the first Meas/Reset of
+                // fastOps), so the precomputed reference IS the
+                // shared snapshot.
+                std::memcpy(laneAmps_.data(), refFastAmps_.data(),
+                            dim * sizeof(Complex));
+            } else {
+                if (refMode_) {
+                    const uint32_t j =
+                        std::min(rep.events[0].op, refDivOp_);
+                    const uint32_t cp = j / refStride_;
+                    scalar_.sv_.setAmplitudes(
+                        refAmps_.data() + size_t{cp} * dim, dim);
+                    replayPrefix(scalar_.sv_, stream,
+                                 cp * refStride_, d, rep, lanes, 1);
+                } else {
+                    scalar_.sv_.reset();
+                    replayPrefix(scalar_.sv_, stream, 0, d, rep,
+                                 lanes, 1);
+                }
+                std::memcpy(laneAmps_.data(), scalar_.sv_.data(),
+                            dim * sizeof(Complex));
+            }
+            for (int g = 0; g < group_size; g++) {
+                const ShotTape &tape =
+                    tapes_[static_cast<size_t>(lanes[g])];
+                scalar_.sv_.setAmplitudes(laneAmps_.data(), dim);
+                scalar_.packer_.clear();
+                scalar_.totalShots_++;
+                if (tape.events.empty())
+                    scalar_.fastShots_++;
+                scalar_.replayRange(stream, d, tape, cursor_at_d);
+                hist.add(scalar_.packer_.key(), 1.0);
+            }
+            continue;
+        }
+
+        bsv_.reset(group_size);
+        replayPrefix(bsv_, stream, 0, d, rep, lanes, group_size);
+        for (int g = 0; g < group_size; g++) {
+            const ShotTape &tape =
+                tapes_[static_cast<size_t>(lanes[g])];
+            bsv_.extractLane(g, laneAmps_.data());
+            scalar_.sv_.setAmplitudes(laneAmps_.data(), dim);
+            // No measurement ran before the peel point, so the
+            // packer is clear at the divergence op in every lane.
+            scalar_.packer_.clear();
+            scalar_.totalShots_++;
+            if (tape.events.empty())
+                scalar_.fastShots_++;
+            scalar_.replayRange(stream, d, tape, cursor_at_d);
+            hist.add(scalar_.packer_.key(), 1.0);
+        }
+    }
+}
+
+int64_t
+BatchShotReplayer::runBlock(const Rng &base, int64_t first_shot,
+                            int64_t count, FlatAccumulator &hist,
+                            const CancellationToken *token)
+{
+    // Outcomes never depend on the sub-block split (every shot's
+    // tape is drawn from (base, absolute index) alone), so draw
+    // blocks are formed from the range start; the token is polled
+    // once per block, truncating to an exact block-prefix.
+    int64_t done = 0;
+    while (done < count) {
+        if (token != nullptr && token->stopRequested())
+            break;
+        const int n = static_cast<int>(
+            std::min<int64_t>(kBatchLanes, count - done));
+        runSubBlock(base, first_shot + done, n, hist);
+        done += n;
     }
     return done;
 }

@@ -65,6 +65,7 @@
 #include "sim/backend.hh"
 #include "sim/frame_batch.hh"
 #include "sim/statevector.hh"
+#include "sim/statevector_batch.hh"
 #include "transpile/schedule.hh"
 
 namespace adapt
@@ -630,6 +631,41 @@ struct ShotEvent
 };
 
 /**
+ * Everything one shot's draw pass resolved: the dynamic phases, the
+ * reserved measurement / reset RNG words, and the fired events.  A
+ * ShotTape plus the compiled program fully determines the shot — the
+ * replay consumes no RNG — so tapes for a whole block can be drawn up
+ * front and replayed in any grouping without changing any outcome.
+ */
+struct ShotTape
+{
+    std::vector<double> phases;     //!< per phaseSlot
+    std::vector<uint64_t> measWord; //!< 2 per measSlot
+    std::vector<ShotEvent> events;
+};
+
+/** Occupancy counters of the grouped dense path (BatchShotReplayer),
+ *  reported per run through RunOutcome::denseStats. */
+struct DenseBatchStats
+{
+    int64_t shots = 0;   //!< shots routed through the grouped path
+    int64_t blocks = 0;  //!< <= 64-shot draw blocks formed
+    int64_t groups = 0;  //!< signature groups (singletons included)
+    int64_t batchedShots = 0;  //!< shots whose prefix was amortized
+                               //!< (SoA planes or shared scalar)
+    int64_t noErrorShots = 0;  //!< shots whose draw pass fired nothing
+
+    void merge(const DenseBatchStats &other)
+    {
+        shots += other.shots;
+        blocks += other.blocks;
+        groups += other.groups;
+        batchedShots += other.batchedShots;
+        noErrorShots += other.noErrorShots;
+    }
+};
+
+/**
  * Per-chunk worker that replays a compiled program.  Owns the state
  * vector, the outcome packer, and the reusable draw tape; one
  * instance serves all the shots of a chunk.
@@ -663,6 +699,17 @@ class ShotReplayer
                      int64_t count, FlatAccumulator &hist,
                      const CancellationToken *token = nullptr);
 
+    /**
+     * Draw pass only: resolve every stochastic outcome of the shot
+     * into @p tape (sized / cleared here).  Consumes exactly the RNG
+     * words runShot's draw pass would.
+     */
+    void drawTape(const Rng &shot_rng, ShotTape &tape);
+
+    /** Replay a previously drawn tape from the |0...0> state and
+     *  return the outcome key (the replay half of runShot). */
+    uint64_t replayShot(const ShotTape &tape);
+
     /** Shots replayed on the no-error fast stream so far. */
     uint64_t fastShots() const { return fastShots_; }
 
@@ -670,8 +717,14 @@ class ShotReplayer
     uint64_t totalShots() const { return totalShots_; }
 
   private:
-    void drawTape(const Rng &shot_rng);
-    void replay(const std::vector<OpRef> &stream);
+    friend class BatchShotReplayer;
+
+    /** Replay stream ops [first_op, end) against the current state,
+     *  with @p cursor positioned at the first tape event whose op
+     *  index is >= first_op. */
+    void replayRange(const std::vector<OpRef> &stream,
+                     uint32_t first_op, const ShotTape &tape,
+                     size_t cursor);
 
     const ExecutionPlan &plan_;
     const ShotProgram &prog_;
@@ -682,12 +735,157 @@ class ShotReplayer
     std::vector<Rng> qubitRng_;
     std::vector<double> ouVal_;
 
-    std::vector<double> phases_;     //!< per phaseSlot
-    std::vector<uint64_t> measWord_; //!< 2 per measSlot
-    std::vector<ShotEvent> events_;
+    ShotTape tape_; //!< runShot's reusable tape
 
     uint64_t fastShots_ = 0;
     uint64_t totalShots_ = 0;
+};
+
+/**
+ * Shot-batched dense replay: the grouped execution strategy behind
+ * `ADAPT_DENSE_SHOT_BATCH` (docs/README).
+ *
+ * Each <= 64-shot block first runs the state-independent draw pass
+ * for every shot, then groups shots whose tapes resolved to the same
+ * *event signature* — the sequence of (op, pulse, kind, Pauli codes),
+ * ignoring the per-shot measurement words.  At realistic error rates
+ * the empty signature (no event fired) dominates, so one group
+ * usually holds most of the block.  Each group's gate stream is then
+ * executed once over a structure-of-arrays BatchStateVector that
+ * advances all member shots per amplitude sweep, up to the group's
+ * first *divergent* op — a measurement, reset, or population-
+ * conditional T1 jump, whose effect depends on per-shot state or
+ * per-shot words — at which point every lane is peeled back into the
+ * scalar ShotReplayer to finish alone.
+ *
+ * Bit-identity: tapes are drawn from the same per-shot forks in the
+ * same order as ShotReplayer::runBlock, the SoA kernels reproduce the
+ * scalar kernels' roundings exactly, and divergence peels *before*
+ * any state-dependent resolution, so every outcome key equals the
+ * per-shot path's for any seed, thread count, and block split.
+ */
+class BatchShotReplayer
+{
+  public:
+    BatchShotReplayer(const ExecutionPlan &plan,
+                      const ShotProgram &prog);
+
+    /** Widest register the SoA planes will allocate (dim x 64 lanes
+     *  of split re/im doubles: 4 MiB at the cap). */
+    static constexpr int kMaxBatchQubits = 12;
+
+    /** Lanes per draw block (matches the engine's kShotBlock). */
+    static constexpr int kBatchLanes = 64;
+
+    /** True when @p prog is small enough for the SoA planes; larger
+     *  registers stay on the per-shot path (their per-op sweeps are
+     *  wide enough to amortize dispatch already). */
+    static bool eligible(const ShotProgram &prog)
+    {
+        return prog.numQubits <= kMaxBatchQubits;
+    }
+
+    /**
+     * Grouped-path equivalent of ShotReplayer::runBlock: identical
+     * outcomes, identical per-shot RNG forks.  @p token, when
+     * non-null, is polled once per <= 64-shot draw block, so a stop
+     * request truncates to an exact block-prefix of the range.
+     */
+    int64_t runBlock(const Rng &base, int64_t first_shot,
+                     int64_t count, FlatAccumulator &hist,
+                     const CancellationToken *token = nullptr);
+
+    const DenseBatchStats &stats() const { return stats_; }
+    uint64_t fastShots() const { return scalar_.fastShots(); }
+    uint64_t totalShots() const { return scalar_.totalShots(); }
+
+  private:
+    void runSubBlock(const Rng &base, int64_t first_shot, int count,
+                     FlatAccumulator &hist);
+
+    /**
+     * Draw the tapes of shots [first_shot, first_shot + count) into
+     * tapes_[0..count) with the per-shot RNG streams advanced in
+     * structure-of-arrays lockstep (Rng::stepLanes), consuming every
+     * stream exactly as count calls of ShotReplayer::drawTape would.
+     * Only valid when the program draws no per-shot Gaussians
+     * (!flags.ouDephasing — see drawBatched_).
+     */
+    void drawBlockTapes(const Rng &base, int64_t first_shot,
+                        int count);
+
+    /** First op of @p stream whose replay depends on per-shot state
+     *  or words (Meas / Reset / T1Jump-carrying Markov); returns
+     *  stream.size() when none.  @p cursor_out receives the tape
+     *  cursor at the divergence point. */
+    uint32_t divergenceOp(const std::vector<OpRef> &stream,
+                          const ShotTape &rep,
+                          size_t &cursor_out) const;
+
+    /**
+     * Execute stream ops [from, to) of the group whose members are
+     * tape indices @p lanes on @p sv — the SoA planes
+     * (BatchStateVector, one lane per member) or, when every
+     * member's dynamic phases are bitwise identical, a single scalar
+     * StateVector whose final state is shared by all members.
+     * @pre Every event of @p rep sits at an op >= from.
+     */
+    template <class SV>
+    void replayPrefix(SV &sv, const std::vector<OpRef> &stream,
+                      uint32_t from, uint32_t to, const ShotTape &rep,
+                      const int *lanes, int group_size);
+
+    /** True when every group member's tape carries bitwise-identical
+     *  dynamic phases (always, when the program has no phase slots):
+     *  the group prefix is lane-invariant and can run once. */
+    bool phasesUniform(const ShotTape &rep, const int *lanes,
+                       int group_size) const;
+
+    /** Memory budget for the reference checkpoints; refStride_ (ops
+     *  between checkpoints) is the smallest stride fitting it, so
+     *  small registers checkpoint every op and a shot's replay
+     *  starts exactly at its first event. */
+    static constexpr size_t kRefBudgetBytes = size_t{4} << 20;
+
+    /**
+     * Replay a shot whose tape fired at least one event, starting
+     * from the reference checkpoint at or below its first event
+     * instead of |0...0> (refMode_ only: the event-free prefix is
+     * shot-invariant, so ops [0, cp) are skipped outright).
+     */
+    uint64_t replayShotFromRef(const ShotTape &tape);
+
+    ShotReplayer scalar_;
+    BatchStateVector bsv_;
+    std::vector<ShotTape> tapes_;  //!< kBatchLanes reusable tapes
+    std::vector<Complex> laneAmps_;     //!< extractLane scratch
+    std::vector<Complex> laneFactors_;  //!< per-lane phase scratch
+    bool drawBatched_;  //!< SoA draw pass valid (no OU Gaussians)
+    std::vector<uint64_t> gateWords_;   //!< [word][lane] gate stream
+    std::vector<uint64_t> qubitWords_;  //!< [qubit][word][lane]
+
+    /**
+     * Event-free reference evolution (refMode_, i.e. no per-shot
+     * dynamic phases): the state of the general op stream before op
+     * c * refStride_, for every checkpoint c up to the stream's
+     * first Meas / Reset op (refDivOp_).  Shot-invariant — any
+     * shot's state before its first event is the reference state —
+     * so it is built once at construction and each error shot's
+     * replay starts at the checkpoint below its first event.
+     */
+    bool refMode_;
+    uint32_t refDivOp_ = 0;
+    uint32_t refStride_ = 1;        //!< ops between checkpoints
+    std::vector<Complex> refAmps_;  //!< [checkpoint][basis]
+    ShotTape emptyTape_;            //!< reference (no events)
+
+    /** The no-error group's prefix on the fast stream is the same
+     *  tape-independent evolution (refMode_): its state at the fast
+     *  stream's first Meas / Reset op, computed once. */
+    uint32_t refFastDivOp_ = 0;
+    std::vector<Complex> refFastAmps_;
+
+    DenseBatchStats stats_;
 };
 
 } // namespace adapt

@@ -478,17 +478,19 @@ NoisyMachine::runPartial(const PreparedCircuit &prepared, int shots,
     RunOutcome out;
 
     if (mode == ExecMode::Compiled && job.frame.has_value()) {
-        // Batched Pauli-frame engine: shots propagate kFrameLanes at
-        // a time through the compiled frame op stream.  Blocks are a
-        // pure function of the shot count, each block's randomness is
-        // forked from (base, absolute lane group), and the per-chunk
-        // histograms merge in key order — so the output is
-        // bit-identical for any thread count, batch-vs-serial, and
+        // Batched Pauli-frame engine: shots propagate laneCount() at
+        // a time through the compiled frame op stream (the width is a
+        // bind-time property of the program — ADAPT_FRAME_LANES).
+        // Blocks are a pure function of the shot count, each block's
+        // randomness is forked from (base, absolute lane group), and
+        // the per-chunk histograms merge in key order — so the output
+        // is bit-identical for any thread count, batch-vs-serial, and
         // any point a stop request lands.
         const FrameProgram &prog = *job.frame;
+        const auto lane_count = static_cast<int64_t>(prog.laneCount());
         const auto blocks = static_cast<int64_t>(
-            (static_cast<int64_t>(shots) + kFrameLanes - 1) /
-            kFrameLanes);
+            (static_cast<int64_t>(shots) + lane_count - 1) /
+            lane_count);
         const int chunks = static_cast<int>(std::min<int64_t>(
             resolveThreads(threads), blocks));
         std::vector<FlatAccumulator> histograms(
@@ -526,9 +528,9 @@ NoisyMachine::runPartial(const PreparedCircuit &prepared, int shots,
                 for (int64_t block = lo2; block < hi2; block++) {
                     const auto lanes =
                         static_cast<int>(std::min<int64_t>(
-                            kFrameLanes,
+                            lane_count,
                             static_cast<int64_t>(shots) -
-                                block * kFrameLanes));
+                                block * lane_count));
                     w.runner->runBlock(base, block, lanes, hist,
                                        w.deferred, w.tails);
                 }
@@ -562,10 +564,10 @@ NoisyMachine::runPartial(const PreparedCircuit &prepared, int shots,
             done = hi;
             if (control.progress) {
                 control.progress(std::min<int64_t>(
-                    done * kFrameLanes, static_cast<int64_t>(shots)));
+                    done * lane_count, static_cast<int64_t>(shots)));
             }
         }
-        out.shotsDone = std::min<int64_t>(done * kFrameLanes,
+        out.shotsDone = std::min<int64_t>(done * lane_count,
                                           static_cast<int64_t>(shots));
         out.partial = done < blocks;
         out.dist = mergeChunkHistograms(histograms);
@@ -585,9 +587,21 @@ NoisyMachine::runPartial(const PreparedCircuit &prepared, int shots,
     std::vector<FlatAccumulator> histograms(
         static_cast<size_t>(chunks));
 
+    // Small compiled jobs take the grouped SoA replay: tapes for a
+    // whole kShotBlock block are drawn up front, equal error
+    // signatures share one multi-shot gate-stream execution, and
+    // divergent shots peel back to the scalar replayer — identical
+    // outcomes, so the knob is a pure execution-strategy choice.
+    // Read live (not once) so tests can flip it per run.
+    const bool grouped = compiled &&
+                         BatchShotReplayer::eligible(*job.program) &&
+                         envFlag("ADAPT_DENSE_SHOT_BATCH",
+                                 /*fallback=*/true);
+
     struct ChunkWorker
     {
         std::unique_ptr<ShotReplayer> replayer;
+        std::unique_ptr<BatchShotReplayer> batch;
         std::unique_ptr<SimBackend> state;
         std::unique_ptr<OutcomePacker> packer;
     };
@@ -616,6 +630,17 @@ NoisyMachine::runPartial(const PreparedCircuit &prepared, int shots,
             ChunkWorker &w = workers[static_cast<size_t>(chunk)];
             FlatAccumulator &hist =
                 histograms[static_cast<size_t>(chunk)];
+            if (grouped) {
+                if (!w.batch) {
+                    w.batch = std::make_unique<BatchShotReplayer>(
+                        job.plan, *job.program);
+                }
+                const int64_t ran = w.batch->runBlock(
+                    base, lo2, hi2 - lo2, hist, shot_token);
+                if (shot_token != nullptr)
+                    wave_done = ran; // chunks == 1: sole writer
+                return;
+            }
             if (compiled) {
                 if (!w.replayer) {
                     w.replayer = std::make_unique<ShotReplayer>(
@@ -659,6 +684,10 @@ NoisyMachine::runPartial(const PreparedCircuit &prepared, int shots,
     if (out.partial && out.cause == StopCause::None)
         out.cause = control.token.cause();
     out.dist = mergeChunkHistograms(histograms);
+    for (const ChunkWorker &w : workers) {
+        if (w.batch)
+            out.denseStats.merge(w.batch->stats());
+    }
     return out;
 }
 
@@ -697,7 +726,7 @@ NoisyMachine::shardBlockShots(const PreparedCircuit &prepared,
             "shardBlockShots on an empty PreparedCircuit");
     const PreparedJob &job = *prepared.impl_;
     return mode == ExecMode::Compiled && job.frame.has_value()
-               ? static_cast<int64_t>(kFrameLanes)
+               ? static_cast<int64_t>(job.frame->laneCount())
                : static_cast<int64_t>(kShotBlock);
 }
 
@@ -734,6 +763,7 @@ NoisyMachine::runShardRange(
         // wave/chunking-invariant, so draining after every block
         // matches any other drain cadence bit for bit.
         const FrameProgram &prog = *job.frame;
+        const auto lane_count = static_cast<int64_t>(prog.laneCount());
         FrameBatchBackend runner(prog);
         StabilizerState scratch(prog.numQubits);
         OutcomePacker packer(prog.numClbits);
@@ -742,8 +772,8 @@ NoisyMachine::runShardRange(
         FrameBatchStats stats;
         for (int64_t block = block_lo; block < block_hi; block++) {
             const auto lanes = static_cast<int>(std::min<int64_t>(
-                kFrameLanes,
-                static_cast<int64_t>(shots) - block * kFrameLanes));
+                lane_count,
+                static_cast<int64_t>(shots) - block * lane_count));
             runner.runBlock(base, block, lanes, hist, deferred, tails);
             if (!deferred.empty()) {
                 drainDeferredShots(prog, base, deferred, scratch,
@@ -761,17 +791,30 @@ NoisyMachine::runShardRange(
     }
 
     // Dense / per-shot paths: per-shot streams forked from
-    // (base, absolute shot index), exactly as in runPartial.
+    // (base, absolute shot index), exactly as in runPartial —
+    // including the grouped-replay strategy choice, which never
+    // changes outcomes.
     const bool compiled =
         mode == ExecMode::Compiled && job.program.has_value();
+    const bool grouped = compiled &&
+                         BatchShotReplayer::eligible(*job.program) &&
+                         envFlag("ADAPT_DENSE_SHOT_BATCH",
+                                 /*fallback=*/true);
     std::unique_ptr<ShotReplayer> replayer;
+    std::unique_ptr<BatchShotReplayer> batch;
     std::unique_ptr<SimBackend> state;
     std::unique_ptr<OutcomePacker> packer;
     for (int64_t block = block_lo; block < block_hi; block++) {
         const int64_t lo = block * kShotBlock;
         const int64_t hi = std::min<int64_t>(
             lo + kShotBlock, static_cast<int64_t>(shots));
-        if (compiled) {
+        if (grouped) {
+            if (!batch) {
+                batch = std::make_unique<BatchShotReplayer>(
+                    job.plan, *job.program);
+            }
+            batch->runBlock(base, lo, hi - lo, hist, nullptr);
+        } else if (compiled) {
             if (!replayer) {
                 replayer = std::make_unique<ShotReplayer>(
                     job.plan, *job.program);

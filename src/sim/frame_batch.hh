@@ -16,9 +16,10 @@
  *  - Each shot is then represented only by its *Pauli frame* — the
  *    Pauli deviation P_s of the shot state P_s |psi_ref> from the
  *    reference — stored column-major in bit planes: one x bit and
- *    one z bit per (qubit, shot).  kFrameLanes shots propagate per
- *    pass; every Clifford gate becomes a handful of word-wide XOR /
- *    swap operations on the planes, and every stochastic Pauli event
+ *    one z bit per (qubit, shot).  laneCount() shots (256 by
+ *    default, 64-512 via ADAPT_FRAME_LANES) propagate per pass;
+ *    every Clifford gate becomes a handful of word-wide XOR / swap
+ *    operations on the planes, and every stochastic Pauli event
  *    becomes a Bernoulli-thresholded random bit mask.
  *
  * Exactness.  For Clifford circuits with stochastic Pauli noise and
@@ -57,13 +58,13 @@
  * equivalence between the two.
  *
  * Determinism contract.  All randomness for the lanes of block b
- * (shots [kFrameLanes * b, kFrameLanes * (b + 1))) comes from a
- * stream forked from (run seed, b) alone and is consumed in
- * op-stream order, so results are bit-identical for any thread
- * count, batch-vs-serial, and independent of how many other shots
- * the job runs.  Rare events (gate errors, T1, readout flips) are
- * drawn sparsely via geometric gap sampling — O(kFrameLanes * p)
- * draws per op instead of kFrameLanes — which is statistically an
+ * (shots [laneCount * b, laneCount * (b + 1))) comes from a stream
+ * forked from (run seed, b) alone and is consumed in op-stream
+ * order, so results are bit-identical for any thread count,
+ * batch-vs-serial, and independent of how many other shots the job
+ * runs.  Rare events (gate errors, T1, readout flips) are drawn
+ * sparsely via geometric gap sampling — O(laneCount * p) draws per
+ * op instead of laneCount — which is statistically an
  * exact per-lane Bernoulli; the empty mask (the overwhelmingly
  * common case) resolves with a single raw draw compared against a
  * precomputed P(any lane fires) threshold, and that same draw seeds
@@ -86,16 +87,32 @@
 namespace adapt
 {
 
-/** 64-lane words per frame block (4 x 64 = 256 shots per pass, one
- *  AVX2 register wide under ADAPT_NATIVE; portable builds sweep the
- *  same block 64 bits at a time). */
+/** Default 64-lane words per frame block (4 x 64 = 256 shots per
+ *  pass, one AVX2 register wide under ADAPT_NATIVE; portable builds
+ *  sweep the same block 64 bits at a time).  ADAPT_FRAME_LANES can
+ *  rebind a program to 1 word (64 lanes) or 8 words (512 lanes, one
+ *  AVX-512 register) — see FrameProgram::laneWords. */
 constexpr int kFrameLaneWords = 4;
 
-/** Shots propagated per block. */
+/** Widest supported block: 8 words = 512 lanes. */
+constexpr int kMaxFrameLaneWords = 8;
+
+/** Default shots propagated per block. */
 constexpr int kFrameLanes = 64 * kFrameLaneWords;
 
-/** "avx2" when the frame-plane kernels use 256-bit ops, "scalar"
- *  for the portable 64-bit sweeps. */
+/**
+ * Lane words selected by ADAPT_FRAME_LANES: 64 -> 1 word, 256 -> 4
+ * (the default), 512 -> 8.  Unset falls back to the default quietly;
+ * any other value warns once (env.hh) and falls back.  Read at *bind*
+ * time — bindFrameProgram stamps FrameProgram::laneWords — so cached
+ * program skeletons stay lane-width independent and a changed knob
+ * takes effect on the next bind without invalidating the cache.
+ */
+int frameLaneWordsFromEnv();
+
+/** "avx512" when the frame-plane kernels can use 512-bit ops, "avx2"
+ *  for 256-bit ops, "scalar" for the portable 64-bit sweeps.  Every
+ *  variant is bit-identical (pure XOR/swap word ops). */
 const char *frameKernelIsa();
 
 /**
@@ -127,8 +144,9 @@ enum class Frame1QKind : uint8_t
  * Dense per-lane compare, and the deferred-lane tableau replay's
  * per-shot Bernoulli test (one raw draw, `(w >> 11) < thresh`,
  * across every mode).  `anyThresh` is the Sparse fast path: the
- * threshold of P(any of kFrameLanes lanes fires); a draw at or above
- * it proves the whole block mask empty without touching libm.
+ * threshold of P(any of the program's laneCount() lanes fires); a
+ * draw at or above it proves the whole block mask empty without
+ * touching libm.
  */
 struct FrameBernoulli
 {
@@ -139,8 +157,10 @@ struct FrameBernoulli
     uint64_t anyThresh = 0;  //!< Sparse: threshold of 1-(1-p)^lanes
 };
 
-/** Resolve a probability into its mask-generation mode. */
-FrameBernoulli makeFrameBernoulli(double p);
+/** Resolve a probability into its mask-generation mode.  @p lanes is
+ *  the block width the anyThresh fast path covers — the owning
+ *  program's laneCount(). */
+FrameBernoulli makeFrameBernoulli(double p, int lanes = kFrameLanes);
 
 /** A fused single-qubit frame transform: the GL(2, F2) class for the
  *  plane pass, plus a named-gate realization of the train's Clifford
@@ -328,6 +348,15 @@ struct FrameProgram
     int numQubits = 0;
     int numClbits = 1;
 
+    /** 64-lane words per block for this program, stamped at bind
+     *  time from ADAPT_FRAME_LANES (frameLaneWordsFromEnv); every
+     *  Sparse anyThresh in the program is resolved for this width.
+     *  Branch tails inherit their parent's width. */
+    int laneWords = kFrameLaneWords;
+
+    /** Shots propagated per block at this program's lane width. */
+    int laneCount() const { return 64 * laneWords; }
+
     /** Random-reference T1 checkpoints in the stream (deferral
      *  sites); 0 means no shot can ever defer. */
     uint32_t randomT1Count = 0;
@@ -445,7 +474,7 @@ class FrameTailSource
 };
 
 /**
- * Per-chunk worker that executes a FrameProgram in kFrameLanes-shot
+ * Per-chunk worker that executes a FrameProgram in laneCount()-shot
  * blocks.  Owns the frame bit planes, the outcome planes, and the
  * packer; one instance serves all the blocks of a chunk.
  *
@@ -453,6 +482,17 @@ class FrameTailSource
  * execution surface is deliberately per-block rather than per-shot —
  * it does not implement SimBackend, whose one-state-one-shot API is
  * exactly the overhead this engine removes.
+ *
+ * Execution modes.  The direct mode walks the op stream once,
+ * touching all laneWords words of each plane per op.  The *tiled*
+ * mode (ADAPT_FRAME_TILE; "auto"/unset engages it on wide-plane
+ * programs, see frame_batch.cc) splits each block into a build pass —
+ * which consumes the block's entire RNG stream in exactly the direct
+ * mode's order, resolving every stochastic op into mask words on a
+ * compact tape — and an execute pass that re-streams that tape once
+ * per lane word, so all plane traffic for a word-tile stays
+ * L1-resident however many qubits the program has.  The two modes
+ * are bit-identical by construction.
  */
 class FrameBatchBackend
 {
@@ -460,46 +500,108 @@ class FrameBatchBackend
     explicit FrameBatchBackend(const FrameProgram &prog);
 
     /**
-     * Execute lanes [block * kFrameLanes, block * kFrameLanes +
-     * lanes): count the lanes that finish the plane pass into
-     * @p hist; lanes whose T1 jump fires at a superposed checkpoint
-     * leave the pass — as FrameTailShot snapshots in @p tails when
-     * the program compiles branch tails, as DeferredShots in
-     * @p deferred otherwise — for the caller to drain.
+     * Execute lanes [block * laneCount, block * laneCount + lanes):
+     * count the lanes that finish the plane pass into @p hist; lanes
+     * whose T1 jump fires at a superposed checkpoint leave the pass —
+     * as FrameTailShot snapshots in @p tails when the program
+     * compiles branch tails, as DeferredShots in @p deferred
+     * otherwise — for the caller to drain.
      *
      * @param base Job-level RNG base; the block's stream is forked
      *             from it by absolute block index, so a block's
      *             outcomes are independent of chunking and of the
      *             job's total shot count.
      * @param lanes Live lanes in this block (the final block of a
-     *              job may be partial). @pre 1 <= lanes <= kFrameLanes
+     *              job may be partial).
+     *              @pre 1 <= lanes <= prog.laneCount()
      */
     void runBlock(const Rng &base, int64_t block, int lanes,
                   FlatAccumulator &hist,
                   std::vector<DeferredShot> &deferred,
                   std::vector<FrameTailShot> &tails);
 
+    /** True when blocks run through the tiled build/execute split. */
+    bool tiled() const { return tiled_; }
+
   private:
+    /**
+     * One op of the per-block tape (tiled mode): every draw already
+     * resolved by the build pass, so the execute pass touches only
+     * plane columns and the mask pool.  `mask` / `mask2` index
+     * laneWords-word groups in maskPool_; group 0 is a shared
+     * all-zero mask.
+     */
+    struct TileOp
+    {
+        uint8_t code = 0;  //!< TileCode
+        uint8_t aux = 0;   //!< kind / subtype / refBit / pauli+refCond
+        int32_t a = -1;    //!< primary qubit / clbit operand
+        int32_t b = 0;     //!< second qubit / clbit / T1 ordinal
+        uint32_t mask = 0;
+        uint32_t mask2 = 0;
+    };
+
+    enum TileCode : uint8_t
+    {
+        kTileGate1,  //!< aux = Frame1QKind, a = q
+        kTileGate2,  //!< aux = 0 CX / 1 CZ / 2 SWAP
+        kTileXorX,   //!< x[a] ^= mask
+        kTileXorZ,   //!< z[a] ^= mask
+        kTileXorXZ,  //!< x[a] ^= mask, z[a] ^= mask2
+        kTileT1Det,  //!< aux = t1Ref: x[a] ^= mask & (ref ? ~x : x)
+        kTileT1Rand, //!< b = ordinal, mask = snapshot/defer lanes
+        kTileMeas,   //!< a = q, b = clbit, aux = refBit, mask/mask2 = err
+        kTileClear,  //!< x[a] = z[a] = 0
+        kTileCond,   //!< b = condBit, aux = pauli | (refCond << 4)
+    };
+
     const FrameProgram &prog_;
-    std::vector<uint64_t> x_;    //!< [qubit * kFrameLaneWords + w]
+    int laneWords_;
+    bool tiled_ = false;
+    std::vector<uint64_t> x_;    //!< [qubit * laneWords_ + w]
     std::vector<uint64_t> z_;
-    std::vector<uint64_t> bits_; //!< [clbit * kFrameLaneWords + w]
+    std::vector<uint64_t> bits_; //!< [clbit * laneWords_ + w]
     OutcomePacker packer_;
     Rng blockRng_;
-    uint64_t deferredMask_[kFrameLaneWords] = {};
+    uint64_t deferredMask_[kMaxFrameLaneWords] = {};
 
-    uint64_t *xPlane(int q) { return &x_[static_cast<size_t>(q) * kFrameLaneWords]; }
-    uint64_t *zPlane(int q) { return &z_[static_cast<size_t>(q) * kFrameLaneWords]; }
+    /** Tiled-mode scratch, rebuilt per block (capacity reused). */
+    std::vector<TileOp> tape_;
+    std::vector<uint64_t> maskPool_;
+
+    uint64_t *xPlane(int q) { return &x_[static_cast<size_t>(q) * static_cast<size_t>(laneWords_)]; }
+    uint64_t *zPlane(int q) { return &z_[static_cast<size_t>(q) * static_cast<size_t>(laneWords_)]; }
 
     /**
-     * Draw one kFrameLanes-wide Bernoulli mask into @p out.
+     * Draw one laneCount()-wide Bernoulli mask into @p out (first
+     * laneWords_ words written).
      *
      * Returns false — with @p out untouched — when the mask is
      * provably all-zero (Never, or the Sparse single-draw fast path);
      * callers skip their whole update in that common case.
      */
-    bool drawMask(const FrameBernoulli &b,
-                  uint64_t out[kFrameLaneWords]);
+    bool drawMask(const FrameBernoulli &b, uint64_t *out);
+
+    /** Direct mode: walk the op stream once over all lane words. */
+    void runOps(int64_t block, int lanes,
+                std::vector<DeferredShot> &deferred,
+                std::vector<FrameTailShot> &tails);
+
+    /** Tiled build pass: resolve the block's entire RNG stream (in
+     *  runOps order) into tape_ / maskPool_.  Touches no planes. */
+    void buildTape(int lanes);
+
+    /** Tiled execute pass: re-stream tape_ once per lane word.
+     *  Consumes no RNG. */
+    void execTape(int64_t block,
+                  std::vector<DeferredShot> &deferred,
+                  std::vector<FrameTailShot> &tails);
+
+    /** Append a laneWords_-word mask group; returns its base. */
+    uint32_t pushMaskGroup(const uint64_t *m);
+
+    /** Count the surviving lanes' outcome planes into @p hist. */
+    void foldOutcomes(int lanes, FlatAccumulator &hist);
 
     /** Capture lane (@p w, @p bit)'s frame and classical columns at
      *  the instant its T1 jump fired at checkpoint @p ordinal. */

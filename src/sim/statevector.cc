@@ -125,6 +125,15 @@ StateVector::reset()
 }
 
 void
+StateVector::setAmplitudes(const Complex *src, size_t count)
+{
+    require(count == amps_.size(),
+            "setAmplitudes count must match the register dimension");
+    touch();
+    std::copy(src, src + count, amps_.begin());
+}
+
+void
 StateVector::apply1Q(const Matrix2 &u, QubitId q)
 {
     touch();

@@ -36,10 +36,22 @@ class StateVector
     /** Rewind to |0...0> without reallocating (per-shot reuse). */
     void reset();
 
+    /**
+     * Overwrite the first @p count amplitudes from @p src (the batch
+     * replayer peeling a lane out of a BatchStateVector).
+     *
+     * @pre count == dim().
+     */
+    void setAmplitudes(const Complex *src, size_t count);
+
     int numQubits() const { return numQubits_; }
     size_t dim() const { return amps_.size(); }
 
     Complex amplitude(uint64_t basis) const { return amps_.at(basis); }
+
+    /** Raw amplitude array (the batch replayer snapshotting a shared
+     *  group-prefix state before per-lane divergent tails). */
+    const Complex *data() const { return amps_.data(); }
 
     /** Apply an arbitrary single-qubit unitary to qubit @p q. */
     void apply1Q(const Matrix2 &u, QubitId q);

@@ -1,0 +1,204 @@
+#include "sim/statevector_batch.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace adapt
+{
+
+BatchStateVector::BatchStateVector(int num_qubits, int max_lanes)
+    : numQubits_(num_qubits), dim_(uint64_t{1} << num_qubits),
+      laneStride_(max_lanes)
+{
+    require(num_qubits > 0,
+            "BatchStateVector requires at least one qubit");
+    require(max_lanes > 0,
+            "BatchStateVector requires at least one lane");
+    re_.assign(dim_ * static_cast<uint64_t>(laneStride_), 0.0);
+    im_.assign(dim_ * static_cast<uint64_t>(laneStride_), 0.0);
+}
+
+void
+BatchStateVector::reset(int lanes)
+{
+    require(lanes >= 1 && lanes <= laneStride_,
+            "BatchStateVector lane count out of range");
+    lanes_ = lanes;
+    std::fill(re_.begin(), re_.end(), 0.0);
+    std::fill(im_.begin(), im_.end(), 0.0);
+    for (int l = 0; l < lanes_; l++)
+        re_[l] = 1.0;
+}
+
+void
+BatchStateVector::apply1Q(const Matrix2 &u, QubitId q)
+{
+    const double u00r = u(0, 0).real(), u00i = u(0, 0).imag();
+    const double u01r = u(0, 1).real(), u01i = u(0, 1).imag();
+    const double u10r = u(1, 0).real(), u10i = u(1, 0).imag();
+    const double u11r = u(1, 1).real(), u11i = u(1, 1).imag();
+    const uint64_t stride = uint64_t{1} << q;
+    const int L = lanes_;
+    for (uint64_t base = 0; base < dim_; base += 2 * stride) {
+        for (uint64_t offset = 0; offset < stride; offset++) {
+            const uint64_t i0 = base + offset;
+            const uint64_t i1 = i0 + stride;
+            double *r0 = re_.data() + i0 * laneStride_;
+            double *m0 = im_.data() + i0 * laneStride_;
+            double *r1 = re_.data() + i1 * laneStride_;
+            double *m1 = im_.data() + i1 * laneStride_;
+            for (int l = 0; l < L; l++) {
+                const double a0r = r0[l], a0i = m0[l];
+                const double a1r = r1[l], a1i = m1[l];
+                // Exactly u00*a0 + u01*a1 / u10*a0 + u11*a1 with the
+                // scalar operation order: naive complex products,
+                // then one add.
+                r0[l] = (u00r * a0r - u00i * a0i) +
+                        (u01r * a1r - u01i * a1i);
+                m0[l] = (u00r * a0i + u00i * a0r) +
+                        (u01r * a1i + u01i * a1r);
+                r1[l] = (u10r * a0r - u10i * a0i) +
+                        (u11r * a1r - u11i * a1i);
+                m1[l] = (u10r * a0i + u10i * a0r) +
+                        (u11r * a1i + u11i * a1r);
+            }
+        }
+    }
+}
+
+void
+BatchStateVector::applyPhase(QubitId q, double phi)
+{
+    // Same factor computation as StateVector::applyPhase, once.
+    const Complex factor = std::exp(kImag * phi);
+    const double fr = factor.real(), fi = factor.imag();
+    const uint64_t bit = uint64_t{1} << q;
+    const int L = lanes_;
+    for (uint64_t base = bit; base < dim_; base += 2 * bit) {
+        for (uint64_t i = base; i < base + bit; i++) {
+            double *r = re_.data() + i * laneStride_;
+            double *m = im_.data() + i * laneStride_;
+            for (int l = 0; l < L; l++) {
+                const double ar = r[l], ai = m[l];
+                r[l] = ar * fr - ai * fi;
+                m[l] = ar * fi + ai * fr;
+            }
+        }
+    }
+}
+
+void
+BatchStateVector::applyPhaseFactors(QubitId q, const Complex *factors)
+{
+    const uint64_t bit = uint64_t{1} << q;
+    const int L = lanes_;
+    for (uint64_t base = bit; base < dim_; base += 2 * bit) {
+        for (uint64_t i = base; i < base + bit; i++) {
+            double *r = re_.data() + i * laneStride_;
+            double *m = im_.data() + i * laneStride_;
+            for (int l = 0; l < L; l++) {
+                const double ar = r[l], ai = m[l];
+                const double fr = factors[l].real();
+                const double fi = factors[l].imag();
+                r[l] = ar * fr - ai * fi;
+                m[l] = ar * fi + ai * fr;
+            }
+        }
+    }
+}
+
+void
+BatchStateVector::applyCX(QubitId control, QubitId target)
+{
+    const uint64_t cbit = uint64_t{1} << control;
+    const uint64_t tbit = uint64_t{1} << target;
+    const uint64_t hi = std::max(cbit, tbit);
+    const uint64_t lo = std::min(cbit, tbit);
+    const uint64_t a0 = cbit > tbit ? hi : 0;
+    const uint64_t b0 = cbit > tbit ? 0 : lo;
+    const int L = lanes_;
+    // Visit each swapped pair via its target=0 member, as the scalar
+    // forEachSetClear kernel does.
+    for (uint64_t a = a0; a < dim_; a += 2 * hi) {
+        for (uint64_t b = b0; b < hi; b += 2 * lo) {
+            for (uint64_t i = 0; i < lo; i++) {
+                const uint64_t lo_i = a + b + i;
+                const uint64_t hi_i = lo_i | tbit;
+                double *rl = re_.data() + lo_i * laneStride_;
+                double *ml = im_.data() + lo_i * laneStride_;
+                double *rh = re_.data() + hi_i * laneStride_;
+                double *mh = im_.data() + hi_i * laneStride_;
+                for (int l = 0; l < L; l++) {
+                    std::swap(rl[l], rh[l]);
+                    std::swap(ml[l], mh[l]);
+                }
+            }
+        }
+    }
+}
+
+void
+BatchStateVector::applyCZ(QubitId a, QubitId b)
+{
+    const uint64_t abit = uint64_t{1} << a;
+    const uint64_t bbit = uint64_t{1} << b;
+    const uint64_t hi = std::max(abit, bbit);
+    const uint64_t lo = std::min(abit, bbit);
+    const int L = lanes_;
+    for (uint64_t ha = hi; ha < dim_; ha += 2 * hi) {
+        for (uint64_t hb = lo; hb < hi; hb += 2 * lo) {
+            for (uint64_t i = 0; i < lo; i++) {
+                const uint64_t idx = ha + hb + i;
+                double *r = re_.data() + idx * laneStride_;
+                double *m = im_.data() + idx * laneStride_;
+                for (int l = 0; l < L; l++) {
+                    r[l] = -r[l];
+                    m[l] = -m[l];
+                }
+            }
+        }
+    }
+}
+
+void
+BatchStateVector::applySwap(QubitId a, QubitId b)
+{
+    const uint64_t abit = uint64_t{1} << a;
+    const uint64_t bbit = uint64_t{1} << b;
+    const uint64_t hi = std::max(abit, bbit);
+    const uint64_t lo = std::min(abit, bbit);
+    const uint64_t a0 = abit > bbit ? hi : 0;
+    const uint64_t b0 = abit > bbit ? 0 : lo;
+    const int L = lanes_;
+    for (uint64_t ha = a0; ha < dim_; ha += 2 * hi) {
+        for (uint64_t hb = b0; hb < hi; hb += 2 * lo) {
+            for (uint64_t i = 0; i < lo; i++) {
+                const uint64_t src = ha + hb + i;
+                const uint64_t dst = (src & ~abit) | bbit;
+                double *rs = re_.data() + src * laneStride_;
+                double *ms = im_.data() + src * laneStride_;
+                double *rd = re_.data() + dst * laneStride_;
+                double *md = im_.data() + dst * laneStride_;
+                for (int l = 0; l < L; l++) {
+                    std::swap(rs[l], rd[l]);
+                    std::swap(ms[l], md[l]);
+                }
+            }
+        }
+    }
+}
+
+void
+BatchStateVector::extractLane(int lane, Complex *out) const
+{
+    require(lane >= 0 && lane < lanes_,
+            "BatchStateVector lane index out of range");
+    for (uint64_t i = 0; i < dim_; i++) {
+        out[i] = Complex{re_[i * laneStride_ + lane],
+                         im_[i * laneStride_ + lane]};
+    }
+}
+
+} // namespace adapt

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Structure-of-arrays multi-shot dense statevector.
+ *
+ * The grouped dense replay (noise/compiled.cc, BatchShotReplayer)
+ * executes one ShotProgram gate stream over up to 64 shots whose draw
+ * passes resolved to the identical event pattern.  This backend holds
+ * those shots as SIMD-friendly lanes: amplitudes are stored as
+ * separate real / imaginary double planes indexed
+ *
+ *     plane[basis * laneStride + lane]
+ *
+ * so every kernel's inner loop is a contiguous, branch-free sweep
+ * over the lane dimension that the compiler auto-vectorizes on any
+ * ISA (-march=native builds get AVX2/AVX-512 for free).
+ *
+ * Bit-identity contract: every kernel performs, per lane, exactly
+ * the scalar std::complex operation sequence of StateVector's
+ * kernels — two products per component, one subtract for the real
+ * part, one add for the imaginary part, then the pairwise add of the
+ * two column terms — with no FMA contraction (the library builds with
+ * -ffp-contract=off) and no reassociation.  Elementwise vectorization
+ * preserves those roundings, so a lane extracted after any kernel
+ * sequence equals the amplitudes StateVector would hold after the
+ * same calls.
+ *
+ * Deliberately absent: measurement, normalization, and population
+ * sums.  Those are reductions, and the scalar AVX2 populationOne uses
+ * a fixed lane-fold order no SoA sweep can reproduce; the batch
+ * replay peels diverging lanes back to a real StateVector before the
+ * first state-dependent operation instead.
+ */
+
+#ifndef ADAPT_SIM_STATEVECTOR_BATCH_HH
+#define ADAPT_SIM_STATEVECTOR_BATCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix2.hh"
+#include "common/types.hh"
+
+namespace adapt
+{
+
+/** A block of up to laneStride() independent n-qubit pure states
+ *  advanced in lockstep by shared-unitary sweeps. */
+class BatchStateVector
+{
+  public:
+    /**
+     * Allocate planes for @p max_lanes states of @p num_qubits
+     * qubits.  The lane stride is fixed at construction; reset()
+     * chooses how many lanes a block actually uses.
+     */
+    BatchStateVector(int num_qubits, int max_lanes);
+
+    /** Rewind @p lanes states to |0...0> (no reallocation). */
+    void reset(int lanes);
+
+    int numQubits() const { return numQubits_; }
+    uint64_t dim() const { return dim_; }
+    int lanes() const { return lanes_; }
+    int laneStride() const { return laneStride_; }
+
+    /** Apply a single-qubit unitary to qubit @p q of every lane. */
+    void apply1Q(const Matrix2 &u, QubitId q);
+
+    /**
+     * Multiply every |1>_q amplitude of every lane by e^{i phi}
+     * (StateVector::applyPhase across the block).
+     */
+    void applyPhase(QubitId q, double phi);
+
+    /**
+     * Per-lane diagonal phase: lane l's |1>_q amplitudes are
+     * multiplied by @p factors[l] (one exp(i phi_l) per lane, for
+     * OU-dephased coherent ops whose phase differs per shot).
+     *
+     * Lanes whose phase is zero receive factor (1, +0) — an exact
+     * multiply except for the sign of zero amplitudes, which no
+     * downstream population or key computation can observe.
+     */
+    void applyPhaseFactors(QubitId q, const Complex *factors);
+
+    void applyCX(QubitId control, QubitId target);
+    void applyCZ(QubitId a, QubitId b);
+    void applySwap(QubitId a, QubitId b);
+
+    /** Copy lane @p lane's 2^n amplitudes into @p out (peeling a
+     *  shot back to the scalar StateVector). */
+    void extractLane(int lane, Complex *out) const;
+
+  private:
+    int numQubits_;
+    uint64_t dim_;
+    int laneStride_;
+    int lanes_ = 0;
+
+    /** Separate real / imaginary planes, [basis * laneStride_ + l]. */
+    std::vector<double> re_;
+    std::vector<double> im_;
+};
+
+} // namespace adapt
+
+#endif // ADAPT_SIM_STATEVECTOR_BATCH_HH

@@ -1,0 +1,355 @@
+/**
+ * @file
+ * Frame-plane lane widths and qubit tiling.
+ *
+ * Two bind/run-time knobs of the batch frame engine are under test:
+ *  - ADAPT_FRAME_LANES selects the plane width (64 / 256 / 512 shots
+ *    per block) when a FrameProgram is *bound*; different widths
+ *    partition shots into different RNG blocks, so runs at different
+ *    widths are statistically equivalent, not draw-identical — each
+ *    width must therefore independently satisfy the engine's own
+ *    contract (thread-count and batch-vs-serial bit-identity, shard
+ *    factorization, agreement with the per-shot tableau).
+ *  - ADAPT_FRAME_TILE toggles the L1-tiled two-pass executor.  Tiling
+ *    resolves the identical draw sequence into a tape before sweeping
+ *    word-tiles, so tiled and untiled runs of the same program must
+ *    be bit-identical — the strongest possible lock, asserted across
+ *    widths that straddle the plane word boundary (63/64/65) and a
+ *    100-qubit characterization shape.
+ *
+ * Run under ADAPT_NUM_THREADS=1/4/8 in CI.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "noise/machine.hh"
+#include "sim/frame_batch.hh"
+#include "test_util.hh"
+#include "transpile/decompose.hh"
+#include "transpile/schedule.hh"
+
+using namespace adapt;
+using namespace adapt::testutil;
+
+namespace
+{
+
+/** Scoped environment override, restored (to unset) on destruction.
+ *  ADAPT_FRAME_LANES binds per prepare(); ADAPT_FRAME_TILE is read
+ *  per run — both are safe to flip between calls. */
+class EnvGuard
+{
+  public:
+    EnvGuard(const char *name, const char *value) : name_(name)
+    {
+        setenv(name, value, /*overwrite=*/1);
+    }
+    ~EnvGuard() { unsetenv(name_); }
+
+  private:
+    const char *name_;
+};
+
+/** Random Clifford executable with idle windows (same generator
+ *  family as test_frame_batch.cc, distinct seeds). */
+Circuit
+randomCliffordExecutable(int width, int depth, uint64_t seed)
+{
+    Rng rng(seed * 7121 + 41);
+    Circuit c(width);
+    for (int layer = 0; layer < depth; layer++) {
+        const auto q = static_cast<QubitId>(
+            rng.uniformInt(static_cast<uint64_t>(width)));
+        switch (rng.uniformInt(9)) {
+          case 0: c.h(q); break;
+          case 1: c.s(q); break;
+          case 2: c.sdg(q); break;
+          case 3: c.x(q); break;
+          case 4: c.sx(q); break;
+          case 5: c.rz(kPi / 2.0, q); break;
+          case 6: c.delay(400.0 + 200.0 * rng.uniform(), q); break;
+          default: {
+            if (width < 2) {
+                c.z(q);
+                break;
+            }
+            const QubitId a = q;
+            const QubitId b = a + 1 < width ? a + 1 : a - 1;
+            c.cx(a, b);
+            break;
+          }
+        }
+    }
+    c.measureAll();
+    return c;
+}
+
+ScheduledCircuit
+scheduleLinear(const Device &device, const Circuit &c)
+{
+    return schedule(decompose(c), device.topology(),
+                    device.calibration(0), ScheduleMode::Alap);
+}
+
+/** Widths straddling the plane word boundary plus a wide register. */
+const std::vector<int> kWidths = {63, 64, 65, 100};
+
+} // namespace
+
+// ------------------------------------------------------ lane widths
+
+TEST(FrameLanes, BindTimeWidthSelectsBlockGranularity)
+{
+    const Device device = Device::synthetic(Topology::linear(4), 71);
+    const NoisyMachine machine(device, 0, NoiseFlags::pauliOnly());
+    const ScheduledCircuit sched = scheduleLinear(
+        device, randomCliffordExecutable(4, 40, 71));
+
+    // The skeleton cache is lane-independent; the bind phase re-reads
+    // the knob, so consecutive prepares at different widths coexist.
+    for (const int lanes : {64, 256, 512}) {
+        EnvGuard guard("ADAPT_FRAME_LANES",
+                       std::to_string(lanes).c_str());
+        const PreparedCircuit prepared =
+            machine.prepare(sched, BackendKind::Stabilizer);
+        ASSERT_TRUE(prepared.frameBatched());
+        EXPECT_EQ(machine.shardBlockShots(prepared), lanes);
+    }
+    const PreparedCircuit unset =
+        machine.prepare(sched, BackendKind::Stabilizer);
+    EXPECT_EQ(machine.shardBlockShots(unset), kFrameLanes);
+}
+
+TEST(FrameLanes, EachWidthIsBitIdenticalAcrossThreadCounts)
+{
+    for (const int width : {3, 65}) {
+        const Device device =
+            Device::synthetic(Topology::linear(width), 72);
+        const NoisyMachine machine(device, 0,
+                                   NoiseFlags::pauliOnly());
+        const ScheduledCircuit sched = scheduleLinear(
+            device, randomCliffordExecutable(width, 12 * width, 72));
+        for (const int lanes : {64, 256, 512}) {
+            EnvGuard guard("ADAPT_FRAME_LANES",
+                           std::to_string(lanes).c_str());
+            const PreparedCircuit prepared =
+                machine.prepare(sched, BackendKind::Stabilizer);
+            // Straddle several block boundaries at every width.
+            const int shots = 3 * lanes + 29;
+            const Distribution serial =
+                machine.run(prepared, shots, 7, 1);
+            for (const int threads : {2, 5, 0}) {
+                EXPECT_TRUE(distributionsIdentical(
+                    serial, machine.run(prepared, shots, 7, threads)))
+                    << "width " << width << " lanes " << lanes
+                    << " threads " << threads;
+            }
+        }
+    }
+}
+
+TEST(FrameLanes, EachWidthFactorsIntoShardBlocks)
+{
+    const Device device = Device::synthetic(Topology::linear(5), 73);
+    const NoisyMachine machine(device, 0, NoiseFlags::pauliOnly());
+    const ScheduledCircuit sched = scheduleLinear(
+        device, randomCliffordExecutable(5, 60, 73));
+    for (const int lanes : {64, 512}) {
+        EnvGuard guard("ADAPT_FRAME_LANES",
+                       std::to_string(lanes).c_str());
+        const PreparedCircuit prepared =
+            machine.prepare(sched, BackendKind::Stabilizer);
+        const int shots = 2 * lanes + lanes / 2;
+        const int64_t blocks =
+            machine.shardBlockCount(prepared, shots);
+        EXPECT_EQ(blocks, 3);
+        std::vector<std::pair<uint64_t, uint64_t>> items;
+        for (int64_t b = 0; b < blocks; b++) {
+            const auto part = machine.runShardRange(
+                prepared, shots, b, b + 1, /*run_seed=*/9);
+            items.insert(items.end(), part.begin(), part.end());
+        }
+        EXPECT_TRUE(distributionsIdentical(
+            mergeShardItems(std::move(items)),
+            machine.run(prepared, shots, 9)))
+            << "lanes " << lanes;
+    }
+}
+
+TEST(FrameLanes, WidthsAgreeWithPerShotReferenceWithinTvd)
+{
+    // Different widths draw different streams; they must all converge
+    // on the per-shot tableau's law.
+    const Device device = Device::synthetic(Topology::linear(5), 74);
+    const NoisyMachine machine(device, 0, NoiseFlags::pauliOnly());
+    const ScheduledCircuit sched = scheduleLinear(
+        device, randomCliffordExecutable(5, 70, 74));
+    const Distribution pershot = machine.run(
+        sched, 40000, 3, 0, BackendKind::Stabilizer,
+        ExecMode::Interpreted);
+    for (const int lanes : {64, 256, 512}) {
+        EnvGuard guard("ADAPT_FRAME_LANES",
+                       std::to_string(lanes).c_str());
+        const PreparedCircuit prepared =
+            machine.prepare(sched, BackendKind::Stabilizer);
+        EXPECT_LT(tvDistance(machine.run(prepared, 40000, 3, 0),
+                             pershot),
+                  0.02)
+            << "lanes " << lanes;
+    }
+}
+
+TEST(FrameLanes, GarbageKnobFallsBackToDefaultWidth)
+{
+    // Strict parsing: junk and unsupported widths warn once and bind
+    // the documented default — bit-identical to an unset environment.
+    const Device device = Device::synthetic(Topology::linear(4), 75);
+    const NoisyMachine machine(device, 0, NoiseFlags::pauliOnly());
+    const ScheduledCircuit sched = scheduleLinear(
+        device, randomCliffordExecutable(4, 50, 75));
+    const Distribution reference =
+        machine.run(machine.prepare(sched, BackendKind::Stabilizer),
+                    1000, 5, 1);
+    for (const char *junk : {"banana", "128", "0", "-64", "512q"}) {
+        EnvGuard guard("ADAPT_FRAME_LANES", junk);
+        const PreparedCircuit prepared =
+            machine.prepare(sched, BackendKind::Stabilizer);
+        EXPECT_EQ(machine.shardBlockShots(prepared), kFrameLanes)
+            << "value " << junk;
+        EXPECT_TRUE(distributionsIdentical(
+            reference, machine.run(prepared, 1000, 5, 1)))
+            << "value " << junk;
+    }
+}
+
+// ----------------------------------------------------------- tiling
+
+TEST(FrameTile, TiledIsBitIdenticalToUntiledAcrossWidths)
+{
+    // The strongest lock in the suite: pass 1 resolves the identical
+    // draw sequence the untiled sweep consumes, so forcing the tiled
+    // executor must not move a single outcome — at word-boundary
+    // widths, at 100 qubits, and at every lane width.
+    for (const int width : kWidths) {
+        const Device device =
+            Device::synthetic(Topology::linear(width), 81);
+        const NoisyMachine machine(device, 0,
+                                   NoiseFlags::pauliOnly());
+        const ScheduledCircuit sched = scheduleLinear(
+            device,
+            randomCliffordExecutable(width, 10 * width, 80 + width));
+        for (const int lanes : {64, 256, 512}) {
+            EnvGuard lanes_guard("ADAPT_FRAME_LANES",
+                                 std::to_string(lanes).c_str());
+            const PreparedCircuit prepared =
+                machine.prepare(sched, BackendKind::Stabilizer);
+            const int shots = 2 * lanes + 31;
+            Distribution untiled, tiled;
+            {
+                EnvGuard off("ADAPT_FRAME_TILE", "0");
+                untiled = machine.run(prepared, shots, 11, 0);
+            }
+            {
+                EnvGuard on("ADAPT_FRAME_TILE", "1");
+                tiled = machine.run(prepared, shots, 11, 0);
+            }
+            EXPECT_TRUE(distributionsIdentical(untiled, tiled))
+                << "width " << width << " lanes " << lanes;
+        }
+    }
+}
+
+TEST(FrameTile, TiledHandlesT1DivergenceIdentically)
+{
+    // T1 jumps on reference-superposed qubits peel lanes out of the
+    // plane pass; the tiled executor snapshots mid-tape instead of
+    // mid-sweep, which must not change which lanes defer or what
+    // they produce.
+    const Device device = Device::synthetic(Topology::linear(66), 82);
+    NoiseFlags flags = NoiseFlags::pauliOnly();
+    const NoisyMachine machine(device, 0, flags);
+    Circuit c(66);
+    for (int q = 0; q < 66; q++) {
+        if (q % 3 == 0)
+            c.h(q);
+        else
+            c.x(q);
+        c.delay(30000.0, q);
+    }
+    for (int q = 0; q + 1 < 66; q += 2)
+        c.cx(q, q + 1);
+    c.measureAll();
+    const ScheduledCircuit sched = scheduleLinear(device, c);
+    const PreparedCircuit prepared =
+        machine.prepare(sched, BackendKind::Stabilizer);
+    Distribution untiled, tiled;
+    {
+        EnvGuard off("ADAPT_FRAME_TILE", "0");
+        untiled = machine.run(prepared, 2048, 13, 0);
+    }
+    {
+        EnvGuard on("ADAPT_FRAME_TILE", "1");
+        tiled = machine.run(prepared, 2048, 13, 0);
+    }
+    EXPECT_TRUE(distributionsIdentical(untiled, tiled));
+}
+
+TEST(FrameTile, AutoModeNeverTilesNarrowJobs)
+{
+    // <= 32 qubits: the auto heuristic must keep the single-sweep
+    // executor (the "never slower at small widths" acceptance bar is
+    // enforced structurally, not statistically).
+    const Device device = Device::synthetic(Topology::linear(8), 83);
+    const NoisyMachine machine(device, 0, NoiseFlags::pauliOnly());
+    const ScheduledCircuit sched = scheduleLinear(
+        device, randomCliffordExecutable(8, 80, 83));
+    const PreparedCircuit prepared =
+        machine.prepare(sched, BackendKind::Stabilizer);
+    const Distribution auto_mode = machine.run(prepared, 1000, 3, 1);
+    {
+        EnvGuard off("ADAPT_FRAME_TILE", "0");
+        EXPECT_TRUE(distributionsIdentical(
+            auto_mode, machine.run(prepared, 1000, 3, 1)));
+    }
+    EnvGuard garbage("ADAPT_FRAME_TILE", "sideways");
+    EXPECT_TRUE(distributionsIdentical(
+        auto_mode, machine.run(prepared, 1000, 3, 1)));
+}
+
+TEST(FrameTile, WidePlanesCancelOnBlockBoundaries)
+{
+    // W=512 cancellable run: the frame path commits whole blocks, so
+    // the prefix is a multiple of the bound lane count and replays
+    // exactly.
+    EnvGuard lanes_guard("ADAPT_FRAME_LANES", "512");
+    const Device device = Device::synthetic(Topology::linear(40), 84);
+    const NoisyMachine machine(device, 0, NoiseFlags::pauliOnly());
+    const ScheduledCircuit sched = scheduleLinear(
+        device, randomCliffordExecutable(40, 400, 84));
+    const PreparedCircuit prepared =
+        machine.prepare(sched, BackendKind::Stabilizer);
+    constexpr int kShots = 6 * 512;
+
+    CancellationSource source;
+    RunControl ctl;
+    ctl.token = source.token();
+    ctl.progress = [&](int64_t shots_done) {
+        if (shots_done >= 512)
+            source.cancel();
+    };
+    const RunOutcome out =
+        machine.runPartial(prepared, kShots, 21, 1, ctl);
+    ASSERT_TRUE(out.partial);
+    EXPECT_GT(out.shotsDone, 0);
+    EXPECT_LT(out.shotsDone, kShots);
+    EXPECT_EQ(out.shotsDone % 512, 0)
+        << "frame path commits whole 512-lane blocks";
+    EXPECT_TRUE(distributionsIdentical(
+        out.dist, machine.run(prepared,
+                              static_cast<int>(out.shotsDone), 21)));
+}
